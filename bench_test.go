@@ -1,0 +1,300 @@
+// Benchmarks: one per table/figure of the paper's evaluation (each
+// iteration regenerates the figure's data at the Tiny scale and reports
+// the headline quantities via b.ReportMetric), plus ablation and
+// micro-benchmarks of the simulator itself.
+//
+// Run a single figure with e.g.
+//
+//	go test -bench=BenchmarkFig6 -benchtime=1x
+package surfbless_test
+
+import (
+	"testing"
+
+	"surfbless"
+	"surfbless/internal/config"
+	"surfbless/internal/experiments"
+	"surfbless/internal/packet"
+	"surfbless/internal/power"
+	"surfbless/internal/sim"
+	"surfbless/internal/stats"
+	"surfbless/internal/system"
+	"surfbless/internal/traffic"
+)
+
+// BenchmarkTable1Config regenerates Table 1 from the live configuration.
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1()
+		if t.Rows() < 11 {
+			b.Fatal("Table 1 incomplete")
+		}
+	}
+}
+
+// BenchmarkFig5aInterferenceLatency reproduces Fig. 5(a): the victim
+// domain's latency under rising interference on BLESS vs SB.
+func BenchmarkFig5aInterferenceLatency(b *testing.B) {
+	var r experiments.Fig5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if r, err = experiments.Fig5(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(r.Rates) - 1
+	b.ReportMetric(r.SBLatency[last]-r.SBLatency[0], "SB_latency_drift_cycles")
+	b.ReportMetric(r.BLESSLatency[last]-r.BLESSLatency[0], "BLESS_latency_drift_cycles")
+}
+
+// BenchmarkFig5bInterferenceThroughput reproduces Fig. 5(b).
+func BenchmarkFig5bInterferenceThroughput(b *testing.B) {
+	var r experiments.Fig5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if r, err = experiments.Fig5(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(r.Rates) - 1
+	b.ReportMetric(r.SBThroughput[last]/r.SBThroughput[0], "SB_throughput_ratio")
+	b.ReportMetric(r.BLESSThroughput[last]/r.BLESSThroughput[0], "BLESS_throughput_ratio")
+}
+
+// BenchmarkFig6EnergyDomains reproduces Fig. 6: energy vs domain count
+// for WH, BLESS, Surf(D) and SB(D).
+func BenchmarkFig6EnergyDomains(b *testing.B) {
+	var r experiments.Fig6Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if r, err = experiments.Fig6(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var surf9, sb9 float64
+	for _, row := range r.Rows {
+		if row.Label == "Surf 9_D" {
+			surf9 = row.Energy.Total()
+		}
+		if row.Label == "SB 9_D" {
+			sb9 = row.Energy.Total()
+		}
+	}
+	b.ReportMetric(sb9/surf9, "SB9_over_Surf9_energy")
+}
+
+// BenchmarkFig7aLatencySB reproduces Fig. 7(a): SB latency vs load
+// across domain counts (D_1 = BLESS).
+func BenchmarkFig7aLatencySB(b *testing.B) {
+	var r experiments.Fig7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if r, err = experiments.Fig7Domains(experiments.Tiny(), []int{1, 2, 3, 4, 6, 9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.A[1].Latency[1], "D2_latency_low_load")
+	b.ReportMetric(r.A[3].Latency[1], "D4_latency_low_load")
+}
+
+// BenchmarkFig7bLatencySurf reproduces Fig. 7(b): Surf latency vs load
+// across domain counts (D_1 = WH).
+func BenchmarkFig7bLatencySurf(b *testing.B) {
+	var r experiments.Fig7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if r, err = experiments.Fig7Domains(experiments.Tiny(), []int{1, 2, 4, 9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.B[0].Latency[1], "WH_latency_low_load")
+	b.ReportMetric(r.B[3].Latency[1], "D9_latency_low_load")
+}
+
+// appsOnce caches the §5.2 matrix so Figs. 8, 9 and 10 share one run
+// set per benchmark invocation.
+func appsRun(b *testing.B) experiments.AppsResult {
+	b.Helper()
+	r, err := experiments.Apps(experiments.Tiny())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkFig8ExecutionTime reproduces Fig. 8: per-application
+// execution time on WH, Surf and SB.
+func BenchmarkFig8ExecutionTime(b *testing.B) {
+	var r experiments.AppsResult
+	for i := 0; i < b.N; i++ {
+		r = appsRun(b)
+	}
+	b.ReportMetric(r.SBExecPenalty()*100, "SB_exec_penalty_%")
+}
+
+// BenchmarkFig9PacketLatency reproduces Fig. 9: the queue/network
+// latency breakdown normalized to WH.
+func BenchmarkFig9PacketLatency(b *testing.B) {
+	var r experiments.AppsResult
+	for i := 0; i < b.N; i++ {
+		r = appsRun(b)
+	}
+	// Mean SB total latency relative to WH across apps.
+	var sum float64
+	for _, app := range r.Apps {
+		sum += r.Runs[app][config.SB].Total.AvgTotalLatency() /
+			r.Runs[app][config.WH].Total.AvgTotalLatency()
+	}
+	b.ReportMetric(sum/float64(len(r.Apps)), "SB_latency_vs_WH")
+}
+
+// BenchmarkFig10AppEnergy reproduces Fig. 10: per-application NoC
+// energy breakdown.
+func BenchmarkFig10AppEnergy(b *testing.B) {
+	var r experiments.AppsResult
+	for i := 0; i < b.N; i++ {
+		r = appsRun(b)
+	}
+	b.ReportMetric(r.SBEnergySaving()*100, "SB_energy_saving_%")
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationWaveSets compares the tuned worm-window placement
+// against the paper's literal sets.
+func BenchmarkAblationWaveSets(b *testing.B) {
+	var rows []experiments.WaveSetRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = experiments.AblationWaveSets(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ratio float64
+	for _, r := range rows {
+		ratio += float64(r.PaperExec) / float64(r.TunedExec)
+	}
+	b.ReportMetric(ratio/float64(len(rows)), "paper_sets_exec_ratio")
+}
+
+// BenchmarkAblationRouting compares §4.3 Step-2 variants.
+func BenchmarkAblationRouting(b *testing.B) {
+	var rows []experiments.RoutingRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = experiments.AblationRouting(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[1].Deflections-rows[0].Deflections, "noYX_extra_deflections")
+}
+
+// BenchmarkAblationMeshSweep measures SB across mesh sizes (Smax law).
+func BenchmarkAblationMeshSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMeshSweep(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the simulator core ---
+
+func benchFabricCycles(b *testing.B, model config.Model) {
+	cfg := config.Default(model)
+	cfg.Domains = 2
+	col := stats.NewCollector(2, 0, 0)
+	meter := power.NewMeter(cfg, power.Default45nm())
+	fab, err := sim.BuildFabric(cfg, nil, nil, col, meter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := traffic.New(cfg.Mesh(), traffic.UniformRandom, []traffic.Source{
+		{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
+		{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
+	}, 1)
+	b.ResetTimer()
+	for now := int64(0); now < int64(b.N); now++ {
+		gen.Tick(fab, now)
+		fab.Step(now)
+	}
+	b.ReportMetric(float64(cfg.Nodes()), "routers/cycle")
+}
+
+// BenchmarkStepSB measures simulated SB cycles per second at 0.05 load.
+func BenchmarkStepSB(b *testing.B) { benchFabricCycles(b, config.SB) }
+
+// BenchmarkStepBLESS measures simulated BLESS cycles per second.
+func BenchmarkStepBLESS(b *testing.B) { benchFabricCycles(b, config.BLESS) }
+
+// BenchmarkStepWH measures simulated WH cycles per second.
+func BenchmarkStepWH(b *testing.B) { benchFabricCycles(b, config.WH) }
+
+// BenchmarkStepSurf measures simulated Surf cycles per second.
+func BenchmarkStepSurf(b *testing.B) { benchFabricCycles(b, config.Surf) }
+
+// BenchmarkSystemCycle measures full-system simulation speed (cores +
+// MESI + SB NoC).
+func BenchmarkSystemCycle(b *testing.B) {
+	app, err := surfbless.Application("swaptions")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := system.Run(system.Options{
+			Model: config.SB, App: app, InstrPerCore: 500, Seed: 3,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionBufferless compares BLESS, CHIPPER and SB.
+func BenchmarkExtensionBufferless(b *testing.B) {
+	var rows []experiments.BufferlessRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = experiments.ExtensionBufferless(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Model == config.CHIPPER && r.Rate == 0.25 {
+			b.ReportMetric(float64(r.P99Latency), "CHIPPER_p99_high_load")
+		}
+	}
+}
+
+// BenchmarkExtensionPatterns verifies confinement across patterns.
+func BenchmarkExtensionPatterns(b *testing.B) {
+	var rows []experiments.PatternRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = experiments.ExtensionPatterns(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var drift float64
+	for _, r := range rows {
+		drift += r.VictimDrift
+	}
+	b.ReportMetric(drift, "SB_total_drift_cycles")
+}
+
+// BenchmarkStepCHIPPER measures simulated CHIPPER cycles per second.
+func BenchmarkStepCHIPPER(b *testing.B) {
+	cfg := config.Default(config.CHIPPER)
+	col := stats.NewCollector(1, 0, 0)
+	meter := power.NewMeter(cfg, power.Default45nm())
+	fab, err := sim.BuildFabric(cfg, nil, nil, col, meter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := traffic.New(cfg.Mesh(), traffic.UniformRandom,
+		[]traffic.Source{{Rate: 0.05, Class: packet.Ctrl, VNet: -1}}, 1)
+	b.ResetTimer()
+	for now := int64(0); now < int64(b.N); now++ {
+		gen.Tick(fab, now)
+		fab.Step(now)
+	}
+}

@@ -1,0 +1,178 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (§5) plus the reproduction's ablations, printing
+// each as an aligned text table and optionally writing .txt/.csv files.
+//
+// Usage:
+//
+//	experiments [-scale tiny|quick|full] [-fig all|table1|fig5|fig6|fig7|apps|ablations] [-out DIR]
+//
+// "apps" runs the §5.2 full-system matrix that produces Figs. 8, 9 and
+// 10 together.  At -scale full expect several minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"surfbless/internal/experiments"
+	"surfbless/internal/textplot"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "simulation scale: tiny, quick or full")
+	fig := flag.String("fig", "all", "which experiment: all, table1, fig3, fig5, fig6, fig7, apps, ablations, extensions")
+	out := flag.String("out", "", "directory to write .txt and .csv outputs (optional)")
+	flag.Parse()
+
+	sc, err := scaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	run := func(name string, f func() ([]*textplot.Table, error)) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		start := time.Now()
+		tabs, err := f()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		for _, t := range tabs {
+			fmt.Println(t.String())
+			if *out != "" {
+				base := filepath.Join(*out, name+"_"+slug(t.Title))
+				if err := os.WriteFile(base+".txt", []byte(t.String()), 0o644); err != nil {
+					fatal(err)
+				}
+				if err := os.WriteFile(base+".csv", []byte(t.CSV()), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() ([]*textplot.Table, error) {
+		return []*textplot.Table{experiments.Table1()}, nil
+	})
+	if *fig == "all" || *fig == "fig3" {
+		text := experiments.Fig3Text()
+		fmt.Println(text)
+		if *out != "" {
+			if err := os.WriteFile(filepath.Join(*out, "fig3_wave_pattern.txt"), []byte(text), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	run("fig5", func() ([]*textplot.Table, error) {
+		r, err := experiments.Fig5(sc)
+		if err != nil {
+			return nil, err
+		}
+		return r.Tables(), nil
+	})
+	run("fig6", func() ([]*textplot.Table, error) {
+		r, err := experiments.Fig6(sc)
+		if err != nil {
+			return nil, err
+		}
+		return r.Tables(), nil
+	})
+	run("fig7", func() ([]*textplot.Table, error) {
+		r, err := experiments.Fig7(sc)
+		if err != nil {
+			return nil, err
+		}
+		return r.Tables(), nil
+	})
+	run("apps", func() ([]*textplot.Table, error) {
+		r, err := experiments.Apps(sc)
+		if err != nil {
+			return nil, err
+		}
+		tabs := r.Tables()
+		fmt.Fprintf(os.Stderr, "SB exec penalty vs WH: %+.2f%% (paper: +3.23%%)\n", r.SBExecPenalty()*100)
+		fmt.Fprintf(os.Stderr, "SB energy saving vs WH: %.1f%% (paper: 53.6%%)\n", r.SBEnergySaving()*100)
+		return tabs, nil
+	})
+	run("ablations", func() ([]*textplot.Table, error) {
+		var tabs []*textplot.Table
+		ws, err := experiments.AblationWaveSets(sc)
+		if err != nil {
+			return nil, err
+		}
+		tabs = append(tabs, experiments.WaveSetTable(ws))
+		rt, err := experiments.AblationRouting(sc)
+		if err != nil {
+			return nil, err
+		}
+		tabs = append(tabs, experiments.RoutingTable(rt))
+		ms, err := experiments.AblationMeshSweep(sc)
+		if err != nil {
+			return nil, err
+		}
+		tabs = append(tabs, experiments.MeshTable(ms))
+		return tabs, nil
+	})
+	run("extensions", func() ([]*textplot.Table, error) {
+		var tabs []*textplot.Table
+		bl, err := experiments.ExtensionBufferless(sc)
+		if err != nil {
+			return nil, err
+		}
+		tabs = append(tabs, experiments.BufferlessTable(bl))
+		pr, err := experiments.ExtensionPatterns(sc)
+		if err != nil {
+			return nil, err
+		}
+		tabs = append(tabs, experiments.PatternTable(pr))
+		return tabs, nil
+	})
+}
+
+func scaleByName(name string) (experiments.Scale, error) {
+	switch name {
+	case "tiny":
+		return experiments.Tiny(), nil
+	case "quick":
+		return experiments.Quick(), nil
+	case "full":
+		return experiments.Full(), nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q (want tiny, quick or full)", name)
+	}
+}
+
+func slug(title string) string {
+	s := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, strings.ToLower(strings.TrimSpace(title)))
+	for strings.Contains(s, "__") {
+		s = strings.ReplaceAll(s, "__", "_")
+	}
+	s = strings.Trim(s, "_")
+	if len(s) > 48 {
+		s = s[:48]
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

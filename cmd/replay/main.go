@@ -1,0 +1,170 @@
+// Command replay records a packet trace from one network model and
+// replays the identical population into another, printing both runs'
+// statistics side by side — apples-to-apples comparison on exactly the
+// same packets instead of statistically similar ones.
+//
+// Usage:
+//
+//	replay [-record BLESS] [-play SB] [-domains 2] [-rate 0.05]
+//	       [-cycles 5000] [-seed 1] [-trace FILE]
+//
+// With -trace, the recorded CSV is also written to FILE (and can be fed
+// back with -from FILE instead of recording).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"surfbless/internal/config"
+	"surfbless/internal/geom"
+	"surfbless/internal/network"
+	"surfbless/internal/packet"
+	"surfbless/internal/power"
+	"surfbless/internal/sim"
+	"surfbless/internal/stats"
+	"surfbless/internal/trace"
+	"surfbless/internal/traffic"
+)
+
+func main() {
+	record := flag.String("record", "BLESS", "model to record from (ignored with -from)")
+	play := flag.String("play", "SB", "model to replay into")
+	domains := flag.Int("domains", 2, "number of domains")
+	rate := flag.Float64("rate", 0.05, "total injection rate while recording")
+	cycles := flag.Int64("cycles", 5000, "recording length in cycles")
+	seed := flag.Int64("seed", 1, "random seed")
+	traceOut := flag.String("trace", "", "write the recorded trace CSV to this file")
+	from := flag.String("from", "", "replay from an existing trace file instead of recording")
+	flag.Parse()
+
+	playModel, err := modelByName(*play)
+	if err != nil {
+		fatal(err)
+	}
+
+	var traceCSV string
+	mesh := geom.NewMesh(8, 8)
+	if *from != "" {
+		raw, err := os.ReadFile(*from)
+		if err != nil {
+			fatal(err)
+		}
+		traceCSV = string(raw)
+		fmt.Printf("replaying %s into %v\n\n", *from, playModel)
+	} else {
+		recModel, err := modelByName(*record)
+		if err != nil {
+			fatal(err)
+		}
+		var recStats stats.Domain
+		traceCSV, recStats, err = recordRun(recModel, *domains, *rate, *cycles, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %v: %d packets, avg latency %.2f\n",
+			recModel, recStats.Ejected, recStats.AvgTotalLatency())
+		if *traceOut != "" {
+			if err := os.WriteFile(*traceOut, []byte(traceCSV), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written to %s\n", *traceOut)
+		}
+	}
+
+	playStats, err := replayRun(playModel, *domains, mesh, strings.NewReader(traceCSV))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed into %v: %d packets, avg latency %.2f (queue %.2f + network %.2f), %.3f deflections/pkt\n",
+		playModel, playStats.Ejected, playStats.AvgTotalLatency(),
+		playStats.AvgQueueLatency(), playStats.AvgNetworkLatency(), playStats.AvgDeflections())
+}
+
+// recordRun executes a generated run with the tracer attached and
+// returns the trace plus the run's total stats.
+func recordRun(model config.Model, domains int, rate float64, cycles, seed int64) (string, stats.Domain, error) {
+	cfg := config.Default(model)
+	cfg.Domains = domains
+	col := stats.NewCollector(domains, 0, 0)
+	var buf strings.Builder
+	tw := trace.New(&buf)
+	col.SetTracer(tw.Tracer())
+	meter := power.NewMeter(cfg, power.Default45nm())
+	fab, err := sim.BuildFabric(cfg, nil, nil, col, meter)
+	if err != nil {
+		return "", stats.Domain{}, err
+	}
+	sources := make([]traffic.Source, domains)
+	for i := range sources {
+		sources[i] = traffic.Source{Rate: rate / float64(domains), Class: packet.Ctrl, VNet: -1}
+	}
+	gen := traffic.New(cfg.Mesh(), traffic.UniformRandom, sources, seed)
+	now := int64(0)
+	for ; now < cycles; now++ {
+		gen.Tick(fab, now)
+		fab.Step(now)
+	}
+	for limit := now + 50*cycles; now < limit && fab.InFlight() > 0; now++ {
+		fab.Step(now)
+	}
+	if err := tw.Flush(); err != nil {
+		return "", stats.Domain{}, err
+	}
+	return buf.String(), col.Total(), nil
+}
+
+// replayRun feeds a trace into a fresh fabric of the given model.
+func replayRun(model config.Model, domains int, mesh geom.Mesh, r io.Reader) (stats.Domain, error) {
+	cfg := config.Default(model)
+	cfg.Domains = domains
+	rp, err := traffic.NewReplayer(r, mesh, nil)
+	if err != nil {
+		return stats.Domain{}, err
+	}
+	col := stats.NewCollector(domains, 0, 0)
+	meter := power.NewMeter(cfg, power.Default45nm())
+	fab, err := sim.BuildFabric(cfg, nil, nil, col, meter)
+	if err != nil {
+		return stats.Domain{}, err
+	}
+	var fabric network.Fabric = fab
+	for now := int64(0); !rp.Done() || fabric.InFlight() > 0; now++ {
+		rp.Tick(fabric, now, mesh)
+		fabric.Step(now)
+		if now > 10_000_000 {
+			return stats.Domain{}, fmt.Errorf("replay never drained")
+		}
+	}
+	if rp.Refused > 0 {
+		fmt.Fprintf(os.Stderr, "replay: %d offers refused under backpressure (dropped)\n", rp.Refused)
+	}
+	return col.Total(), nil
+}
+
+func modelByName(s string) (config.Model, error) {
+	switch strings.ToUpper(s) {
+	case "WH":
+		return config.WH, nil
+	case "BLESS":
+		return config.BLESS, nil
+	case "SURF":
+		return config.Surf, nil
+	case "SB":
+		return config.SB, nil
+	case "CHIPPER":
+		return config.CHIPPER, nil
+	case "RUNAHEAD":
+		return config.RUNAHEAD, nil
+	default:
+		return 0, fmt.Errorf("unknown model %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "replay:", err)
+	os.Exit(1)
+}

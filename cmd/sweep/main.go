@@ -1,0 +1,79 @@
+// Command sweep runs an injection-rate sweep for one network model and
+// emits the latency/throughput curve as CSV on stdout — the raw data
+// behind load-latency plots like Fig. 7.
+//
+// Usage:
+//
+//	sweep [-model SB] [-domains 2] [-from 0.01] [-to 0.3] [-step 0.02]
+//	      [-cycles 10000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"surfbless/internal/config"
+	"surfbless/internal/packet"
+	"surfbless/internal/sim"
+	"surfbless/internal/traffic"
+)
+
+func main() {
+	model := flag.String("model", "SB", "network model: WH, BLESS, Surf or SB")
+	domains := flag.Int("domains", 2, "number of interference domains")
+	from := flag.Float64("from", 0.01, "first total injection rate")
+	to := flag.Float64("to", 0.30, "last total injection rate")
+	step := flag.Float64("step", 0.02, "rate increment")
+	cycles := flag.Int64("cycles", 10000, "measured cycles per point")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var m config.Model
+	switch *model {
+	case "WH", "wh":
+		m = config.WH
+	case "BLESS", "bless":
+		m = config.BLESS
+	case "Surf", "surf":
+		m = config.Surf
+	case "SB", "sb":
+		m = config.SB
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown model %q\n", *model)
+		os.Exit(1)
+	}
+	if *step <= 0 || *from <= 0 || *to < *from {
+		fmt.Fprintln(os.Stderr, "sweep: invalid rate range")
+		os.Exit(1)
+	}
+
+	fmt.Println("rate,avg_latency,queue_latency,network_latency,throughput,deflections_per_pkt,refused")
+	for rate := *from; rate <= *to+1e-9; rate += *step {
+		cfg := config.Default(m)
+		cfg.Domains = *domains
+		sources := make([]traffic.Source, *domains)
+		for i := range sources {
+			sources[i] = traffic.Source{Rate: rate / float64(*domains), Class: packet.Ctrl, VNet: -1}
+		}
+		res, err := sim.Run(sim.Options{
+			Cfg:     cfg,
+			Pattern: traffic.UniformRandom,
+			Sources: sources,
+			Warmup:  *cycles / 10, Measure: *cycles, Drain: 10 * *cycles,
+			Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: rate %.3f: %v\n", rate, err)
+			os.Exit(1)
+		}
+		tot := res.Total
+		thr := 0.0
+		for d := 0; d < *domains; d++ {
+			thr += res.Throughput(d)
+		}
+		fmt.Printf("%.3f,%.3f,%.3f,%.3f,%.4f,%.3f,%d\n",
+			rate, tot.AvgTotalLatency(), tot.AvgQueueLatency(), tot.AvgNetworkLatency(),
+			thr, tot.AvgDeflections(), tot.Refused)
+	}
+}

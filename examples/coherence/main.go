@@ -1,0 +1,44 @@
+// Coherence: the §5.2 scenario — a 64-core system running the MESI
+// protocol whose three message classes (1-flit control, two 5-flit data
+// networks) ride three Surf-Bless domains, which is what lets a
+// bufferless NoC carry multi-class cache traffic without protocol
+// deadlock.  The same workload runs on the WH baseline for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"surfbless"
+)
+
+func main() {
+	app, err := surfbless.Application("dedup")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application %q on a 64-core, 8x8-mesh MESI system\n\n", app.Name)
+
+	for _, model := range []surfbless.Model{surfbless.WH, surfbless.SB} {
+		res, err := surfbless.RunSystem(surfbless.SystemOptions{
+			Model:        model,
+			App:          app,
+			InstrPerCore: 3_000,
+			Seed:         7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4v execution %7d cycles, L1 miss rate %.3f, DRAM reads %d\n",
+			model, res.ExecCycles, res.L1MissRate, res.MemReads)
+		names := []string{"ctrl (1 flit)", "data A (5 flit)", "data B (5 flit)"}
+		for v, d := range res.VNets {
+			fmt.Printf("     vnet %d %-15s %6d pkts, latency %6.2f (queue %5.2f + network %6.2f)\n",
+				v, names[v], d.Ejected, d.AvgTotalLatency(), d.AvgQueueLatency(), d.AvgNetworkLatency())
+		}
+		fmt.Printf("     NoC energy: %v\n\n", res.Energy)
+	}
+	fmt.Println("SB pays a few percent of execution time and recovers half the")
+	fmt.Println("NoC energy: the routers keep no per-class VCs, only per-domain")
+	fmt.Println("injection queues plus three small wave schedulers.")
+}

@@ -1,0 +1,3 @@
+module surfbless
+
+go 1.22

@@ -1,0 +1,48 @@
+package coherence
+
+import "container/heap"
+
+// eventQueue delivers messages after a fixed processing delay, in
+// (time, arrival-order) order — the L2 bank pipeline and the memory
+// controller both use it.
+type eventQueue struct {
+	h   eventHeap
+	seq int64
+}
+
+type event struct {
+	at  int64
+	seq int64
+	msg *Msg
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// schedule enqueues m for processing at cycle at.
+func (q *eventQueue) schedule(m *Msg, at int64) {
+	heap.Push(&q.h, event{at: at, seq: q.seq, msg: m})
+	q.seq++
+}
+
+// due pops every message scheduled at or before now.
+func (q *eventQueue) due(now int64) []*Msg {
+	var out []*Msg
+	for len(q.h) > 0 && q.h[0].at <= now {
+		out = append(out, heap.Pop(&q.h).(event).msg)
+	}
+	return out
+}
+
+// pending returns the number of queued messages.
+func (q *eventQueue) pending() int { return len(q.h) }

@@ -1,0 +1,80 @@
+package coherence
+
+import "fmt"
+
+// CheckSWMR verifies the single-writer / multiple-reader invariant
+// across a set of L1 caches at the current instant: for every block,
+// at most one L1 holds it Exclusive or Modified, and when one does, no
+// other L1 holds it Shared.  The protocol maintains this at every
+// cycle (ownership is only granted after the previous copies are
+// provably gone), so tests call this continuously during random runs.
+func CheckSWMR(l1s []*L1) error {
+	type holders struct {
+		owners  int
+		sharers int
+		owner   int
+	}
+	blocks := make(map[uint64]*holders)
+	for node, l1 := range l1s {
+		node := node
+		l1.Walk(func(ln *Line) {
+			h := blocks[ln.Tag]
+			if h == nil {
+				h = &holders{owner: -1}
+				blocks[ln.Tag] = h
+			}
+			switch ln.State {
+			case Exclusive, Modified:
+				h.owners++
+				h.owner = node
+			case Shared:
+				h.sharers++
+			}
+		})
+	}
+	for block, h := range blocks {
+		if h.owners > 1 {
+			return fmt.Errorf("coherence: block %x has %d owners", block, h.owners)
+		}
+		if h.owners == 1 && h.sharers > 0 {
+			return fmt.Errorf("coherence: block %x owned by L1 %d with %d sharers alive",
+				block, h.owner, h.sharers)
+		}
+	}
+	return nil
+}
+
+// CheckDirectory verifies that every sharer recorded by the L2 banks
+// holds the block in at most Shared state (never E/M), and that a
+// recorded owner never appears as a sharer elsewhere.  Directory
+// entries may overcount (silent S evictions), never undercount.
+func CheckDirectory(l1s []*L1, l2s []*L2) error {
+	var err error
+	for _, l2 := range l2s {
+		l2.Walk(func(ln *Line) {
+			if err != nil {
+				return
+			}
+			switch ln.State {
+			case Shared:
+				for s := range ln.Sharers {
+					if st := l1s[s].StateOf(ln.Tag); st == Exclusive || st == Modified {
+						err = fmt.Errorf("coherence: directory says L1 %d shares %x but it holds %v",
+							s, ln.Tag, st)
+					}
+				}
+			case Modified:
+				for n, l1 := range l1s {
+					if n == ln.Owner {
+						continue
+					}
+					if st := l1.StateOf(ln.Tag); st != Invalid {
+						err = fmt.Errorf("coherence: block %x owned by L1 %d but L1 %d holds %v",
+							ln.Tag, ln.Owner, n, st)
+					}
+				}
+			}
+		})
+	}
+	return err
+}

@@ -1,0 +1,126 @@
+// Package coherence implements the two-level MESI protocol of Table 1:
+// private L1 caches, address-interleaved shared L2 banks holding the
+// directory, and corner memory controllers.  It is the substrate behind
+// the §5.2 experiments (Figs. 8–10), replacing GEM5's Ruby protocol
+// with a deterministic engine that produces the same packet population:
+// 1-flit control messages on a control virtual network and 5-flit data
+// messages on two data virtual networks.
+//
+// Protocol structure (DESIGN.md §2 records the simplifications):
+//
+//   - L1s are blocking — the in-order cores have at most one outstanding
+//     demand miss — with fire-and-forget writebacks (PutM) and eviction
+//     notices (PutE; E lines are not silently dropped so the directory
+//     can always await an owner's data).
+//   - The L2 banks are the serialization points: one transaction per
+//     line at a time, later requests queue behind it.  Ownership
+//     transfers always go through the L2 (recall, no direct forwarding),
+//     which keeps every race resolvable locally.
+//   - Endpoint queues are unbounded (GEM5's protocol buffers are finite
+//     but large); protocol deadlock-freedom in the NoC comes from the
+//     virtual-network / domain separation exactly as in the paper.
+package coherence
+
+import "fmt"
+
+// Virtual networks, matching §5.2: one control network for 1-flit
+// messages and two data networks for 5-flit messages.
+const (
+	VNetCtrl  = 0 // requests, invalidations, acks, grants (1 flit)
+	VNetData  = 1 // data responses toward requesters (5 flits)
+	VNetWB    = 2 // writebacks and recall data toward L2/memory (5 flits)
+	NumVNets  = 3
+	DataFlits = 5
+	CtrlFlits = 1
+)
+
+// MsgType enumerates the protocol messages.
+type MsgType int
+
+// Protocol message types.
+const (
+	// L1 → L2 requests (ctrl).
+	GetS MsgType = iota // read miss: request shared copy
+	GetM                // write miss/upgrade: request exclusive copy
+	PutE                // eviction notice for a clean-exclusive line (ctrl)
+
+	// L1 → L2 data (writeback network).
+	PutM // dirty writeback / recall data
+
+	// L2 → L1 (ctrl).
+	Inv    // invalidate a shared copy
+	Recall // recall the owned copy (data or notice must follow)
+	Grant  // ownership grant without data (upgrade hit)
+
+	// L2 → L1 (data network).
+	Data // data response; Excl says whether it grants E/M
+
+	// L1 → L2 (ctrl).
+	InvAck // invalidation acknowledged
+
+	// L2 ↔ memory controller.
+	MemRead // L2 → MC fetch request (ctrl)
+	MemData // MC → L2 fill (data network)
+	MemWB   // L2 → MC dirty eviction (writeback network)
+)
+
+var msgNames = map[MsgType]string{
+	GetS: "GetS", GetM: "GetM", PutE: "PutE", PutM: "PutM",
+	Inv: "Inv", Recall: "Recall", Grant: "Grant", Data: "Data",
+	InvAck: "InvAck", MemRead: "MemRead", MemData: "MemData", MemWB: "MemWB",
+}
+
+// String names the message type.
+func (t MsgType) String() string {
+	if s, ok := msgNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", int(t))
+}
+
+// VNet returns the virtual network the message travels on.
+func (t MsgType) VNet() int {
+	switch t {
+	case Data, MemData:
+		return VNetData
+	case PutM, MemWB:
+		return VNetWB
+	default:
+		return VNetCtrl
+	}
+}
+
+// Flits returns the message size in flits (Table 1: 16-byte blocks on
+// 128-bit links → 5-flit data packets, 1-flit control packets).
+func (t MsgType) Flits() int {
+	if t.VNet() == VNetCtrl {
+		return CtrlFlits
+	}
+	return DataFlits
+}
+
+// Msg is one protocol message.
+type Msg struct {
+	Type MsgType
+	Addr uint64 // block address (block-aligned >> blockBits)
+	From int    // sender node id
+	To   int    // destination node id
+
+	// Excl marks a Data message granting exclusivity (E on a clean
+	// fill with no sharers, M on a GetM response).
+	Excl bool
+	// Acks tells a GetM requester nothing in this protocol (collection
+	// happens at the L2); retained on Data for diagnostics.
+	Acks int
+}
+
+// String renders the message for diagnostics.
+func (m *Msg) String() string {
+	return fmt.Sprintf("%v[a%x %d→%d excl=%v]", m.Type, m.Addr, m.From, m.To, m.Excl)
+}
+
+// SendFunc transmits a message; the system layer wraps messages into
+// packets and injects them into the fabric.  Send never fails: each
+// node keeps an unbounded outbound queue drained under fabric
+// backpressure.
+type SendFunc func(m *Msg, now int64)

@@ -1,0 +1,204 @@
+package coherence
+
+import "testing"
+
+// Directed tests for the message races the controllers must survive.
+// The fuzz test hits these probabilistically; here each race is
+// constructed exactly, with hand-delivered messages.
+
+// script drives one L1 with hand-written messages and records its sends.
+type script struct {
+	l1   *L1
+	sent []*Msg
+}
+
+func newScript(node int) *script {
+	s := &script{}
+	s.l1 = NewL1(node, 16*16, 16, 4, func(uint64) int { return 0 },
+		func(m *Msg, now int64) { s.sent = append(s.sent, m) })
+	return s
+}
+
+func (s *script) lastSent(t *testing.T) *Msg {
+	t.Helper()
+	if len(s.sent) == 0 {
+		t.Fatal("no message sent")
+	}
+	return s.sent[len(s.sent)-1]
+}
+
+// IS_I: an Inv overtakes the non-exclusive Data fill.  The load's value
+// is consumed once but the line is not retained.
+func TestRaceInvBeforeSharedFill(t *testing.T) {
+	s := newScript(1)
+	if s.l1.Access(7, false, 0) {
+		t.Fatal("cold access hit")
+	}
+	// The home serialized another core's GetM after adding us as a
+	// sharer; its Inv (vnet ctrl) arrives before our Data (vnet data).
+	s.l1.Deliver(&Msg{Type: Inv, Addr: 7, From: 0, To: 1}, 1)
+	if got := s.lastSent(t); got.Type != InvAck {
+		t.Fatalf("Inv answered with %v, want InvAck", got.Type)
+	}
+	s.l1.Deliver(&Msg{Type: Data, Addr: 7, From: 0, To: 1}, 2)
+	if s.l1.Busy() {
+		t.Fatal("fill did not complete the access")
+	}
+	if st := s.l1.StateOf(7); st != Invalid {
+		t.Errorf("invalidated fill retained as %v", st)
+	}
+}
+
+// An Inv that precedes an EXCLUSIVE fill belongs to an older epoch (a
+// later transaction would Recall, not Inv): the fill is retained.
+func TestRaceStaleInvBeforeExclusiveFill(t *testing.T) {
+	s := newScript(1)
+	s.l1.Access(7, false, 0)
+	s.l1.Deliver(&Msg{Type: Inv, Addr: 7, From: 0, To: 1}, 1) // stale-sharer Inv
+	s.l1.Deliver(&Msg{Type: Data, Addr: 7, From: 0, To: 1, Excl: true}, 2)
+	if st := s.l1.StateOf(7); st != Exclusive {
+		t.Errorf("exclusive fill dropped (state %v); only non-exclusive fills may drop", st)
+	}
+}
+
+// Recall overtakes the exclusive Data fill: the value is consumed, the
+// line surrendered immediately with PutE (clean) or PutM (written).
+func TestRaceRecallBeforeExclusiveFill(t *testing.T) {
+	for _, write := range []bool{false, true} {
+		s := newScript(1)
+		s.l1.Access(7, write, 0)
+		s.l1.Deliver(&Msg{Type: Recall, Addr: 7, From: 0, To: 1}, 1)
+		s.l1.Deliver(&Msg{Type: Data, Addr: 7, From: 0, To: 1, Excl: true}, 2)
+		if s.l1.Busy() {
+			t.Fatal("fill did not complete the access")
+		}
+		if st := s.l1.StateOf(7); st != Invalid {
+			t.Fatalf("write=%v: recalled fill retained as %v", write, st)
+		}
+		want := PutE
+		if write {
+			want = PutM
+		}
+		if got := s.lastSent(t); got.Type != want {
+			t.Errorf("write=%v: surrendered with %v, want %v", write, got.Type, want)
+		}
+	}
+}
+
+// Recall overtakes the Grant of a pending S→M upgrade: the store
+// completes on the Grant, then the dirty line is surrendered.
+func TestRaceRecallBeforeGrant(t *testing.T) {
+	s := newScript(1)
+	// Install a Shared copy first.
+	s.l1.Access(7, false, 0)
+	s.l1.Deliver(&Msg{Type: Data, Addr: 7, From: 0, To: 1}, 1) // S fill
+	if st := s.l1.StateOf(7); st != Shared {
+		t.Fatalf("setup: state %v, want S", st)
+	}
+	// Upgrade; the directory grants ownership but a later transaction's
+	// Recall overtakes the 1-flit Grant.
+	if s.l1.Access(7, true, 2) {
+		t.Fatal("upgrade should miss")
+	}
+	s.l1.Deliver(&Msg{Type: Recall, Addr: 7, From: 0, To: 1}, 3)
+	s.l1.Deliver(&Msg{Type: Grant, Addr: 7, From: 0, To: 1}, 4)
+	if s.l1.Busy() {
+		t.Fatal("Grant did not complete the store")
+	}
+	if st := s.l1.StateOf(7); st != Invalid {
+		t.Errorf("recalled upgrade retained as %v", st)
+	}
+	if got := s.lastSent(t); got.Type != PutM {
+		t.Errorf("surrendered with %v, want PutM (the store dirtied the line)", got.Type)
+	}
+}
+
+// A Recall for a line already evicted does nothing at the L1 — the
+// in-flight PutM/PutE serves as the response.
+func TestRaceRecallAfterEviction(t *testing.T) {
+	s := newScript(1)
+	s.l1.Access(7, true, 0)
+	s.l1.Deliver(&Msg{Type: Data, Addr: 7, From: 0, To: 1, Excl: true}, 1) // M fill
+	// Evict by filling the set (16-block cache, 4 sets × 4 ways; blocks
+	// ≡ 7 mod 4 share the set).
+	for i := 1; i <= 4; i++ {
+		blk := uint64(7 + 4*i)
+		s.l1.Access(blk, false, int64(i*2))
+		s.l1.Deliver(&Msg{Type: Data, Addr: blk, From: 0, To: 1, Excl: true}, int64(i*2+1))
+	}
+	if st := s.l1.StateOf(7); st != Invalid {
+		t.Fatalf("setup: block 7 still %v after set pressure", st)
+	}
+	var putM int
+	for _, m := range s.sent {
+		if m.Type == PutM && m.Addr == 7 {
+			putM++
+		}
+	}
+	if putM != 1 {
+		t.Fatalf("eviction sent %d PutM for block 7, want 1", putM)
+	}
+	before := len(s.sent)
+	s.l1.Deliver(&Msg{Type: Recall, Addr: 7, From: 0, To: 1}, 20)
+	if len(s.sent) != before {
+		t.Errorf("Recall for an evicted line produced %v; the in-flight PutM is the response",
+			s.lastSent(t).Type)
+	}
+}
+
+// L2 directed: GetM arriving before the owner's own eviction PutM
+// (txnAwaitPut) — the bank must wait for the Put, then grant.
+func TestRaceL2AwaitsOwnersPut(t *testing.T) {
+	var sent []*Msg
+	l2 := NewL2(0, 64*16, 16, 4, 1, func(uint64) int { return 9 },
+		func(m *Msg, now int64) { sent = append(sent, m) })
+	step := func(now int64) { l2.Tick(now) }
+
+	// Node 1 fetches block 5 → memory fetch → grant E.
+	l2.Deliver(&Msg{Type: GetS, Addr: 5, From: 1, To: 0}, 0)
+	step(1)
+	if len(sent) != 1 || sent[0].Type != MemRead {
+		t.Fatalf("expected MemRead, got %v", sent)
+	}
+	l2.Deliver(&Msg{Type: MemData, Addr: 5, From: 9, To: 0}, 2)
+	step(3)
+	if got := sent[len(sent)-1]; got.Type != Data || !got.Excl || got.To != 1 {
+		t.Fatalf("expected exclusive Data to 1, got %v", got)
+	}
+
+	// Node 1 evicts (PutM in flight) and immediately re-requests; the
+	// GetM overtakes the PutM.
+	l2.Deliver(&Msg{Type: GetM, Addr: 5, From: 1, To: 0}, 4)
+	step(5)
+	n := len(sent)
+	step(6) // nothing should happen: the bank awaits the Put
+	if len(sent) != n {
+		t.Fatalf("bank acted before the owner's Put arrived: %v", sent[n:])
+	}
+	l2.Deliver(&Msg{Type: PutM, Addr: 5, From: 1, To: 0}, 7)
+	step(8)
+	if got := sent[len(sent)-1]; got.Type != Data || !got.Excl || got.To != 1 {
+		t.Fatalf("expected exclusive re-grant to 1 after Put, got %v", got)
+	}
+	if st, owner := l2.DirectoryState(5); st != Modified || owner != 1 {
+		t.Errorf("directory %v/%d, want M/1", st, owner)
+	}
+}
+
+// L2 directed: a straggler InvAck (from a fire-and-forget eviction
+// invalidation) must be dropped, not miscounted into a later
+// transaction.
+func TestRaceStragglerInvAckDropped(t *testing.T) {
+	var sent []*Msg
+	l2 := NewL2(0, 64*16, 16, 4, 1, func(uint64) int { return 9 },
+		func(m *Msg, now int64) { sent = append(sent, m) })
+	drops := l2.StaleDrops
+	l2.Deliver(&Msg{Type: InvAck, Addr: 5, From: 3, To: 0}, 0)
+	l2.Tick(1)
+	if l2.StaleDrops != drops+1 {
+		t.Errorf("straggler InvAck not counted as a stale drop")
+	}
+	if len(sent) != 0 {
+		t.Errorf("straggler InvAck caused sends: %v", sent)
+	}
+}

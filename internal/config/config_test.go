@@ -1,0 +1,210 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1Defaults asserts every row of the paper's Table 1 that maps
+// to a configuration value.
+func TestTable1Defaults(t *testing.T) {
+	c := Default(WH)
+	if c.Width != 8 || c.Height != 8 {
+		t.Errorf("topology = %dx%d, want 8x8 mesh", c.Width, c.Height)
+	}
+	if c.BufferlessPipeline != 2 {
+		t.Errorf("bufferless pipeline = %d, want 2-stage", c.BufferlessPipeline)
+	}
+	if c.VCPipeline != 4 {
+		t.Errorf("VC pipeline = %d, want 4-stage", c.VCPipeline)
+	}
+	if c.CtrlVCsPerPort != 1 || c.DataVCsPerPort != 2 {
+		t.Errorf("VCs = %d ctrl + %d data, want 1 ctrl + 2 data",
+			c.CtrlVCsPerPort, c.DataVCsPerPort)
+	}
+	if c.CtrlVCDepth != 1 || c.DataVCDepth != 5 {
+		t.Errorf("buffer sizes = %d-flit ctrl, %d-flit data, want 1 and 5",
+			c.CtrlVCDepth, c.DataVCDepth)
+	}
+	if c.LinkBits != 128 {
+		t.Errorf("link bandwidth = %d bits/cycle, want 128", c.LinkBits)
+	}
+	if c.ClockHz != 1e9 {
+		t.Errorf("clock = %g Hz, want 1 GHz", c.ClockHz)
+	}
+}
+
+// TestSmax checks the Section 4.2 example: Smax = 2×3×(8−1) = 42.
+func TestSmax(t *testing.T) {
+	c := Default(SB)
+	if p := c.HopDelay(); p != 3 {
+		t.Fatalf("bufferless hop delay = %d, want 3 (2-stage pipeline + 1 link)", p)
+	}
+	if got := c.Smax(); got != 42 {
+		t.Errorf("Smax = %d, want 42", got)
+	}
+	c = Default(Surf)
+	if p := c.HopDelay(); p != 5 {
+		t.Fatalf("VC hop delay = %d, want 5 (4-stage pipeline + 1 link)", p)
+	}
+	if got := c.Smax(); got != 70 {
+		t.Errorf("Surf Smax = %d, want 2*5*7 = 70", got)
+	}
+}
+
+func TestSmaxNonSquare(t *testing.T) {
+	c := Default(SB)
+	c.Width, c.Height = 4, 6
+	if got := c.Smax(); got != 2*3*5 {
+		t.Errorf("non-square Smax = %d, want 30 (larger dimension)", got)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	for m, want := range map[Model]string{WH: "WH", BLESS: "BLESS", Surf: "Surf", SB: "SB"} {
+		if got := m.String(); got != want {
+			t.Errorf("Model string = %q, want %q", got, want)
+		}
+	}
+	if got := Model(9).String(); got != "Model(9)" {
+		t.Errorf("unknown model string = %q", got)
+	}
+}
+
+func TestModelPredicates(t *testing.T) {
+	if !BLESS.Bufferless() || !SB.Bufferless() {
+		t.Error("BLESS and SB are bufferless")
+	}
+	if WH.Bufferless() || Surf.Bufferless() {
+		t.Error("WH and Surf are not bufferless")
+	}
+	if !Surf.ConfinedInterference() || !SB.ConfinedInterference() {
+		t.Error("Surf and SB confine interference")
+	}
+	if WH.ConfinedInterference() || BLESS.ConfinedInterference() {
+		t.Error("WH and BLESS do not confine interference")
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	for _, m := range []Model{WH, BLESS, Surf, SB} {
+		if err := Default(m).Validate(); err != nil {
+			t.Errorf("Default(%v) invalid: %v", m, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"tiny mesh", func(c *Config) { c.Width = 1 }, "too small"},
+		{"zero domains", func(c *Config) { c.Domains = 0 }, "Domains"},
+		{"zero pipeline", func(c *Config) { c.VCPipeline = 0 }, "pipelines"},
+		{"zero link delay", func(c *Config) { c.LinkDelay = 0 }, "LinkDelay"},
+		{"negative VCs", func(c *Config) { c.DataVCsPerPort = -1 }, "non-negative"},
+		{"zero depth", func(c *Config) { c.DataVCDepth = 0 }, "depths"},
+		{"zero inj depth", func(c *Config) { c.InjectionVCDepth = 0 }, "InjectionVCDepth"},
+		{"zero queue", func(c *Config) { c.InjectionQueueCap = 0 }, "InjectionQueueCap"},
+		{"odd link bits", func(c *Config) { c.LinkBits = 100 }, "LinkBits"},
+		{"zero clock", func(c *Config) { c.ClockHz = 0 }, "ClockHz"},
+		{"too many domains", func(c *Config) { c.Model = SB; c.Domains = 1000 }, "Smax"},
+	}
+	for _, tc := range mutations {
+		c := Default(WH)
+		tc.mut(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a bad config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateNoVCsForVCRouter(t *testing.T) {
+	c := Default(WH)
+	c.CtrlVCsPerPort, c.DataVCsPerPort = 0, 0
+	if c.Validate() == nil {
+		t.Error("VC router with zero VCs must be rejected")
+	}
+	c = Default(BLESS)
+	c.CtrlVCsPerPort, c.DataVCsPerPort = 0, 0
+	if err := c.Validate(); err != nil {
+		t.Errorf("bufferless router with zero VCs should be fine: %v", err)
+	}
+}
+
+func TestValidateWaveSets(t *testing.T) {
+	base := Default(SB)
+	base.Domains = 2
+
+	good := base
+	good.WaveSets = [][]int{{0, 1, 2}, {3, 4, 5}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid wave sets rejected: %v", err)
+	}
+
+	wrongCount := base
+	wrongCount.WaveSets = [][]int{{0}}
+	if wrongCount.Validate() == nil {
+		t.Error("wave-set count mismatch accepted")
+	}
+
+	empty := base
+	empty.WaveSets = [][]int{{0}, {}}
+	if empty.Validate() == nil {
+		t.Error("empty wave set accepted")
+	}
+
+	outOfRange := base
+	outOfRange.WaveSets = [][]int{{0}, {42}}
+	if outOfRange.Validate() == nil {
+		t.Error("wave index ≥ Smax accepted")
+	}
+
+	dup := base
+	dup.WaveSets = [][]int{{0, 1}, {1}}
+	if dup.Validate() == nil {
+		t.Error("duplicated wave accepted")
+	}
+}
+
+func TestBufferFlitsPerRouter(t *testing.T) {
+	// WH: 5 ports × (1×1 + 2×5) = 55 flits.
+	if got := Default(WH).BufferFlitsPerRouter(); got != 55 {
+		t.Errorf("WH buffer flits = %d, want 55", got)
+	}
+	// Surf with 3 domains: 3×55 = 165.
+	c := Default(Surf)
+	c.Domains = 3
+	if got := c.BufferFlitsPerRouter(); got != 165 {
+		t.Errorf("Surf(3) buffer flits = %d, want 165", got)
+	}
+	// BLESS: 4 pipeline registers + one 4-flit injection VC = 8.
+	if got := Default(BLESS).BufferFlitsPerRouter(); got != 8 {
+		t.Errorf("BLESS buffer flits = %d, want 8", got)
+	}
+	// SB with 3 domains: 4 + 3×4 = 16.
+	c = Default(SB)
+	c.Domains = 3
+	if got := c.BufferFlitsPerRouter(); got != 16 {
+		t.Errorf("SB(3) buffer flits = %d, want 16", got)
+	}
+	// The Fig-6 structural ordering: Surf grows 5× faster than SB.
+	surf9, sb9 := Default(Surf), Default(SB)
+	surf9.Domains, sb9.Domains = 9, 9
+	if surf9.BufferFlitsPerRouter() <= 5*sb9.BufferFlitsPerRouter() {
+		t.Error("Surf buffering must dominate SB buffering at 9 domains")
+	}
+}
+
+func TestFlitBytes(t *testing.T) {
+	if got := Default(WH).FlitBytes(); got != 16 {
+		t.Errorf("FlitBytes = %d, want 16 (128-bit link)", got)
+	}
+}

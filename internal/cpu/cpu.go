@@ -1,0 +1,175 @@
+// Package cpu models the processing elements of the §5.2 full-system
+// experiments: simple in-order cores replaying synthetic per-application
+// memory profiles through their private L1 caches.
+//
+// Each of the nine PARSEC applications [21] is represented by a profile
+// capturing what distinguishes it at the NoC level — memory intensity,
+// working-set size relative to the 32 KB L1, sharing degree and
+// temporal locality.  Absolute execution times are not comparable to
+// the paper's gem5 runs; the per-application *relative* behaviour of
+// WH/Surf/SB is (DESIGN.md §2).
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"surfbless/internal/coherence"
+)
+
+// Profile is one synthetic application.
+type Profile struct {
+	Name string
+
+	MemRatio float64 // fraction of instructions that touch memory
+	ReadFrac float64 // fraction of memory accesses that are loads
+
+	PrivateBlocks int     // per-core private working set, in 16 B blocks
+	SharedBlocks  int     // global shared region, in 16 B blocks
+	SharedFrac    float64 // fraction of accesses into the shared region
+
+	Locality float64 // probability of revisiting a recently used block
+}
+
+// Profiles returns the nine PARSEC-like applications of Figs. 8–10, in
+// the paper's order.  The 32 KB L1 holds 2048 blocks: canneal, ferret
+// and vips exceed it (cache-hostile), swaptions and blackscholes live
+// inside it (compute-bound).
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "blackscholes", MemRatio: 0.15, ReadFrac: 0.80, PrivateBlocks: 1024, SharedBlocks: 256, SharedFrac: 0.10, Locality: 0.80},
+		{Name: "bodytrack", MemRatio: 0.25, ReadFrac: 0.75, PrivateBlocks: 2048, SharedBlocks: 1024, SharedFrac: 0.25, Locality: 0.70},
+		{Name: "canneal", MemRatio: 0.35, ReadFrac: 0.70, PrivateBlocks: 16384, SharedBlocks: 8192, SharedFrac: 0.30, Locality: 0.30},
+		{Name: "dedup", MemRatio: 0.30, ReadFrac: 0.65, PrivateBlocks: 4096, SharedBlocks: 4096, SharedFrac: 0.40, Locality: 0.60},
+		{Name: "ferret", MemRatio: 0.35, ReadFrac: 0.75, PrivateBlocks: 8192, SharedBlocks: 4096, SharedFrac: 0.35, Locality: 0.50},
+		{Name: "fluidanimate", MemRatio: 0.25, ReadFrac: 0.70, PrivateBlocks: 4096, SharedBlocks: 2048, SharedFrac: 0.30, Locality: 0.70},
+		{Name: "swaptions", MemRatio: 0.10, ReadFrac: 0.80, PrivateBlocks: 512, SharedBlocks: 128, SharedFrac: 0.05, Locality: 0.90},
+		{Name: "vips", MemRatio: 0.30, ReadFrac: 0.70, PrivateBlocks: 8192, SharedBlocks: 2048, SharedFrac: 0.20, Locality: 0.50},
+		{Name: "x264", MemRatio: 0.28, ReadFrac: 0.70, PrivateBlocks: 4096, SharedBlocks: 2048, SharedFrac: 0.35, Locality: 0.65},
+	}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("cpu: unknown application %q", name)
+}
+
+// Validate reports the first problem with a (possibly custom) profile.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("cpu: profile without a name")
+	case p.MemRatio < 0 || p.MemRatio > 1,
+		p.ReadFrac < 0 || p.ReadFrac > 1,
+		p.SharedFrac < 0 || p.SharedFrac > 1,
+		p.Locality < 0 || p.Locality > 1:
+		return fmt.Errorf("cpu: profile %q has a ratio outside [0,1]", p.Name)
+	case p.PrivateBlocks < 1 || p.SharedBlocks < 1:
+		return fmt.Errorf("cpu: profile %q needs non-empty working sets", p.Name)
+	}
+	return nil
+}
+
+// privateBase spaces per-core private regions far apart in block space.
+const privateBase = uint64(1) << 32
+
+// recentWindow is the temporal-locality reuse window, in blocks.
+const recentWindow = 32
+
+// Core is one in-order processing element.  It executes one instruction
+// per cycle, blocking on L1 demand misses.
+type Core struct {
+	node int
+	prof Profile
+	rng  *rand.Rand
+	l1   *coherence.L1
+
+	target   int64
+	executed int64
+
+	recent []uint64
+	rpos   int
+
+	// FinishedAt is the cycle the core retired its last instruction, or
+	// -1 while running.
+	FinishedAt int64
+
+	// Counters.
+	MemOps, Loads, Stores int64
+}
+
+// NewCore builds a core executing `instructions` instructions of the
+// profile against the given L1.
+func NewCore(node int, prof Profile, instructions int64, seed int64, l1 *coherence.L1) *Core {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	if instructions < 1 {
+		panic(fmt.Sprintf("cpu: core %d with %d instructions", node, instructions))
+	}
+	return &Core{
+		node:       node,
+		prof:       prof,
+		rng:        rand.New(rand.NewSource(seed ^ int64(node)*0x9E3779B9)),
+		l1:         l1,
+		target:     instructions,
+		FinishedAt: -1,
+	}
+}
+
+// Done reports whether the core has retired its instruction quota.
+func (c *Core) Done() bool { return c.FinishedAt >= 0 }
+
+// Executed returns retired instructions (issued memory ops count when
+// their access is issued; the core stalls until the miss resolves).
+func (c *Core) Executed() int64 { return c.executed }
+
+// Tick advances the core by one cycle.
+func (c *Core) Tick(now int64) {
+	if c.Done() || c.l1.Busy() {
+		return
+	}
+	c.executed++
+	if c.executed >= c.target {
+		c.FinishedAt = now
+		return
+	}
+	if c.rng.Float64() >= c.prof.MemRatio {
+		return // a compute instruction: one cycle
+	}
+	c.MemOps++
+	write := c.rng.Float64() >= c.prof.ReadFrac
+	if write {
+		c.Stores++
+	} else {
+		c.Loads++
+	}
+	block := c.nextBlock()
+	c.l1.Access(block, write, now) // miss → Busy() stalls later Ticks
+}
+
+// nextBlock draws the next block address from the profile's mix of
+// temporal reuse, shared region and private working set.
+func (c *Core) nextBlock() uint64 {
+	if len(c.recent) > 0 && c.rng.Float64() < c.prof.Locality {
+		return c.recent[c.rng.Intn(len(c.recent))]
+	}
+	var block uint64
+	if c.rng.Float64() < c.prof.SharedFrac {
+		block = uint64(c.rng.Intn(c.prof.SharedBlocks))
+	} else {
+		block = privateBase + uint64(c.node)<<24 + uint64(c.rng.Intn(c.prof.PrivateBlocks))
+	}
+	if len(c.recent) < recentWindow {
+		c.recent = append(c.recent, block)
+	} else {
+		c.recent[c.rpos] = block
+		c.rpos = (c.rpos + 1) % recentWindow
+	}
+	return block
+}

@@ -1,0 +1,217 @@
+package cpu
+
+import (
+	"testing"
+
+	"surfbless/internal/coherence"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	want := []string{"blackscholes", "bodytrack", "canneal", "dedup", "ferret",
+		"fluidanimate", "swaptions", "vips", "x264"}
+	ps := Profiles()
+	if len(ps) != len(want) {
+		t.Fatalf("%d profiles, want %d", len(ps), len(want))
+	}
+	for i, name := range want {
+		if ps[i].Name != name {
+			t.Errorf("profile %d = %q, want %q (paper order)", i, ps[i].Name, name)
+		}
+		if err := ps[i].Validate(); err != nil {
+			t.Errorf("profile %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("canneal")
+	if err != nil || p.Name != "canneal" {
+		t.Errorf("ProfileByName(canneal) = %v, %v", p, err)
+	}
+	if _, err := ProfileByName("doom"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := []Profile{
+		{},
+		{Name: "x", MemRatio: 1.5, PrivateBlocks: 1, SharedBlocks: 1},
+		{Name: "x", ReadFrac: -0.1, PrivateBlocks: 1, SharedBlocks: 1},
+		{Name: "x", PrivateBlocks: 0, SharedBlocks: 1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+// A core with MemRatio 0 retires one instruction per cycle and finishes
+// at exactly target−1 cycles after start.
+func TestComputeBoundCoreTiming(t *testing.T) {
+	l1 := coherence.NewL1(0, 1024, 16, 4, func(uint64) int { return 0 }, func(*coherence.Msg, int64) {})
+	p := Profile{Name: "pure-compute", MemRatio: 0, ReadFrac: 1, PrivateBlocks: 1, SharedBlocks: 1}
+	c := NewCore(0, p, 100, 1, l1)
+	for now := int64(0); now < 200 && !c.Done(); now++ {
+		c.Tick(now)
+	}
+	if !c.Done() {
+		t.Fatal("core never finished")
+	}
+	if c.FinishedAt != 99 {
+		t.Errorf("FinishedAt = %d, want 99 (CPI 1)", c.FinishedAt)
+	}
+	if c.MemOps != 0 {
+		t.Errorf("compute-bound core issued %d memory ops", c.MemOps)
+	}
+}
+
+// A memory-heavy core issues roughly MemRatio×instructions accesses
+// with the configured read fraction.
+func TestMemoryMix(t *testing.T) {
+	// An L1 whose misses are filled instantly by a perfect memory, so
+	// the core's instruction mix is observable without a protocol stack.
+	var l1 *coherence.L1
+	fill := func(m *coherence.Msg, now int64) {
+		if m.Type == coherence.GetS || m.Type == coherence.GetM {
+			l1.Deliver(&coherence.Msg{Type: coherence.Data, Addr: m.Addr, Excl: true}, now)
+		}
+	}
+	l1 = coherence.NewL1(0, 1<<20, 16, 4, func(uint64) int { return 0 }, fill)
+	p := Profile{Name: "memy", MemRatio: 0.5, ReadFrac: 0.8,
+		PrivateBlocks: 64, SharedBlocks: 16, SharedFrac: 0.2, Locality: 0.5}
+	c := NewCore(0, p, 20000, 3, l1)
+	for now := int64(0); now < 40000 && !c.Done(); now++ {
+		c.Tick(now)
+	}
+	if !c.Done() {
+		t.Fatal("core never finished")
+	}
+	frac := float64(c.MemOps) / 20000
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("memory fraction %.3f, want ≈0.5", frac)
+	}
+	reads := float64(c.Loads) / float64(c.MemOps)
+	if reads < 0.75 || reads > 0.85 {
+		t.Errorf("read fraction %.3f, want ≈0.8", reads)
+	}
+}
+
+// The core stalls while its L1 miss is outstanding.
+func TestCoreBlocksOnMiss(t *testing.T) {
+	sent := 0
+	l1 := coherence.NewL1(0, 1024, 16, 4, func(uint64) int { return 0 },
+		func(*coherence.Msg, int64) { sent++ })
+	p := Profile{Name: "allmem", MemRatio: 1, ReadFrac: 1,
+		PrivateBlocks: 4, SharedBlocks: 1, SharedFrac: 0, Locality: 0}
+	c := NewCore(0, p, 100, 5, l1)
+	c.Tick(0) // first instruction: a memory read → miss → busy
+	if sent != 1 {
+		t.Fatalf("first access sent %d messages, want 1 (GetS)", sent)
+	}
+	executedAfterMiss := c.Executed()
+	for now := int64(1); now < 50; now++ {
+		c.Tick(now)
+	}
+	if c.Executed() != executedAfterMiss {
+		t.Error("core retired instructions while blocked on a miss")
+	}
+}
+
+// Address streams are reproducible per seed and differ across nodes.
+func TestAddressStreamDeterminism(t *testing.T) {
+	gen := func(node int, seed int64) []uint64 {
+		l1 := coherence.NewL1(node, 1<<20, 16, 4, func(uint64) int { return 0 }, func(*coherence.Msg, int64) {})
+		p := Profile{Name: "s", MemRatio: 1, ReadFrac: 1,
+			PrivateBlocks: 1000, SharedBlocks: 100, SharedFrac: 0.3, Locality: 0.5}
+		c := NewCore(node, p, 500, seed, l1)
+		var addrs []uint64
+		for now := int64(0); now < 500 && !c.Done(); now++ {
+			c.Tick(now)
+			addrs = append(addrs, c.recent[len(c.recent)-1])
+		}
+		return addrs
+	}
+	a, b := gen(1, 9), gen(1, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same node+seed, different stream")
+		}
+	}
+	other := gen(2, 9)
+	same := true
+	for i := range a {
+		if i < len(other) && a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different nodes produced identical streams")
+	}
+}
+
+// Private regions of different nodes never collide.
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	p := Profile{Name: "p", MemRatio: 1, ReadFrac: 1,
+		PrivateBlocks: 1 << 20, SharedBlocks: 1, SharedFrac: 0, Locality: 0}
+	l1a := coherence.NewL1(3, 1024, 16, 4, func(uint64) int { return 0 }, func(*coherence.Msg, int64) {})
+	ca := NewCore(3, p, 10, 1, l1a)
+	blocks := map[uint64]bool{}
+	for i := 0; i < 30; i++ {
+		blocks[ca.nextBlock()] = true
+	}
+	l1b := coherence.NewL1(4, 1024, 16, 4, func(uint64) int { return 0 }, func(*coherence.Msg, int64) {})
+	cb := NewCore(4, p, 10, 1, l1b)
+	for i := 0; i < 30; i++ {
+		if blocks[cb.nextBlock()] {
+			t.Fatal("private regions of nodes 3 and 4 overlap")
+		}
+	}
+}
+
+// Locality: a fully local profile revisits its first block forever.
+func TestLocalityReuse(t *testing.T) {
+	p := Profile{Name: "l", MemRatio: 1, ReadFrac: 1,
+		PrivateBlocks: 1 << 20, SharedBlocks: 1, SharedFrac: 0, Locality: 1}
+	l1 := coherence.NewL1(0, 1024, 16, 4, func(uint64) int { return 0 }, func(*coherence.Msg, int64) {})
+	c := NewCore(0, p, 10, 2, l1)
+	first := c.nextBlock()
+	for i := 0; i < 50; i++ {
+		if got := c.nextBlock(); got != first {
+			t.Fatalf("Locality=1 drew a new block %x (first %x)", got, first)
+		}
+	}
+}
+
+func TestNewCorePanics(t *testing.T) {
+	l1 := coherence.NewL1(0, 1024, 16, 4, func(uint64) int { return 0 }, func(*coherence.Msg, int64) {})
+	for name, f := range map[string]func(){
+		"bad profile": func() { NewCore(0, Profile{}, 10, 1, l1) },
+		"zero instr":  func() { NewCore(0, Profiles()[0], 0, 1, l1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The working-set ordering that drives the Fig-8 per-app differences:
+// canneal's footprint exceeds the 2048-block L1, swaptions' fits.
+func TestWorkingSetOrdering(t *testing.T) {
+	const l1Blocks = 32 * 1024 / 16
+	ca, _ := ProfileByName("canneal")
+	sw, _ := ProfileByName("swaptions")
+	if ca.PrivateBlocks+ca.SharedBlocks <= l1Blocks {
+		t.Error("canneal must exceed the L1")
+	}
+	if sw.PrivateBlocks+sw.SharedBlocks >= l1Blocks {
+		t.Error("swaptions must fit in the L1")
+	}
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+
+	"surfbless/internal/geom"
+	"surfbless/internal/wave"
+)
+
+// Fig3 reproduces the paper's Figure 3 textually: the reverberating
+// wave pattern on the 4×4 mesh with hop delay 1 that the paper uses to
+// illustrate the schedule (Smax = 2·1·3 = 6, so the pattern repeats
+// after six time slots T = 0 … 5).  It returns one ASCII frame per
+// time slot for the tracked wave.
+func Fig3() []string {
+	s := wave.New(geom.NewMesh(4, 4), 1)
+	return wave.RenderPeriod(s, 0, 0)
+}
+
+// Fig3Text joins the frames side by side header (one frame per block).
+func Fig3Text() string {
+	var b strings.Builder
+	b.WriteString("== Fig 3: wave pattern in Surf-Bless routing (4x4 mesh, P=1, one wave tracked) ==\n")
+	b.WriteString("legend: o router, > < v ^ owned link (direction), x both directions owned\n\n")
+	for _, f := range Fig3() {
+		b.WriteString(f)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

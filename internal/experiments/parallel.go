@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parmap runs f over items on up to GOMAXPROCS workers and returns the
+// results in input order.  Every simulation in this package is an
+// isolated deterministic state machine (its own fabric, collector and
+// seeded RNG streams), so parallel execution cannot change any result —
+// only the wall-clock time of regenerating a figure.  The first error
+// wins; remaining work still completes (simulations cannot be
+// cancelled mid-cycle anyway at this granularity).
+func parmap[T, R any](items []T, f func(T) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	errs := make([]error, len(items))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = f(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,49 @@
+// Package experiments contains one harness per table/figure of the
+// paper's evaluation (§5).  Each harness runs the corresponding
+// simulations and returns both the raw series and rendered tables whose
+// rows mirror what the paper plots.  cmd/experiments regenerates the
+// whole evaluation; bench_test.go exposes each harness as a benchmark.
+package experiments
+
+import "fmt"
+
+// Scale sizes the simulations.  The paper measures 1 M cycles at 1 GHz
+// on gem5; these harnesses default to shorter windows because every
+// reported quantity is either a steady-state average (latency,
+// throughput) or scales linearly with time (energy, which is dominated
+// by static power), so the shapes are unchanged.  EXPERIMENTS.md
+// records which scale produced the committed numbers.
+type Scale struct {
+	Warmup  int64 // synthetic: unmeasured lead-in cycles
+	Measure int64 // synthetic: measured cycles
+	Drain   int64 // synthetic: drain budget after generation stops
+
+	EnergyCycles int64 // Fig 6: energy measurement period
+
+	Instr int64 // Figs 8-10: instructions per core
+
+	Seed int64
+}
+
+// Validate reports the first problem with the scale.
+func (s Scale) Validate() error {
+	if s.Warmup < 0 || s.Measure < 1 || s.Drain < 0 || s.EnergyCycles < 1 || s.Instr < 1 {
+		return fmt.Errorf("experiments: invalid scale %+v", s)
+	}
+	return nil
+}
+
+// Tiny is the test scale: seconds per figure.
+func Tiny() Scale {
+	return Scale{Warmup: 300, Measure: 1500, Drain: 20000, EnergyCycles: 5000, Instr: 800, Seed: 1}
+}
+
+// Quick is the benchmark scale: a few tens of seconds per figure.
+func Quick() Scale {
+	return Scale{Warmup: 1000, Measure: 10000, Drain: 60000, EnergyCycles: 50000, Instr: 3000, Seed: 1}
+}
+
+// Full approaches the paper's operating points (minutes per figure).
+func Full() Scale {
+	return Scale{Warmup: 5000, Measure: 50000, Drain: 200000, EnergyCycles: 200000, Instr: 10000, Seed: 1}
+}

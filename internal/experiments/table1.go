@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+
+	"surfbless/internal/config"
+	"surfbless/internal/textplot"
+)
+
+// Table1 renders the experimental parameters exactly as the paper's
+// Table 1 lists them, from the live configuration (so the table can
+// never drift from what the simulators actually use).
+func Table1() *textplot.Table {
+	wh := config.Default(config.WH)
+	sb := config.Default(config.SB)
+	t := textplot.NewTable("Table 1: parameters", "parameter", "value")
+	t.Row("Network topology", fmt.Sprintf("%d x %d mesh", wh.Width, wh.Height))
+	t.Row("Router", fmt.Sprintf("%d-stage and %d-stage pipelines",
+		sb.BufferlessPipeline, wh.VCPipeline))
+	t.Row("Virtual channel", fmt.Sprintf("%d ctrl VC and %d data VCs",
+		wh.CtrlVCsPerPort, wh.DataVCsPerPort))
+	t.Row("Input buffer size", fmt.Sprintf("%d-flit/ctrl VC, %d-flit/data VC",
+		wh.CtrlVCDepth, wh.DataVCDepth))
+	t.Row("Routing algorithm", "X-Y DOR, Surf and Surf-Bless")
+	t.Row("Link bandwidth", fmt.Sprintf("%d bits/cycle", wh.LinkBits))
+	t.Row("Private I/D L1$", "32 KB")
+	t.Row("Shared L2 per bank", "256 KB")
+	t.Row("Cache block size", "16 Bytes")
+	t.Row("Coherence protocol", "Two-level MESI")
+	t.Row("Memory controllers", "4, located one at each corner")
+	t.Row("Smax (bufferless, derived)", fmt.Sprintf("%d waves", sb.Smax()))
+	return t
+}

@@ -1,0 +1,185 @@
+// Package geom provides mesh-topology geometry: coordinates, port
+// directions and routing distance helpers shared by every router model.
+//
+// Convention (matching DESIGN.md §5): x is the column index growing
+// eastwards, y is the row index growing southwards.  The paper's
+// south-east sub-wave therefore moves toward larger x and larger y.
+package geom
+
+import "fmt"
+
+// Dir identifies one of the four mesh directions or the local port.
+type Dir int8
+
+// Mesh directions. Local denotes the injection/ejection port of a router.
+const (
+	North   Dir = iota // toward smaller y
+	East               // toward larger x
+	South              // toward larger y
+	West               // toward smaller x
+	Local              // injection/ejection
+	NumDirs = 5
+)
+
+// NumLinkDirs is the number of inter-router directions (excludes Local).
+const NumLinkDirs = 4
+
+var dirNames = [NumDirs]string{"N", "E", "S", "W", "L"}
+
+// String returns the compass abbreviation of d.
+func (d Dir) String() string {
+	if d < 0 || d >= NumDirs {
+		return fmt.Sprintf("Dir(%d)", int8(d))
+	}
+	return dirNames[d]
+}
+
+// Valid reports whether d is one of the five defined ports.
+func (d Dir) Valid() bool { return d >= 0 && d < NumDirs }
+
+// Opposite returns the direction a flit travelling along d arrives from.
+// Opposite(Local) is Local.
+func (d Dir) Opposite() Dir {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	default:
+		return Local
+	}
+}
+
+// Coord is a router position on the mesh.
+type Coord struct {
+	X int // column, 0 = west border
+	Y int // row, 0 = north border
+}
+
+// String renders the coordinate as "(x,y)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Add returns the neighbouring coordinate in direction d.  The result may
+// lie outside the mesh; use Mesh.Contains to check.
+func (c Coord) Add(d Dir) Coord {
+	switch d {
+	case North:
+		return Coord{c.X, c.Y - 1}
+	case South:
+		return Coord{c.X, c.Y + 1}
+	case East:
+		return Coord{c.X + 1, c.Y}
+	case West:
+		return Coord{c.X - 1, c.Y}
+	default:
+		return c
+	}
+}
+
+// Mesh describes an N×M grid of routers.
+type Mesh struct {
+	Width  int // routers per row (x dimension)
+	Height int // routers per column (y dimension)
+}
+
+// NewMesh returns a mesh of the given dimensions.  It panics if either
+// dimension is not positive; mesh sizes are static configuration, so a
+// bad value is a programming error, not a runtime condition.
+func NewMesh(width, height int) Mesh {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("geom: invalid mesh %dx%d", width, height))
+	}
+	return Mesh{Width: width, Height: height}
+}
+
+// Nodes returns the number of routers in the mesh.
+func (m Mesh) Nodes() int { return m.Width * m.Height }
+
+// Contains reports whether c lies inside the mesh.
+func (m Mesh) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < m.Width && c.Y >= 0 && c.Y < m.Height
+}
+
+// ID maps a coordinate to a dense node index in row-major order.
+func (m Mesh) ID(c Coord) int { return c.Y*m.Width + c.X }
+
+// CoordOf is the inverse of ID.
+func (m Mesh) CoordOf(id int) Coord {
+	return Coord{X: id % m.Width, Y: id / m.Width}
+}
+
+// HasNeighbor reports whether the router at c has a link in direction d.
+func (m Mesh) HasNeighbor(c Coord, d Dir) bool {
+	if d == Local {
+		return false
+	}
+	return m.Contains(c.Add(d))
+}
+
+// Hops returns the Manhattan distance between two coordinates, which is
+// the minimal hop count under dimension-ordered routing.
+func (m Mesh) Hops(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+// XYFirst returns the next direction under X-Y dimension-ordered routing
+// from cur toward dst, or Local when cur == dst.
+func XYFirst(cur, dst Coord) Dir {
+	switch {
+	case dst.X > cur.X:
+		return East
+	case dst.X < cur.X:
+		return West
+	case dst.Y > cur.Y:
+		return South
+	case dst.Y < cur.Y:
+		return North
+	default:
+		return Local
+	}
+}
+
+// YXFirst returns the next direction under Y-X dimension-ordered routing
+// from cur toward dst, or Local when cur == dst.
+func YXFirst(cur, dst Coord) Dir {
+	switch {
+	case dst.Y > cur.Y:
+		return South
+	case dst.Y < cur.Y:
+		return North
+	case dst.X > cur.X:
+		return East
+	case dst.X < cur.X:
+		return West
+	default:
+		return Local
+	}
+}
+
+// Productive reports whether moving in direction d from cur reduces the
+// distance to dst.
+func Productive(cur, dst Coord, d Dir) bool {
+	switch d {
+	case North:
+		return dst.Y < cur.Y
+	case South:
+		return dst.Y > cur.Y
+	case East:
+		return dst.X > cur.X
+	case West:
+		return dst.X < cur.X
+	default:
+		return cur == dst
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

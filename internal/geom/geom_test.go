@@ -1,0 +1,241 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirString(t *testing.T) {
+	cases := map[Dir]string{North: "N", East: "E", South: "S", West: "W", Local: "L"}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("Dir(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+	if got := Dir(42).String(); got != "Dir(42)" {
+		t.Errorf("out-of-range Dir string = %q", got)
+	}
+}
+
+func TestDirValid(t *testing.T) {
+	for d := Dir(0); d < NumDirs; d++ {
+		if !d.Valid() {
+			t.Errorf("Dir %v should be valid", d)
+		}
+	}
+	for _, d := range []Dir{-1, NumDirs, 100} {
+		if d.Valid() {
+			t.Errorf("Dir %d should be invalid", d)
+		}
+	}
+}
+
+func TestOppositeInvolution(t *testing.T) {
+	for d := Dir(0); d < NumDirs; d++ {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite is not an involution for %v", d)
+		}
+	}
+	if North.Opposite() != South || East.Opposite() != West {
+		t.Error("Opposite pairs wrong")
+	}
+	if Local.Opposite() != Local {
+		t.Error("Opposite(Local) must be Local")
+	}
+}
+
+func TestCoordAdd(t *testing.T) {
+	c := Coord{3, 4}
+	if got := c.Add(North); got != (Coord{3, 3}) {
+		t.Errorf("Add(North) = %v", got)
+	}
+	if got := c.Add(South); got != (Coord{3, 5}) {
+		t.Errorf("Add(South) = %v", got)
+	}
+	if got := c.Add(East); got != (Coord{4, 4}) {
+		t.Errorf("Add(East) = %v", got)
+	}
+	if got := c.Add(West); got != (Coord{2, 4}) {
+		t.Errorf("Add(West) = %v", got)
+	}
+	if got := c.Add(Local); got != c {
+		t.Errorf("Add(Local) = %v, want identity", got)
+	}
+}
+
+func TestAddOppositeRoundTrip(t *testing.T) {
+	f := func(x, y int8, dRaw uint8) bool {
+		c := Coord{int(x), int(y)}
+		d := Dir(dRaw % NumLinkDirs)
+		return c.Add(d).Add(d.Opposite()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewMeshPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMesh(0,4) should panic")
+		}
+	}()
+	NewMesh(0, 4)
+}
+
+func TestMeshIDRoundTrip(t *testing.T) {
+	m := NewMesh(8, 8)
+	for id := 0; id < m.Nodes(); id++ {
+		if got := m.ID(m.CoordOf(id)); got != id {
+			t.Errorf("ID(CoordOf(%d)) = %d", id, got)
+		}
+	}
+	if m.Nodes() != 64 {
+		t.Errorf("Nodes() = %d, want 64", m.Nodes())
+	}
+}
+
+func TestMeshContains(t *testing.T) {
+	m := NewMesh(4, 3)
+	for _, tc := range []struct {
+		c    Coord
+		want bool
+	}{
+		{Coord{0, 0}, true},
+		{Coord{3, 2}, true},
+		{Coord{4, 2}, false},
+		{Coord{3, 3}, false},
+		{Coord{-1, 0}, false},
+		{Coord{0, -1}, false},
+	} {
+		if got := m.Contains(tc.c); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestHasNeighborBorders(t *testing.T) {
+	m := NewMesh(3, 3)
+	if m.HasNeighbor(Coord{0, 0}, North) || m.HasNeighbor(Coord{0, 0}, West) {
+		t.Error("NW corner must not have N/W neighbours")
+	}
+	if !m.HasNeighbor(Coord{0, 0}, South) || !m.HasNeighbor(Coord{0, 0}, East) {
+		t.Error("NW corner must have S/E neighbours")
+	}
+	if m.HasNeighbor(Coord{2, 2}, South) || m.HasNeighbor(Coord{2, 2}, East) {
+		t.Error("SE corner must not have S/E neighbours")
+	}
+	if m.HasNeighbor(Coord{1, 1}, Local) {
+		t.Error("Local never has a neighbour link")
+	}
+}
+
+func TestHops(t *testing.T) {
+	m := NewMesh(8, 8)
+	if got := m.Hops(Coord{0, 0}, Coord{7, 7}); got != 14 {
+		t.Errorf("Hops corner-to-corner = %d, want 14", got)
+	}
+	if got := m.Hops(Coord{3, 3}, Coord{3, 3}); got != 0 {
+		t.Errorf("Hops self = %d, want 0", got)
+	}
+}
+
+// X-Y routing must terminate at the destination in exactly Hops steps.
+func TestXYFirstReachesDestination(t *testing.T) {
+	m := NewMesh(8, 8)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		src := Coord{rng.Intn(8), rng.Intn(8)}
+		dst := Coord{rng.Intn(8), rng.Intn(8)}
+		cur := src
+		steps := 0
+		for cur != dst {
+			d := XYFirst(cur, dst)
+			if d == Local {
+				t.Fatalf("XYFirst returned Local before reaching dst (%v->%v at %v)", src, dst, cur)
+			}
+			if !m.Contains(cur.Add(d)) {
+				t.Fatalf("XYFirst left the mesh at %v going %v", cur, d)
+			}
+			cur = cur.Add(d)
+			steps++
+			if steps > 64 {
+				t.Fatalf("XYFirst did not converge %v->%v", src, dst)
+			}
+		}
+		if steps != m.Hops(src, dst) {
+			t.Errorf("XY path length %d != Hops %d for %v->%v", steps, m.Hops(src, dst), src, dst)
+		}
+	}
+}
+
+func TestYXFirstReachesDestination(t *testing.T) {
+	m := NewMesh(8, 8)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		src := Coord{rng.Intn(8), rng.Intn(8)}
+		dst := Coord{rng.Intn(8), rng.Intn(8)}
+		cur := src
+		steps := 0
+		for cur != dst {
+			cur = cur.Add(YXFirst(cur, dst))
+			steps++
+			if steps > 64 {
+				t.Fatalf("YXFirst did not converge %v->%v", src, dst)
+			}
+		}
+		if steps != m.Hops(src, dst) {
+			t.Errorf("YX path length %d != Hops %d for %v->%v", steps, m.Hops(src, dst), src, dst)
+		}
+	}
+}
+
+// XYFirst orders X before Y; YXFirst the reverse.
+func TestDimensionOrder(t *testing.T) {
+	cur, dst := Coord{0, 0}, Coord{3, 3}
+	if XYFirst(cur, dst) != East {
+		t.Error("XYFirst must move in X first")
+	}
+	if YXFirst(cur, dst) != South {
+		t.Error("YXFirst must move in Y first")
+	}
+}
+
+// Every step XYFirst suggests must be productive.
+func TestXYFirstProductive(t *testing.T) {
+	f := func(sx, sy, dx, dy uint8) bool {
+		cur := Coord{int(sx % 8), int(sy % 8)}
+		dst := Coord{int(dx % 8), int(dy % 8)}
+		d := XYFirst(cur, dst)
+		if cur == dst {
+			return d == Local
+		}
+		return Productive(cur, dst, d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProductiveAtDestination(t *testing.T) {
+	c := Coord{2, 2}
+	if !Productive(c, c, Local) {
+		t.Error("Local is productive at destination")
+	}
+	for _, d := range []Dir{North, East, South, West} {
+		if Productive(c, c, d) {
+			t.Errorf("%v must be unproductive at destination", d)
+		}
+	}
+}
+
+func TestProductiveDirections(t *testing.T) {
+	cur, dst := Coord{4, 4}, Coord{6, 2}
+	if !Productive(cur, dst, East) || !Productive(cur, dst, North) {
+		t.Error("E and N should be productive toward (6,2) from (4,4)")
+	}
+	if Productive(cur, dst, West) || Productive(cur, dst, South) {
+		t.Error("W and S should be unproductive toward (6,2) from (4,4)")
+	}
+}

@@ -1,0 +1,68 @@
+// Package link models pipelined point-to-point channels as delay lines:
+// an item sent at cycle T is delivered exactly T+delay cycles later, in
+// FIFO order.  The same primitive carries flits, whole worms (for the
+// bufferless models, whose router pipeline is folded into the hop
+// delay) and returning credits.
+package link
+
+import "fmt"
+
+// Line is a fixed-delay FIFO channel of items of type T.  The zero
+// value is unusable; construct with New.  Line is not safe for
+// concurrent use: the simulator is single-goroutine by design.
+type Line[T any] struct {
+	delay int64
+	queue []entry[T] // in send order; arrival times are non-decreasing
+}
+
+type entry[T any] struct {
+	at   int64
+	item T
+}
+
+// New returns a line with the given propagation delay in cycles.
+// It panics if delay < 1: zero-delay channels would break the
+// two-phase network cycle (a same-cycle delivery could be consumed
+// before it was sent, depending on router iteration order).
+func New[T any](delay int) *Line[T] {
+	if delay < 1 {
+		panic(fmt.Sprintf("link: delay %d must be ≥ 1", delay))
+	}
+	return &Line[T]{delay: int64(delay)}
+}
+
+// Delay returns the line's propagation delay in cycles.
+func (l *Line[T]) Delay() int { return int(l.delay) }
+
+// Send schedules item for delivery at now+delay.  Sends must be issued
+// with non-decreasing now; the line panics otherwise, because such a
+// send would reorder deliveries and indicates a broken cycle loop.
+func (l *Line[T]) Send(item T, now int64) {
+	at := now + l.delay
+	if n := len(l.queue); n > 0 && l.queue[n-1].at > at {
+		panic(fmt.Sprintf("link: send at cycle %d after send arriving %d", now, l.queue[n-1].at))
+	}
+	l.queue = append(l.queue, entry[T]{at: at, item: item})
+}
+
+// Recv removes and returns all items due at exactly cycle now.  It
+// panics if an item's delivery time has already passed undelivered,
+// which means the network skipped a cycle.
+func (l *Line[T]) Recv(now int64) []T {
+	var out []T
+	i := 0
+	for ; i < len(l.queue) && l.queue[i].at <= now; i++ {
+		if l.queue[i].at < now {
+			panic(fmt.Sprintf("link: item due at %d not collected until %d", l.queue[i].at, now))
+		}
+		out = append(out, l.queue[i].item)
+	}
+	if i > 0 {
+		// Shift remaining entries down, keeping the backing array.
+		l.queue = append(l.queue[:0], l.queue[i:]...)
+	}
+	return out
+}
+
+// InFlight returns the number of items currently traversing the line.
+func (l *Line[T]) InFlight() int { return len(l.queue) }

@@ -1,0 +1,125 @@
+package link
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnZeroDelay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) must panic")
+		}
+	}()
+	New[int](0)
+}
+
+func TestDelay(t *testing.T) {
+	l := New[int](3)
+	if l.Delay() != 3 {
+		t.Errorf("Delay = %d, want 3", l.Delay())
+	}
+}
+
+func TestDelivery(t *testing.T) {
+	l := New[string](3)
+	l.Send("a", 10)
+	for now := int64(11); now < 13; now++ {
+		if got := l.Recv(now); got != nil {
+			t.Fatalf("early delivery at %d: %v", now, got)
+		}
+	}
+	got := l.Recv(13)
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Recv(13) = %v, want [a]", got)
+	}
+	if got := l.Recv(14); got != nil {
+		t.Errorf("item delivered twice: %v", got)
+	}
+}
+
+func TestFIFOSameCycle(t *testing.T) {
+	l := New[int](2)
+	l.Send(1, 5)
+	l.Send(2, 5)
+	got := l.Recv(7)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Recv = %v, want [1 2]", got)
+	}
+}
+
+func TestInFlight(t *testing.T) {
+	l := New[int](4)
+	if l.InFlight() != 0 {
+		t.Error("new line should be empty")
+	}
+	l.Send(1, 0)
+	l.Send(2, 1)
+	if l.InFlight() != 2 {
+		t.Errorf("InFlight = %d, want 2", l.InFlight())
+	}
+	l.Recv(4)
+	if l.InFlight() != 1 {
+		t.Errorf("InFlight after first delivery = %d, want 1", l.InFlight())
+	}
+}
+
+func TestSendOutOfOrderPanics(t *testing.T) {
+	l := New[int](2)
+	l.Send(1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order send must panic")
+		}
+	}()
+	l.Send(2, 5)
+}
+
+func TestMissedCyclePanics(t *testing.T) {
+	l := New[int](1)
+	l.Send(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("skipping a delivery cycle must panic")
+		}
+	}()
+	l.Recv(2) // item was due at 1
+}
+
+// Property: with per-cycle Recv, every item arrives exactly delay
+// cycles after it was sent, in send order.
+func TestDelayProperty(t *testing.T) {
+	f := func(delayRaw uint8, gaps []uint8) bool {
+		delay := int(delayRaw%5) + 1
+		l := New[int](delay)
+		type sent struct {
+			seq int
+			at  int64
+		}
+		var sends []sent
+		now := int64(0)
+		for i, g := range gaps {
+			now += int64(g % 4)
+			l.Send(i, now)
+			sends = append(sends, sent{seq: i, at: now})
+		}
+		var got []sent
+		for t := int64(0); t <= now+int64(delay); t++ {
+			for _, item := range l.Recv(t) {
+				got = append(got, sent{seq: item, at: t})
+			}
+		}
+		if len(got) != len(sends) {
+			return false
+		}
+		for i := range got {
+			if got[i].seq != sends[i].seq || got[i].at != sends[i].at+int64(delay) {
+				return false
+			}
+		}
+		return l.InFlight() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

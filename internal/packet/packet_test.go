@@ -1,0 +1,142 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"surfbless/internal/geom"
+)
+
+func TestClassFlits(t *testing.T) {
+	if Ctrl.Flits() != 1 {
+		t.Errorf("ctrl packets are 1 flit, got %d", Ctrl.Flits())
+	}
+	if Data.Flits() != 5 {
+		t.Errorf("data packets are 5 flits, got %d", Data.Flits())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Ctrl.String() != "ctrl" || Data.String() != "data" {
+		t.Error("class names wrong")
+	}
+	if Class(7).String() != "Class(7)" {
+		t.Error("unknown class string wrong")
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	p := New(3, geom.Coord{X: 0, Y: 0}, geom.Coord{X: 7, Y: 7}, 2, Data, 100)
+	if p.Size != 5 {
+		t.Errorf("Size = %d, want 5", p.Size)
+	}
+	if p.InjectedAt != -1 || p.EjectedAt != -1 {
+		t.Error("injection/ejection stamps must start at -1")
+	}
+	if p.CreatedAt != 100 {
+		t.Errorf("CreatedAt = %d", p.CreatedAt)
+	}
+	if p.VNet != -1 {
+		t.Errorf("VNet = %d, want -1 (unused)", p.VNet)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	p := New(1, geom.Coord{}, geom.Coord{}, 0, Ctrl, 10)
+	p.InjectedAt = 15
+	p.EjectedAt = 40
+	if got := p.QueueLatency(); got != 5 {
+		t.Errorf("QueueLatency = %d, want 5", got)
+	}
+	if got := p.NetworkLatency(); got != 25 {
+		t.Errorf("NetworkLatency = %d, want 25", got)
+	}
+	if got := p.TotalLatency(); got != 30 {
+		t.Errorf("TotalLatency = %d, want 30", got)
+	}
+}
+
+func TestLatencyPanicsBeforeStamps(t *testing.T) {
+	p := New(1, geom.Coord{}, geom.Coord{}, 0, Ctrl, 0)
+	assertPanics(t, "QueueLatency", func() { p.QueueLatency() })
+	assertPanics(t, "NetworkLatency", func() { p.NetworkLatency() })
+	assertPanics(t, "TotalLatency", func() { p.TotalLatency() })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s should panic before stamps are set", name)
+		}
+	}()
+	f()
+}
+
+// Older must be a strict total order on (InjectedAt, ID).
+func TestOlderTotalOrder(t *testing.T) {
+	f := func(t1, t2 int32, id1, id2 uint16) bool {
+		p := &Packet{ID: uint64(id1), InjectedAt: int64(t1)}
+		q := &Packet{ID: uint64(id2), InjectedAt: int64(t2)}
+		if p.InjectedAt == q.InjectedAt && p.ID == q.ID {
+			return !p.Older(q) && !q.Older(p) // irreflexive on equals
+		}
+		return p.Older(q) != q.Older(p) // exactly one wins
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOlderPrefersEarlierInjection(t *testing.T) {
+	old := &Packet{ID: 9, InjectedAt: 5}
+	young := &Packet{ID: 1, InjectedAt: 6}
+	if !old.Older(young) {
+		t.Error("earlier injection must win regardless of ID")
+	}
+	tieA := &Packet{ID: 1, InjectedAt: 5}
+	tieB := &Packet{ID: 2, InjectedAt: 5}
+	if !tieA.Older(tieB) {
+		t.Error("ties must break on smaller ID")
+	}
+}
+
+func TestExplode(t *testing.T) {
+	p := New(1, geom.Coord{}, geom.Coord{X: 3, Y: 0}, 0, Data, 0)
+	fs := Explode(p)
+	if len(fs) != 5 {
+		t.Fatalf("Explode gave %d flits, want 5", len(fs))
+	}
+	if !fs[0].Head() || fs[0].Tail() {
+		t.Error("first flit must be head and not tail")
+	}
+	if fs[2].Head() || fs[2].Tail() {
+		t.Error("middle flit must be neither head nor tail")
+	}
+	if !fs[4].Tail() || fs[4].Head() {
+		t.Error("last flit must be tail and not head")
+	}
+	single := Explode(New(2, geom.Coord{}, geom.Coord{}, 0, Ctrl, 0))
+	if !single[0].Head() || !single[0].Tail() {
+		t.Error("a 1-flit packet's flit is both head and tail")
+	}
+}
+
+func TestIDSourceUnique(t *testing.T) {
+	var s IDSource
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := s.Next()
+		if seen[id] {
+			t.Fatalf("duplicate ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestString(t *testing.T) {
+	p := New(7, geom.Coord{X: 1, Y: 2}, geom.Coord{X: 3, Y: 4}, 1, Ctrl, 0)
+	if got := p.String(); got != "pkt7[(1,2)→(3,4) d1 ctrl/1fl]" {
+		t.Errorf("String = %q", got)
+	}
+}

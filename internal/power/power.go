@@ -1,0 +1,169 @@
+// Package power is the DSENT-like energy model of the reproduction.
+//
+// Energy is split exactly as the paper's Figs. 6 and 10 report it:
+// router static energy (leakage+clock of buffers, pipeline registers,
+// crossbar, allocator and — for wave-scheduled routers — the three
+// sub-wave schedulers), router dynamic energy (per-event buffer
+// writes/reads, crossbar traversals, allocation operations) and link
+// energy (static plus per-flit traversal).
+//
+// The coefficients are 45 nm-flavoured calibration constants.  They are
+// not DSENT outputs; what the reproduction preserves is the structural
+// scaling — static buffer power proportional to buffered flit slots,
+// which is what separates WH, BLESS, Surf(D) and SB(D) in Fig. 6 — not
+// absolute joules.  See DESIGN.md §2.
+package power
+
+import (
+	"fmt"
+
+	"surfbless/internal/config"
+	"surfbless/internal/geom"
+)
+
+// Coefficients parameterizes the energy model.
+type Coefficients struct {
+	// Dynamic energy per event, joules.
+	BufferWrite   float64 // one flit written into a buffer/VC slot
+	BufferRead    float64 // one flit read out of a buffer/VC slot
+	Crossbar      float64 // one flit through the crossbar
+	Allocation    float64 // one allocator decision (route/VC/switch)
+	LinkTraversal float64 // one flit over one link
+
+	// Static power per unit, watts.
+	BufferSlot     float64 // per buffered flit slot
+	PipelineReg    float64 // per link-input pipeline register (bufferless routers)
+	CrossbarVC     float64 // crossbar of a VC router (5×5, higher radix pressure)
+	CrossbarBless  float64 // crossbar of a bufferless router (simpler datapath)
+	AllocatorVC    float64 // VC/switch allocator of a VC router
+	AllocatorBless float64 // permutation/deflection logic of a bufferless router
+	TDMControl     float64 // Surf's TDM gating logic per router
+	WaveScheduler  float64 // one sub-wave scheduler (counter+decoder); SB has three
+	Link           float64 // per unidirectional link
+}
+
+// Default45nm returns the calibration used throughout the reproduction.
+func Default45nm() Coefficients {
+	return Coefficients{
+		BufferWrite:   2.5e-12,
+		BufferRead:    1.8e-12,
+		Crossbar:      3.5e-12,
+		Allocation:    0.6e-12,
+		LinkTraversal: 5.0e-12,
+
+		BufferSlot:     0.35e-3,
+		PipelineReg:    0.10e-3,
+		CrossbarVC:     8.0e-3,
+		CrossbarBless:  4.0e-3,
+		AllocatorVC:    2.5e-3,
+		AllocatorBless: 0.8e-3,
+		TDMControl:     12.0e-3,
+		WaveScheduler:  0.30e-3,
+		Link:           0.05e-3,
+	}
+}
+
+// Energy is one run's energy report in joules, in the breakdown used by
+// Figs. 6 and 10.
+type Energy struct {
+	RouterStatic  float64
+	RouterDynamic float64
+	Link          float64 // static + dynamic link energy
+}
+
+// Total returns the summed NoC energy.
+func (e Energy) Total() float64 { return e.RouterStatic + e.RouterDynamic + e.Link }
+
+// String renders the breakdown in millijoules.
+func (e Energy) String() string {
+	return fmt.Sprintf("total %.3f mJ (router static %.3f, router dynamic %.3f, link %.3f)",
+		e.Total()*1e3, e.RouterStatic*1e3, e.RouterDynamic*1e3, e.Link*1e3)
+}
+
+// Meter counts dynamic events during a run and converts them, together
+// with the configuration-derived static power, into an Energy report.
+// The zero value is not usable; construct with NewMeter.
+type Meter struct {
+	co  Coefficients
+	cfg config.Config
+
+	bufWrites int64
+	bufReads  int64
+	xbarFlits int64
+	allocOps  int64
+	linkFlits int64
+}
+
+// NewMeter returns a meter for the given configuration.
+func NewMeter(cfg config.Config, co Coefficients) *Meter {
+	return &Meter{co: co, cfg: cfg}
+}
+
+// BufferWrite records n flits written into buffers.
+func (m *Meter) BufferWrite(n int) { m.bufWrites += int64(n) }
+
+// BufferRead records n flits read from buffers.
+func (m *Meter) BufferRead(n int) { m.bufReads += int64(n) }
+
+// CrossbarTraversal records n flits crossing a crossbar.
+func (m *Meter) CrossbarTraversal(n int) { m.xbarFlits += int64(n) }
+
+// Allocation records n allocator decisions.
+func (m *Meter) Allocation(n int) { m.allocOps += int64(n) }
+
+// LinkTraversal records n flit-hops over links.
+func (m *Meter) LinkTraversal(n int) { m.linkFlits += int64(n) }
+
+// Links returns the number of unidirectional inter-router links in the
+// configured mesh: 2·(W·(H−1) + H·(W−1)).
+func Links(cfg config.Config) int {
+	return 2 * (cfg.Width*(cfg.Height-1) + cfg.Height*(cfg.Width-1))
+}
+
+// RouterStaticPower returns one router's static power in watts for the
+// configured model, the quantity behind the Fig. 6 bars.
+func RouterStaticPower(cfg config.Config, co Coefficients) float64 {
+	w := co.BufferSlot * float64(cfg.BufferFlitsPerRouter())
+	switch cfg.Model {
+	case config.WH:
+		w += co.CrossbarVC + co.AllocatorVC
+	case config.Surf:
+		w += co.CrossbarVC + co.AllocatorVC + co.TDMControl
+	case config.BLESS:
+		w += co.CrossbarBless + co.AllocatorBless + float64(geom.NumLinkDirs)*co.PipelineReg
+	case config.CHIPPER:
+		// The permutation deflection network replaces both the full
+		// crossbar and the sequential allocator with four 2×2 blocks.
+		w += 0.6*co.CrossbarBless + 0.4*co.AllocatorBless + float64(geom.NumLinkDirs)*co.PipelineReg
+	case config.RUNAHEAD:
+		// Single-cycle dropping router: no pipeline registers, trivial
+		// arbitration, plain crossbar.
+		w += 0.8*co.CrossbarBless + 0.2*co.AllocatorBless
+	case config.SB:
+		w += co.CrossbarBless + co.AllocatorBless + float64(geom.NumLinkDirs)*co.PipelineReg +
+			3*co.WaveScheduler
+	}
+	return w
+}
+
+// Report converts the accumulated events plus static power over the
+// given number of cycles into an Energy breakdown.
+func (m *Meter) Report(cycles int64) Energy {
+	seconds := float64(cycles) / m.cfg.ClockHz
+	routers := float64(m.cfg.Nodes())
+	var e Energy
+	e.RouterStatic = RouterStaticPower(m.cfg, m.co) * routers * seconds
+	e.RouterDynamic = float64(m.bufWrites)*m.co.BufferWrite +
+		float64(m.bufReads)*m.co.BufferRead +
+		float64(m.xbarFlits)*m.co.Crossbar +
+		float64(m.allocOps)*m.co.Allocation
+	e.Link = float64(Links(m.cfg))*m.co.Link*seconds +
+		float64(m.linkFlits)*m.co.LinkTraversal
+	return e
+}
+
+// Counts returns the raw dynamic event counters (writes, reads,
+// crossbar flits, allocations, link flits) for tests and diagnostics.
+func (m *Meter) Counts() (bufWrites, bufReads, xbarFlits, allocOps, linkFlits int64) {
+	return m.bufWrites, m.bufReads, m.xbarFlits, m.allocOps, m.linkFlits
+}

@@ -1,0 +1,130 @@
+package power
+
+import (
+	"testing"
+
+	"surfbless/internal/config"
+)
+
+func meter(m config.Model, domains int) (*Meter, config.Config) {
+	cfg := config.Default(m)
+	cfg.Domains = domains
+	if m == config.Surf || m == config.SB {
+		// The Fig-6 experiment gives each domain one 4-flit VC.
+		cfg.CtrlVCsPerPort, cfg.CtrlVCDepth = 0, 0
+		cfg.DataVCsPerPort, cfg.DataVCDepth = 1, 4
+	}
+	return NewMeter(cfg, Default45nm()), cfg
+}
+
+func TestLinks(t *testing.T) {
+	if got := Links(config.Default(config.WH)); got != 224 {
+		t.Errorf("8x8 mesh has %d unidirectional links, want 224", got)
+	}
+	c := config.Default(config.WH)
+	c.Width, c.Height = 2, 2
+	if got := Links(c); got != 8 {
+		t.Errorf("2x2 mesh has %d links, want 8", got)
+	}
+}
+
+func TestStaticEnergyScalesWithCycles(t *testing.T) {
+	m, _ := meter(config.WH, 1)
+	e1 := m.Report(1_000_000)
+	e2 := m.Report(2_000_000)
+	if e2.RouterStatic <= e1.RouterStatic {
+		t.Error("static energy must grow with time")
+	}
+	ratio := e2.RouterStatic / e1.RouterStatic
+	if ratio < 1.999 || ratio > 2.001 {
+		t.Errorf("static energy ratio = %g, want 2", ratio)
+	}
+}
+
+func TestDynamicEventsAccumulate(t *testing.T) {
+	m, _ := meter(config.BLESS, 1)
+	m.BufferWrite(10)
+	m.BufferRead(5)
+	m.CrossbarTraversal(7)
+	m.Allocation(3)
+	m.LinkTraversal(20)
+	w, r, x, a, l := m.Counts()
+	if w != 10 || r != 5 || x != 7 || a != 3 || l != 20 {
+		t.Fatalf("Counts = %d/%d/%d/%d/%d", w, r, x, a, l)
+	}
+	co := Default45nm()
+	e := m.Report(0)
+	wantDyn := 10*co.BufferWrite + 5*co.BufferRead + 7*co.Crossbar + 3*co.Allocation
+	if diff := e.RouterDynamic - wantDyn; diff > 1e-18 || diff < -1e-18 {
+		t.Errorf("RouterDynamic = %g, want %g", e.RouterDynamic, wantDyn)
+	}
+	if e.Link != 20*co.LinkTraversal { // zero cycles → no static link energy
+		t.Errorf("Link = %g, want %g", e.Link, 20*co.LinkTraversal)
+	}
+}
+
+// The structural claims behind Fig. 6, at the level of static power.
+func TestFig6StaticPowerOrdering(t *testing.T) {
+	co := Default45nm()
+	p := func(m config.Model, domains int) float64 {
+		_, cfg := meter(m, domains)
+		return RouterStaticPower(cfg, co)
+	}
+
+	bless := p(config.BLESS, 1)
+	wh := p(config.WH, 1)
+
+	// BLESS is the cheapest router.
+	if bless >= wh || bless >= p(config.SB, 1) {
+		t.Error("BLESS must have the lowest static power")
+	}
+	// SB is slightly above BLESS (injection VCs + schedulers)…
+	if sb1 := p(config.SB, 1); sb1 >= 0.5*wh {
+		t.Errorf("SB(1) static %g should be well below WH %g", sb1, wh)
+	}
+	// …and grows mildly with domains, staying far below Surf.
+	for d := 1; d <= 9; d++ {
+		sb, surf := p(config.SB, d), p(config.Surf, d)
+		if sb >= surf/2 {
+			t.Errorf("D=%d: SB static %g not ≪ Surf static %g", d, sb, surf)
+		}
+	}
+	// Surf grows much faster with D than SB: compare the D=1→9 deltas.
+	surfGrowth := p(config.Surf, 9) - p(config.Surf, 1)
+	sbGrowth := p(config.SB, 9) - p(config.SB, 1)
+	if surfGrowth <= 4*sbGrowth {
+		t.Errorf("Surf growth %g must exceed 4× SB growth %g (5 buffered ports vs 1)",
+			surfGrowth, sbGrowth)
+	}
+	// Surf(9) clearly exceeds WH; Surf(1) is in WH's neighbourhood.
+	if p(config.Surf, 9) <= 1.5*wh {
+		t.Error("Surf(9) static power must clearly exceed WH")
+	}
+	s1 := p(config.Surf, 1)
+	if s1 < 0.7*wh || s1 > 1.6*wh {
+		t.Errorf("Surf(1) static %g should be comparable to WH %g", s1, wh)
+	}
+}
+
+// Absolute scale sanity: a WH 8×8 NoC at 1 GHz for 1 M cycles should
+// land in the paper's Fig.-6 order of magnitude (milli-joules).
+func TestFig6Magnitude(t *testing.T) {
+	m, _ := meter(config.WH, 1)
+	e := m.Report(1_000_000)
+	if e.RouterStatic < 0.3e-3 || e.RouterStatic > 5e-3 {
+		t.Errorf("WH static energy %g J out of the paper's 10^-3 J band", e.RouterStatic)
+	}
+	if e.Link > e.RouterStatic {
+		t.Error("link energy should be small next to router static energy (§5.2.3)")
+	}
+}
+
+func TestEnergyTotalAndString(t *testing.T) {
+	e := Energy{RouterStatic: 1e-3, RouterDynamic: 2e-3, Link: 3e-3}
+	if e.Total() != 6e-3 {
+		t.Errorf("Total = %g", e.Total())
+	}
+	if s := e.String(); s == "" {
+		t.Error("String must render")
+	}
+}

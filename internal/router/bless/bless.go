@@ -1,0 +1,255 @@
+// Package bless implements the baseline bufferless deflection network
+// of Moscibroda & Mutlu [9] used as the BLESS comparator in §5.
+//
+// Routers have no in-network VCs: every packet arriving at a router is
+// forwarded in the same cycle.  Output contention is resolved by the
+// old-first arbitration policy [12] — the oldest packet picks first —
+// and losers are deflected to any free output, which is always possible
+// because routers have as many output as input ports.  Injection has
+// the lowest priority and needs a free output port.
+//
+// The 2-stage router pipeline plus one link-traversal cycle are folded
+// into the hop delay of the inter-router delay lines (Table 1 / §5:
+// P = 3 for the bufferless networks).
+//
+// BLESS carries single-flit packets only: without VCs it cannot
+// interleave or isolate multi-flit worms of different message classes,
+// which is exactly the drawback §5.2 cites for excluding it from the
+// cache-coherence experiment.  Inject panics on a multi-flit packet.
+package bless
+
+import (
+	"fmt"
+
+	"surfbless/internal/config"
+	"surfbless/internal/geom"
+	"surfbless/internal/link"
+	"surfbless/internal/network"
+	"surfbless/internal/packet"
+	"surfbless/internal/power"
+	"surfbless/internal/router"
+	"surfbless/internal/stats"
+)
+
+// Fabric is a BLESS mesh.  It implements network.Fabric.
+type Fabric struct {
+	cfg   config.Config
+	mesh  geom.Mesh
+	nodes []*node
+	sink  network.Sink
+	col   *stats.Collector
+	meter *power.Meter
+
+	inFlight int
+	lastStep int64
+}
+
+type node struct {
+	c   geom.Coord
+	ni  *router.NI
+	in  [geom.NumLinkDirs]*link.Line[*packet.Packet] // nil on borders
+	out [geom.NumLinkDirs]*link.Line[*packet.Packet]
+}
+
+// New builds a BLESS mesh for cfg.  The collector and meter must be
+// non-nil; sink may be nil when ejected packets need no consumer.
+func New(cfg config.Config, sink network.Sink, col *stats.Collector, meter *power.Meter) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model != config.BLESS {
+		return nil, fmt.Errorf("bless: config model is %v", cfg.Model)
+	}
+	if col == nil || meter == nil {
+		return nil, fmt.Errorf("bless: collector and meter are required")
+	}
+	f := &Fabric{cfg: cfg, mesh: cfg.Mesh(), sink: sink, col: col, meter: meter, lastStep: -1}
+	f.nodes = make([]*node, f.mesh.Nodes())
+	for id := range f.nodes {
+		f.nodes[id] = &node{
+			c:  f.mesh.CoordOf(id),
+			ni: router.NewNI(cfg.Domains, cfg.InjectionQueueCap),
+		}
+	}
+	// Wire one delay line per unidirectional link; the line delay is the
+	// hop delay P (router pipeline + link traversal).
+	p := cfg.HopDelay()
+	for id, n := range f.nodes {
+		for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+			if !f.mesh.HasNeighbor(n.c, d) {
+				continue
+			}
+			l := link.New[*packet.Packet](p)
+			n.out[d] = l
+			f.nodes[f.mesh.ID(n.c.Add(d))].in[d.Opposite()] = l
+		}
+		_ = id
+	}
+	return f, nil
+}
+
+// Inject offers p to node's NI.  It panics on multi-flit packets (see
+// the package comment) and returns false under backpressure.
+func (f *Fabric) Inject(nodeID int, p *packet.Packet, now int64) bool {
+	if p.Size != 1 {
+		panic(fmt.Sprintf("bless: cannot transfer multi-flit packet %v (no VCs to interleave worms)", p))
+	}
+	n := f.nodes[nodeID]
+	if !n.ni.Offer(p) {
+		f.col.Refused(p.Domain, now)
+		return false
+	}
+	f.col.Created(p)
+	f.meter.BufferWrite(p.Size)
+	f.inFlight++
+	return true
+}
+
+// Step advances the network by one cycle.
+func (f *Fabric) Step(now int64) {
+	if now <= f.lastStep {
+		panic(fmt.Sprintf("bless: Step(%d) after Step(%d)", now, f.lastStep))
+	}
+	f.lastStep = now
+	for _, n := range f.nodes {
+		f.stepNode(n, now)
+	}
+}
+
+func (f *Fabric) stepNode(n *node, now int64) {
+	// Phase 1: collect this cycle's arrivals (at most one per in-link).
+	var arrivals []*packet.Packet
+	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+		if n.in[d] == nil {
+			continue
+		}
+		arrivals = append(arrivals, n.in[d].Recv(now)...)
+	}
+
+	// Phase 2: eject the oldest packet that has reached its destination
+	// (ejection bandwidth is one packet per cycle).
+	ejected := -1
+	for i, p := range arrivals {
+		if p.Dst == n.c && (ejected < 0 || p.Older(arrivals[ejected])) {
+			ejected = i
+		}
+	}
+	if ejected >= 0 {
+		f.eject(n, arrivals[ejected], now)
+		arrivals = append(arrivals[:ejected], arrivals[ejected+1:]...)
+	}
+
+	// Phase 3: old-first output allocation with deflection.
+	router.SortOldestFirst(arrivals)
+	var taken [geom.NumLinkDirs]bool
+	for _, p := range arrivals {
+		d := f.pickOutput(n, p, &taken)
+		f.forward(n, p, d, now, &taken)
+	}
+
+	// Phase 4: injection, at the lowest priority, needs a free output.
+	// Domains take turns so one domain's backlog cannot starve another's
+	// (BLESS itself still provides no isolation once packets are in the
+	// network).
+	for off := 0; off < n.ni.Domains(); off++ {
+		dom := int((now + int64(off)) % int64(n.ni.Domains()))
+		p := n.ni.Head(dom)
+		if p == nil {
+			continue
+		}
+		d := f.freeOutput(n, p, &taken)
+		if d < 0 {
+			break // no output left this cycle
+		}
+		n.ni.Pop(dom)
+		p.InjectedAt = now
+		f.col.Injected(p)
+		f.meter.BufferRead(p.Size)
+		f.forward(n, p, d, now, &taken)
+		break // one injection port
+	}
+}
+
+// pickOutput returns the output direction for p: the X-Y route if free,
+// otherwise another productive direction, otherwise the first free
+// output in fixed port order (a deflection).  The port-count invariant
+// guarantees one exists; running out indicates a simulator bug.
+func (f *Fabric) pickOutput(n *node, p *packet.Packet, taken *[geom.NumLinkDirs]bool) geom.Dir {
+	usable := func(d geom.Dir) bool {
+		return d != geom.Local && n.out[d] != nil && !taken[d]
+	}
+	if d := geom.XYFirst(n.c, p.Dst); usable(d) {
+		return d
+	}
+	if d := geom.YXFirst(n.c, p.Dst); usable(d) {
+		return d
+	}
+	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+		if usable(d) {
+			return d
+		}
+	}
+	panic(fmt.Sprintf("bless: no free output at %v cycle %d for %v (port balance violated)", n.c, f.lastStep, p))
+}
+
+// freeOutput is pickOutput for injection: it returns -1 instead of
+// panicking, because injection may legitimately find every port busy.
+func (f *Fabric) freeOutput(n *node, p *packet.Packet, taken *[geom.NumLinkDirs]bool) geom.Dir {
+	if d := geom.XYFirst(n.c, p.Dst); d != geom.Local && n.out[d] != nil && !taken[d] {
+		return d
+	}
+	if d := geom.YXFirst(n.c, p.Dst); d != geom.Local && n.out[d] != nil && !taken[d] {
+		return d
+	}
+	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+		if n.out[d] != nil && !taken[d] {
+			return d
+		}
+	}
+	return -1
+}
+
+func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool) {
+	taken[d] = true
+	p.Hops++
+	if !geom.Productive(n.c, p.Dst, d) {
+		p.Deflections++
+	}
+	f.meter.Allocation(1)
+	f.meter.CrossbarTraversal(p.Size)
+	f.meter.LinkTraversal(p.Size)
+	n.out[d].Send(p, now)
+}
+
+func (f *Fabric) eject(n *node, p *packet.Packet, now int64) {
+	p.EjectedAt = now
+	f.meter.CrossbarTraversal(p.Size)
+	f.col.Ejected(p)
+	f.inFlight--
+	if f.sink != nil {
+		f.sink(f.mesh.ID(n.c), p, now)
+	}
+}
+
+// InFlight returns accepted-but-undelivered packets.
+func (f *Fabric) InFlight() int { return f.inFlight }
+
+// Audit verifies that NI queues plus link occupancy account for every
+// in-flight packet (bufferless routers hold no state between cycles).
+func (f *Fabric) Audit() error {
+	n := 0
+	for _, nd := range f.nodes {
+		n += nd.ni.Backlog()
+		for _, l := range nd.out {
+			if l != nil {
+				n += l.InFlight()
+			}
+		}
+	}
+	if n != f.inFlight {
+		return fmt.Errorf("bless: %d packets in queues+links, %d in flight", n, f.inFlight)
+	}
+	return nil
+}
+
+var _ network.Fabric = (*Fabric)(nil)

@@ -1,0 +1,373 @@
+// Package chipper implements CHIPPER [10], the low-complexity
+// bufferless deflection router the paper cites as related work — built
+// here as an extension so the reproduction can compare Surf-Bless
+// against both bufferless baselines.
+//
+// CHIPPER replaces BLESS's full crossbar and sequential oldest-first
+// port allocation with two hardware tricks:
+//
+//   - a permutation deflection network: two stages of 2×2 arbiter
+//     blocks steer the four in-flight packets toward their preferred
+//     quadrant; a packet that loses an arbitration is misrouted by
+//     construction (that IS the deflection), so no allocator runs
+//     sequentially over ports; and
+//   - golden packets for livelock freedom: instead of carrying and
+//     comparing ages, one packet class (rotating with a global epoch)
+//     has absolute priority and is never deflected, so every packet
+//     eventually gets a clear run to its destination.
+//
+// Mesh borders need a fix-up pass (the original design targets routers
+// with all four ports): packets steered at a missing port are
+// reassigned to free existing outputs, golden class first.  Packet IDs
+// here are dense per source, so the golden class is a residue class of
+// the ID space rather than a single transaction id; the livelock
+// argument weakens from a guarantee to "with probability 1", which the
+// stress tests exercise.
+package chipper
+
+import (
+	"fmt"
+
+	"surfbless/internal/config"
+	"surfbless/internal/geom"
+	"surfbless/internal/link"
+	"surfbless/internal/network"
+	"surfbless/internal/packet"
+	"surfbless/internal/power"
+	"surfbless/internal/router"
+	"surfbless/internal/stats"
+)
+
+// goldenEpoch is the length in cycles of one golden epoch; goldenMod is
+// the number of ID residue classes the epoch rotates through.
+const (
+	goldenEpoch = 64
+	goldenMod   = 64
+)
+
+// Fabric is a CHIPPER mesh.  It implements network.Fabric.
+type Fabric struct {
+	cfg   config.Config
+	mesh  geom.Mesh
+	nodes []*node
+	sink  network.Sink
+	col   *stats.Collector
+	meter *power.Meter
+
+	inFlight int
+	lastStep int64
+}
+
+type node struct {
+	c   geom.Coord
+	ni  *router.NI
+	in  [geom.NumLinkDirs]*link.Line[*packet.Packet]
+	out [geom.NumLinkDirs]*link.Line[*packet.Packet]
+}
+
+// New builds a CHIPPER mesh for cfg.
+func New(cfg config.Config, sink network.Sink, col *stats.Collector, meter *power.Meter) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model != config.CHIPPER {
+		return nil, fmt.Errorf("chipper: config model is %v", cfg.Model)
+	}
+	if col == nil || meter == nil {
+		return nil, fmt.Errorf("chipper: collector and meter are required")
+	}
+	f := &Fabric{cfg: cfg, mesh: cfg.Mesh(), sink: sink, col: col, meter: meter, lastStep: -1}
+	f.nodes = make([]*node, f.mesh.Nodes())
+	for id := range f.nodes {
+		f.nodes[id] = &node{
+			c:  f.mesh.CoordOf(id),
+			ni: router.NewNI(cfg.Domains, cfg.InjectionQueueCap),
+		}
+	}
+	p := cfg.HopDelay()
+	for _, n := range f.nodes {
+		for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+			if !f.mesh.HasNeighbor(n.c, d) {
+				continue
+			}
+			l := link.New[*packet.Packet](p)
+			n.out[d] = l
+			f.nodes[f.mesh.ID(n.c.Add(d))].in[d.Opposite()] = l
+		}
+	}
+	return f, nil
+}
+
+// golden reports whether p belongs to the current golden class.
+func golden(p *packet.Packet, now int64) bool {
+	return p.ID%goldenMod == uint64((now/goldenEpoch)%goldenMod)
+}
+
+// Inject offers p to node's NI (single-flit packets only, like BLESS).
+func (f *Fabric) Inject(nodeID int, p *packet.Packet, now int64) bool {
+	if p.Size != 1 {
+		panic(fmt.Sprintf("chipper: cannot transfer multi-flit packet %v", p))
+	}
+	n := f.nodes[nodeID]
+	if !n.ni.Offer(p) {
+		f.col.Refused(p.Domain, now)
+		return false
+	}
+	f.col.Created(p)
+	f.meter.BufferWrite(p.Size)
+	f.inFlight++
+	return true
+}
+
+// Step advances the network by one cycle.
+func (f *Fabric) Step(now int64) {
+	if now <= f.lastStep {
+		panic(fmt.Sprintf("chipper: Step(%d) after Step(%d)", now, f.lastStep))
+	}
+	f.lastStep = now
+	for _, n := range f.nodes {
+		f.stepNode(n, now)
+	}
+}
+
+// prio orders two packets inside an arbiter block: golden class first,
+// then a deterministic hash (CHIPPER carries no ages).
+func prio(a, b *packet.Packet, now int64) bool {
+	ga, gb := golden(a, now), golden(b, now)
+	if ga != gb {
+		return ga
+	}
+	return router.Hash64(a.ID, uint64(now)) >= router.Hash64(b.ID, uint64(now))
+}
+
+func (f *Fabric) stepNode(n *node, now int64) {
+	// Receive into the four input slots.
+	var slots [geom.NumLinkDirs]*packet.Packet
+	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+		if n.in[d] == nil {
+			continue
+		}
+		for _, p := range n.in[d].Recv(now) {
+			slots[d] = p
+		}
+	}
+
+	// Eject one packet per cycle, golden class first.
+	ej := -1
+	for d, p := range slots {
+		if p == nil || p.Dst != n.c {
+			continue
+		}
+		if ej < 0 || prio(p, slots[ej], now) {
+			ej = d
+		}
+	}
+	if ej >= 0 {
+		f.eject(n, slots[ej], now)
+		slots[ej] = nil
+	}
+
+	// Inject into one empty slot (injection is lowest priority by
+	// construction: it only uses a slot no in-flight packet holds).
+	f.tryInject(n, &slots, now)
+
+	// Two-stage permutation deflection network.
+	outs := permute(n.c, &slots, now)
+
+	// Border fix-up: reassign packets steered at missing ports, golden
+	// class first so its delivery guarantee survives the mesh edge.
+	f.fixup(n, &outs, now)
+
+	for d, p := range outs {
+		if p == nil {
+			continue
+		}
+		f.forward(n, p, geom.Dir(d), now)
+	}
+}
+
+// permute runs the 4×4 partial permutation: stage 1 pairs (N,E) and
+// (S,W) and steers toward the {N,E} or {S,W} half; stage 2 picks the
+// concrete port.  Losing an arbitration misroutes the loser — that is
+// the deflection.
+func permute(c geom.Coord, slots *[geom.NumLinkDirs]*packet.Packet, now int64) [geom.NumLinkDirs]*packet.Packet {
+	wantsUp := func(p *packet.Packet) bool {
+		d := geom.XYFirst(c, p.Dst)
+		if d == geom.Local {
+			// At its destination but not ejected this cycle: steer by
+			// hash; it will loop back.
+			return router.Hash64(p.ID, uint64(now))&1 == 0
+		}
+		return d == geom.North || d == geom.East
+	}
+	arb := func(a, b *packet.Packet, aWants, bWants bool) (first, second *packet.Packet) {
+		switch {
+		case a == nil && b == nil:
+			return nil, nil
+		case b == nil:
+			if aWants {
+				return a, nil
+			}
+			return nil, a
+		case a == nil:
+			if bWants {
+				return b, nil
+			}
+			return nil, b
+		case aWants == bWants:
+			winner, loser := a, b
+			if !prio(a, b, now) {
+				winner, loser = b, a
+			}
+			if aWants {
+				return winner, loser
+			}
+			return loser, winner
+		case aWants:
+			return a, b
+		default:
+			return b, a
+		}
+	}
+	// Stage 1: toward the {N,E} half ("up") or the {S,W} half.
+	aUp, aDown := arb(slots[geom.North], slots[geom.East],
+		up(slots[geom.North], wantsUp), up(slots[geom.East], wantsUp))
+	bUp, bDown := arb(slots[geom.South], slots[geom.West],
+		up(slots[geom.South], wantsUp), up(slots[geom.West], wantsUp))
+	// Stage 2: concrete ports.  In the upper block "first" is N; in the
+	// lower block "first" is S.
+	wantsN := func(p *packet.Packet) bool {
+		return p != nil && geom.XYFirst(c, p.Dst) == geom.North
+	}
+	wantsS := func(p *packet.Packet) bool {
+		return p != nil && geom.XYFirst(c, p.Dst) == geom.South
+	}
+	var outs [geom.NumLinkDirs]*packet.Packet
+	outs[geom.North], outs[geom.East] = arb(aUp, bUp, wantsN(aUp), wantsN(bUp))
+	outs[geom.South], outs[geom.West] = arb(aDown, bDown, wantsS(aDown), wantsS(bDown))
+	return outs
+}
+
+func up(p *packet.Packet, wantsUp func(*packet.Packet) bool) bool {
+	return p != nil && wantsUp(p)
+}
+
+// fixup moves packets off missing border ports onto free existing ones.
+func (f *Fabric) fixup(n *node, outs *[geom.NumLinkDirs]*packet.Packet, now int64) {
+	var homeless []*packet.Packet
+	for d := range outs {
+		if outs[d] != nil && n.out[d] == nil {
+			homeless = append(homeless, outs[d])
+			outs[d] = nil
+		}
+	}
+	if len(homeless) == 0 {
+		return
+	}
+	// Golden class first, then hash order, deterministically.
+	for i := 0; i < len(homeless); i++ {
+		for j := i + 1; j < len(homeless); j++ {
+			if prio(homeless[j], homeless[i], now) {
+				homeless[i], homeless[j] = homeless[j], homeless[i]
+			}
+		}
+	}
+	for _, p := range homeless {
+		placed := false
+		// Preferred productive port first.
+		if d := geom.XYFirst(n.c, p.Dst); d != geom.Local && n.out[d] != nil && outs[d] == nil {
+			outs[d] = p
+			placed = true
+		}
+		if !placed {
+			for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+				if n.out[d] != nil && outs[d] == nil {
+					outs[d] = p
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			panic(fmt.Sprintf("chipper: no output left at %v cycle %d for %v", n.c, now, p))
+		}
+	}
+}
+
+func (f *Fabric) tryInject(n *node, slots *[geom.NumLinkDirs]*packet.Packet, now int64) {
+	// The router can emit at most one packet per existing output port;
+	// borders have fewer than four, so injection must leave room or the
+	// fix-up pass would strand a packet.
+	existingOut, occupied := 0, 0
+	free := -1
+	for d := range slots {
+		if n.out[d] != nil {
+			existingOut++
+		}
+		if slots[d] != nil {
+			occupied++
+		} else if free < 0 {
+			free = d
+		}
+	}
+	if free < 0 || occupied >= existingOut {
+		return
+	}
+	for off := 0; off < n.ni.Domains(); off++ {
+		dom := int((now + int64(off)) % int64(n.ni.Domains()))
+		p := n.ni.Head(dom)
+		if p == nil {
+			continue
+		}
+		n.ni.Pop(dom)
+		p.InjectedAt = now
+		f.col.Injected(p)
+		f.meter.BufferRead(p.Size)
+		slots[free] = p
+		return
+	}
+}
+
+func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64) {
+	p.Hops++
+	if !geom.Productive(n.c, p.Dst, d) {
+		p.Deflections++
+	}
+	f.meter.Allocation(1)
+	f.meter.CrossbarTraversal(p.Size)
+	f.meter.LinkTraversal(p.Size)
+	n.out[d].Send(p, now)
+}
+
+func (f *Fabric) eject(n *node, p *packet.Packet, now int64) {
+	p.EjectedAt = now
+	f.meter.CrossbarTraversal(p.Size)
+	f.col.Ejected(p)
+	f.inFlight--
+	if f.sink != nil {
+		f.sink(f.mesh.ID(n.c), p, now)
+	}
+}
+
+// InFlight returns accepted-but-undelivered packets.
+func (f *Fabric) InFlight() int { return f.inFlight }
+
+// Audit verifies that NI queues plus link occupancy account for every
+// in-flight packet.
+func (f *Fabric) Audit() error {
+	n := 0
+	for _, nd := range f.nodes {
+		n += nd.ni.Backlog()
+		for _, l := range nd.out {
+			if l != nil {
+				n += l.InFlight()
+			}
+		}
+	}
+	if n != f.inFlight {
+		return fmt.Errorf("chipper: %d packets in queues+links, %d in flight", n, f.inFlight)
+	}
+	return nil
+}
+
+var _ network.Fabric = (*Fabric)(nil)

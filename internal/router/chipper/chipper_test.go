@@ -1,0 +1,222 @@
+package chipper
+
+import (
+	"testing"
+
+	"surfbless/internal/config"
+	"surfbless/internal/geom"
+	"surfbless/internal/packet"
+	"surfbless/internal/power"
+	"surfbless/internal/stats"
+)
+
+type harness struct {
+	f   *Fabric
+	col *stats.Collector
+	cfg config.Config
+	ids packet.IDSource
+	got []*packet.Packet
+	now int64
+}
+
+func newHarness(t *testing.T, width int) *harness {
+	t.Helper()
+	cfg := config.Default(config.CHIPPER)
+	cfg.Width, cfg.Height = width, width
+	h := &harness{cfg: cfg}
+	h.col = stats.NewCollector(cfg.Domains, 0, 0)
+	meter := power.NewMeter(cfg, power.Default45nm())
+	var err error
+	h.f, err = New(cfg, func(node int, p *packet.Packet, now int64) {
+		h.got = append(h.got, p)
+	}, h.col, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func (h *harness) pkt(src, dst geom.Coord) *packet.Packet {
+	return packet.New(h.ids.Next(), src, dst, 0, packet.Ctrl, h.now)
+}
+
+func (h *harness) steps(n int) {
+	for i := 0; i < n; i++ {
+		h.f.Step(h.now)
+		h.now++
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := config.Default(config.BLESS)
+	col := stats.NewCollector(1, 0, 0)
+	meter := power.NewMeter(cfg, power.Default45nm())
+	if _, err := New(cfg, nil, col, meter); err == nil {
+		t.Error("BLESS config accepted")
+	}
+	if _, err := New(config.Default(config.CHIPPER), nil, nil, meter); err == nil {
+		t.Error("nil collector accepted")
+	}
+}
+
+func TestSinglePacketTiming(t *testing.T) {
+	h := newHarness(t, 8)
+	src, dst := geom.Coord{X: 1, Y: 1}, geom.Coord{X: 5, Y: 4}
+	p := h.pkt(src, dst)
+	h.f.Inject(h.cfg.Mesh().ID(src), p, 0)
+	h.steps(60)
+	if p.EjectedAt < 0 {
+		t.Fatal("packet not delivered")
+	}
+	want := int64(h.cfg.Mesh().Hops(src, dst) * h.cfg.HopDelay())
+	if p.EjectedAt != want {
+		t.Errorf("EjectedAt = %d, want %d (uncontended shortest path)", p.EjectedAt, want)
+	}
+	if p.Deflections != 0 {
+		t.Errorf("lone packet deflected %d times", p.Deflections)
+	}
+}
+
+func TestMultiFlitPanics(t *testing.T) {
+	h := newHarness(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("CHIPPER must reject multi-flit packets")
+		}
+	}()
+	h.f.Inject(0, packet.New(1, geom.Coord{}, geom.Coord{X: 1, Y: 0}, 0, packet.Data, 0), 0)
+}
+
+func TestGoldenClassRotates(t *testing.T) {
+	p := &packet.Packet{ID: 5}
+	q := &packet.Packet{ID: 6}
+	// At epoch 5 (cycles 5·64…), packet 5's class is golden; q's is not.
+	now := int64(5 * goldenEpoch)
+	if !golden(p, now) || golden(q, now) {
+		t.Error("golden class selection wrong")
+	}
+	// One epoch later the torch passes on.
+	now += goldenEpoch
+	if golden(p, now) || !golden(q, now) {
+		t.Error("golden class must rotate with the epoch")
+	}
+}
+
+// Saturation stress on a full mesh with border fix-ups: everything is
+// eventually delivered and conserved.
+func TestStressDelivery(t *testing.T) {
+	h := newHarness(t, 8)
+	mesh := h.cfg.Mesh()
+	injected := 0
+	for cyc := 0; cyc < 400; cyc++ {
+		for node := 0; node < mesh.Nodes(); node += 2 {
+			src := mesh.CoordOf(node)
+			dst := mesh.CoordOf((node*19 + cyc*7 + 3) % mesh.Nodes())
+			if dst == src {
+				continue
+			}
+			if h.f.Inject(node, h.pkt(src, dst), h.now) {
+				injected++
+			}
+		}
+		h.f.Step(h.now)
+		h.now++
+		if cyc%100 == 0 {
+			if err := h.f.Audit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 60000 && h.f.InFlight() > 0; i++ {
+		h.f.Step(h.now)
+		h.now++
+	}
+	if h.f.InFlight() != 0 {
+		t.Fatalf("%d packets never delivered (golden rotation failed?)", h.f.InFlight())
+	}
+	if len(h.got) != injected {
+		t.Errorf("delivered %d of %d", len(h.got), injected)
+	}
+	if err := h.col.CheckConservation(0); err != nil {
+		t.Error(err)
+	}
+}
+
+// CHIPPER's cheap arbitration deflects more than BLESS's oldest-first
+// under identical contention (the price of the permutation network).
+func TestDeflectsMoreThanBLESSWouldAtLowCost(t *testing.T) {
+	h := newHarness(t, 8)
+	mesh := h.cfg.Mesh()
+	for cyc := 0; cyc < 300; cyc++ {
+		for node := 0; node < mesh.Nodes(); node += 3 {
+			src := mesh.CoordOf(node)
+			dst := mesh.CoordOf((node*11 + cyc*5 + 1) % mesh.Nodes())
+			if dst != src {
+				h.f.Inject(node, h.pkt(src, dst), h.now)
+			}
+		}
+		h.f.Step(h.now)
+		h.now++
+	}
+	for i := 0; i < 60000 && h.f.InFlight() > 0; i++ {
+		h.f.Step(h.now)
+		h.now++
+	}
+	tot := h.col.Total()
+	if tot.Ejected == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if tot.AvgDeflections() == 0 {
+		t.Error("contended CHIPPER run with zero deflections is implausible")
+	}
+	// Static power: the CHIPPER router must be the cheapest of all.
+	co := power.Default45nm()
+	chipper := power.RouterStaticPower(h.cfg, co)
+	bless := power.RouterStaticPower(config.Default(config.BLESS), co)
+	if chipper >= bless {
+		t.Errorf("CHIPPER static %g not below BLESS %g", chipper, bless)
+	}
+}
+
+// The permutation network is a real (partial) permutation: no packet is
+// ever duplicated or dropped inside a router.
+func TestPermutationConserves(t *testing.T) {
+	c := geom.Coord{X: 3, Y: 3}
+	mk := func(id uint64, dst geom.Coord) *packet.Packet {
+		p := packet.New(id, geom.Coord{}, dst, 0, packet.Ctrl, 0)
+		return p
+	}
+	for trial := int64(0); trial < 200; trial++ {
+		var slots [geom.NumLinkDirs]*packet.Packet
+		n := 0
+		for d := 0; d < geom.NumLinkDirs; d++ {
+			if (trial>>uint(d))&1 == 1 {
+				slots[d] = mk(uint64(trial*4+int64(d)), geom.Coord{
+					X: int(trial*7+int64(d)*3) % 8,
+					Y: int(trial*5+int64(d)) % 8,
+				})
+				n++
+			}
+		}
+		in := map[*packet.Packet]bool{}
+		for _, p := range slots {
+			if p != nil {
+				in[p] = true
+			}
+		}
+		outs := permute(c, &slots, trial)
+		outCount := 0
+		for _, p := range outs {
+			if p != nil {
+				if !in[p] {
+					t.Fatal("permutation invented a packet")
+				}
+				delete(in, p)
+				outCount++
+			}
+		}
+		if outCount != n || len(in) != 0 {
+			t.Fatalf("trial %d: %d in, %d out", trial, n, outCount)
+		}
+	}
+}

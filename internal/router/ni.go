@@ -1,0 +1,99 @@
+// Package router holds the plumbing shared by every router model: the
+// network-interface queues feeding injection ports, priority ordering
+// helpers, and a deterministic hash used where the paper calls for a
+// random choice.
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"surfbless/internal/packet"
+)
+
+// NI models one node's network interface on the injection side: a
+// bounded FIFO per domain.  Separate per-domain queues realize the
+// paper's per-domain injection VCs — a packet of one domain can never
+// be head-of-line blocked by a packet of another domain (§4.2).
+type NI struct {
+	queues   [][]*packet.Packet
+	queueCap int
+}
+
+// NewNI returns an NI with one queue per domain, each holding at most
+// queueCap packets.
+func NewNI(domains, queueCap int) *NI {
+	if domains < 1 || queueCap < 1 {
+		panic(fmt.Sprintf("router: NewNI(%d, %d)", domains, queueCap))
+	}
+	return &NI{queues: make([][]*packet.Packet, domains), queueCap: queueCap}
+}
+
+// Offer appends p to its domain queue; it returns false when the queue
+// is full (backpressure to the source).
+func (ni *NI) Offer(p *packet.Packet) bool {
+	d := p.Domain
+	if d < 0 || d >= len(ni.queues) {
+		panic(fmt.Sprintf("router: packet domain %d outside [0,%d)", d, len(ni.queues)))
+	}
+	if len(ni.queues[d]) >= ni.queueCap {
+		return false
+	}
+	ni.queues[d] = append(ni.queues[d], p)
+	return true
+}
+
+// Head returns the next packet of the given domain without removing it,
+// or nil when the queue is empty.
+func (ni *NI) Head(domain int) *packet.Packet {
+	if len(ni.queues[domain]) == 0 {
+		return nil
+	}
+	return ni.queues[domain][0]
+}
+
+// Pop removes the head packet of the given domain.  It panics on an
+// empty queue: the router must only pop what it previously saw via Head.
+func (ni *NI) Pop(domain int) *packet.Packet {
+	q := ni.queues[domain]
+	if len(q) == 0 {
+		panic(fmt.Sprintf("router: Pop on empty domain %d queue", domain))
+	}
+	p := q[0]
+	ni.queues[domain] = append(q[:0], q[1:]...)
+	return p
+}
+
+// Domains returns the number of domain queues.
+func (ni *NI) Domains() int { return len(ni.queues) }
+
+// Backlog returns the total number of queued packets across domains.
+func (ni *NI) Backlog() int {
+	n := 0
+	for _, q := range ni.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// DomainBacklog returns the number of queued packets for one domain.
+func (ni *NI) DomainBacklog(domain int) int { return len(ni.queues[domain]) }
+
+// SortOldestFirst orders packets by the old-first arbitration policy
+// [12]: longest time in network first, ties broken by packet ID.
+func SortOldestFirst(ps []*packet.Packet) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Older(ps[j]) })
+}
+
+// Hash64 mixes its inputs with the splitmix64 finalizer.  Router models
+// use it to make the paper's "randomly granted" deflection choice
+// (§4.3 Step-2) deterministic per (packet, cycle) without any shared
+// RNG state — shared state would let one domain's draws perturb
+// another's, breaking the confinement guarantee the tests assert
+// bit-exactly.
+func Hash64(a, b uint64) uint64 {
+	z := a*0x9E3779B97F4A7C15 + b + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

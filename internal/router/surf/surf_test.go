@@ -1,0 +1,169 @@
+package surf
+
+import (
+	"testing"
+
+	"surfbless/internal/config"
+	"surfbless/internal/geom"
+	"surfbless/internal/packet"
+	"surfbless/internal/power"
+	"surfbless/internal/stats"
+)
+
+func cfg4flit(domains int) config.Config {
+	c := config.Default(config.Surf)
+	c.Domains = domains
+	// The §5.1.2 buffer shape: one 4-flit VC per domain per port.
+	c.CtrlVCsPerPort, c.CtrlVCDepth = 0, 0
+	c.DataVCsPerPort, c.DataVCDepth = 1, 4
+	return c
+}
+
+func build(t *testing.T, c config.Config) (*statsAndFab, error) {
+	t.Helper()
+	col := stats.NewCollector(c.Domains, 0, 0)
+	meter := power.NewMeter(c, power.Default45nm())
+	s := &statsAndFab{col: col}
+	f, err := New(c, func(node int, p *packet.Packet, now int64) {
+		s.delivered = append(s.delivered, p)
+	}, col, meter)
+	s.fab = f
+	return s, err
+}
+
+type statsAndFab struct {
+	fab interface {
+		Inject(int, *packet.Packet, int64) bool
+		Step(int64)
+		InFlight() int
+		Audit() error
+	}
+	col       *stats.Collector
+	delivered []*packet.Packet
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := build(t, config.Default(config.WH)); err == nil {
+		t.Error("WH config accepted by Surf constructor")
+	}
+	bad := cfg4flit(2)
+	bad.Width = 7 // non-square
+	if _, err := build(t, bad); err == nil {
+		t.Error("non-square mesh accepted")
+	}
+	// A domain owning no waves must be rejected.
+	sets := cfg4flit(3)
+	sets.WaveSets = [][]int{{0, 1}, {2}, nil}
+	if _, err := build(t, sets); err == nil {
+		t.Error("domain with empty wave set accepted")
+	}
+}
+
+// Surf's Smax on the default config: 2·5·7 = 70 waves.
+func TestSurfHopDelayAndSmax(t *testing.T) {
+	c := cfg4flit(2)
+	if c.HopDelay() != 5 {
+		t.Fatalf("hop delay %d, want 5", c.HopDelay())
+	}
+	if c.Smax() != 70 {
+		t.Fatalf("Smax %d, want 70", c.Smax())
+	}
+}
+
+// A packet moving steadily south-east surfs: its per-hop latency is
+// exactly P with no slot waiting once injected.
+func TestSurfingNoSlotWait(t *testing.T) {
+	s, err := build(t, cfg4flit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := geom.NewMesh(8, 8)
+	src, dst := geom.Coord{X: 1, Y: 1}, geom.Coord{X: 6, Y: 1}
+	p := packet.New(1, src, dst, 0, packet.Ctrl, 0)
+	s.fab.Inject(mesh.ID(src), p, 0)
+	now := int64(0)
+	for ; now < 300 && p.EjectedAt < 0; now++ {
+		s.fab.Step(now)
+	}
+	if p.EjectedAt < 0 {
+		t.Fatal("packet not delivered")
+	}
+	if got := p.NetworkLatency(); got != int64(5*5) {
+		t.Errorf("network latency %d, want 25 (5 hops × P, zero slot wait)", got)
+	}
+}
+
+// Turning against the wave costs bounded buffering, never deflection:
+// hops stay minimal whatever the domain count.
+func TestTurningBuffersButNeverDeflects(t *testing.T) {
+	for _, domains := range []int{2, 5, 9} {
+		s, err := build(t, cfg4flit(domains))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mesh := geom.NewMesh(8, 8)
+		src, dst := geom.Coord{X: 1, Y: 6}, geom.Coord{X: 6, Y: 1} // east then north
+		p := packet.New(1, src, dst, domains-1, packet.Ctrl, 0)
+		s.fab.Inject(mesh.ID(src), p, 0)
+		for now := int64(0); now < 2000 && p.EjectedAt < 0; now++ {
+			s.fab.Step(now)
+		}
+		if p.EjectedAt < 0 {
+			t.Fatalf("D=%d: packet not delivered", domains)
+		}
+		if p.Deflections != 0 {
+			t.Errorf("D=%d: Surf deflected a packet %d times", domains, p.Deflections)
+		}
+		minLat := int64(mesh.Hops(src, dst) * 5)
+		if p.NetworkLatency() < minLat {
+			t.Errorf("D=%d: latency %d below physical minimum %d", domains, p.NetworkLatency(), minLat)
+		}
+		// Slot waits are bounded by ~D per turn/ejection, not unbounded.
+		if p.NetworkLatency() > minLat+int64(8*domains)+70 {
+			t.Errorf("D=%d: latency %d way above minimum %d — slot waits unbounded?",
+				domains, p.NetworkLatency(), minLat)
+		}
+	}
+}
+
+// Stress: all domains, full conservation.
+func TestSurfStress(t *testing.T) {
+	for _, domains := range []int{2, 4, 6} {
+		s, err := build(t, cfg4flit(domains))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mesh := geom.NewMesh(8, 8)
+		var ids packet.IDSource
+		now := int64(0)
+		injected := 0
+		for cyc := 0; cyc < 300; cyc++ {
+			for node := 0; node < mesh.Nodes(); node += 4 {
+				src := mesh.CoordOf(node)
+				dst := mesh.CoordOf((node*29 + cyc*11 + 3) % mesh.Nodes())
+				if dst == src {
+					continue
+				}
+				p := packet.New(ids.Next(), src, dst, (node+cyc)%domains, packet.Ctrl, now)
+				if s.fab.Inject(node, p, now) {
+					injected++
+				}
+			}
+			s.fab.Step(now)
+			now++
+		}
+		for i := 0; i < 30000 && s.fab.InFlight() > 0; i++ {
+			s.fab.Step(now)
+			now++
+		}
+		if s.fab.InFlight() != 0 {
+			t.Fatalf("D=%d: %d packets stuck", domains, s.fab.InFlight())
+		}
+		if len(s.delivered) != injected {
+			t.Errorf("D=%d: delivered %d of %d", domains, len(s.delivered), injected)
+		}
+		if err := s.fab.Audit(); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package surfbless implements the paper's contribution: Surf-Bless
+// routing — confined-interference communication on a bufferless NoC
+// (Section 4).
+//
+// Every router consults three wave schedulers (south-east, north, west;
+// package wave) that own its port groups cycle by cycle.  A packet may
+// use only ports whose current wave belongs to the packet's domain, and
+// injection/ejection happen exclusively on the south-east sub-wave.
+// The routing algorithm is the paper's two-step procedure (§4.3):
+//
+//	Step 1 — old-first arbitration [12] picks the packet order;
+//	         injection has the lowest priority.
+//	Step 2 — try the X-Y output; if it is not in the packet's domain or
+//	         already granted, try Y-X; otherwise deflect to a free
+//	         output of the same domain chosen pseudo-randomly.
+//
+// The wave schedule's port-balance invariant guarantees the deflection
+// target exists, so packets never wait inside the network and no
+// in-network VCs are needed.  The fabric enforces that invariant with
+// always-on assertions: a missing output or a packet arriving on a
+// foreign domain's wave panics, because it would falsify the paper's
+// central claim.
+//
+// Multi-flit packets (§5.2) travel as worms pinned to aligned windows
+// of consecutive same-domain waves: a worm of L flits may start only
+// where the decoder reports CanStart(w, L) (the "begin of the wave
+// sets"), which makes window occupancy self-synchronizing — no
+// explicit output reservation is needed because mid-window waves never
+// satisfy CanStart for a new head.
+package surfbless
+
+import (
+	"fmt"
+
+	"surfbless/internal/config"
+	"surfbless/internal/geom"
+	"surfbless/internal/link"
+	"surfbless/internal/network"
+	"surfbless/internal/packet"
+	"surfbless/internal/power"
+	"surfbless/internal/router"
+	"surfbless/internal/stats"
+	"surfbless/internal/wave"
+)
+
+// Policy tunes the §4.3 output-selection procedure for ablation
+// studies.  The zero value is the paper's algorithm.
+type Policy struct {
+	// DisableYX skips Step 2's Y-X fallback, deflecting straight after
+	// a failed X-Y try.
+	DisableYX bool
+	// DisableRandom replaces the pseudo-random deflection choice with
+	// the first eligible port in fixed N,E,S,W order.
+	DisableRandom bool
+}
+
+// Fabric is a Surf-Bless mesh.  It implements network.Fabric.
+type Fabric struct {
+	cfg   config.Config
+	mesh  geom.Mesh
+	sched *wave.Schedule
+	dec   *wave.Decoder
+	slot  []int // per-domain slot width (window length in waves)
+	pol   Policy
+
+	nodes []*node
+	sink  network.Sink
+	col   *stats.Collector
+	meter *power.Meter
+
+	inFlight int
+	lastStep int64
+}
+
+type node struct {
+	c   geom.Coord
+	ni  *router.NI
+	in  [geom.NumLinkDirs]*link.Line[*packet.Packet]
+	out [geom.NumLinkDirs]*link.Line[*packet.Packet]
+}
+
+// New builds a Surf-Bless mesh for cfg with the paper's routing
+// algorithm.  slotWidths gives the window length per domain (nil means
+// 1 for every domain); packets of a domain must not exceed its slot
+// width.  Wave→domain decoding follows cfg.WaveSets when set, else
+// round-robin.
+func New(cfg config.Config, slotWidths []int, sink network.Sink, col *stats.Collector, meter *power.Meter) (*Fabric, error) {
+	return NewWithPolicy(cfg, slotWidths, Policy{}, sink, col, meter)
+}
+
+// NewWithPolicy is New with an ablation policy applied.
+func NewWithPolicy(cfg config.Config, slotWidths []int, pol Policy, sink network.Sink, col *stats.Collector, meter *power.Meter) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model != config.SB {
+		return nil, fmt.Errorf("surfbless: config model is %v", cfg.Model)
+	}
+	if col == nil || meter == nil {
+		return nil, fmt.Errorf("surfbless: collector and meter are required")
+	}
+	mesh := cfg.Mesh()
+	sched := wave.New(mesh, cfg.HopDelay())
+
+	var dec *wave.Decoder
+	if cfg.WaveSets != nil {
+		var err error
+		if dec, err = wave.FromSets(sched.Smax(), cfg.WaveSets); err != nil {
+			return nil, err
+		}
+	} else {
+		dec = wave.RoundRobin(sched.Smax(), cfg.Domains)
+	}
+
+	if slotWidths == nil {
+		slotWidths = make([]int, cfg.Domains)
+		for i := range slotWidths {
+			slotWidths[i] = 1
+		}
+	}
+	if len(slotWidths) != cfg.Domains {
+		return nil, fmt.Errorf("surfbless: %d slot widths for %d domains", len(slotWidths), cfg.Domains)
+	}
+	for dom, w := range slotWidths {
+		if w < 1 {
+			return nil, fmt.Errorf("surfbless: domain %d slot width %d", dom, w)
+		}
+		if dec.StartableSlots(dom, w) == 0 {
+			return nil, fmt.Errorf("surfbless: domain %d has no startable window of %d waves", dom, w)
+		}
+	}
+
+	f := &Fabric{
+		cfg: cfg, mesh: mesh, sched: sched, dec: dec, slot: slotWidths, pol: pol,
+		sink: sink, col: col, meter: meter, lastStep: -1,
+	}
+	f.nodes = make([]*node, mesh.Nodes())
+	for id := range f.nodes {
+		f.nodes[id] = &node{
+			c:  mesh.CoordOf(id),
+			ni: router.NewNI(cfg.Domains, cfg.InjectionQueueCap),
+		}
+	}
+	p := cfg.HopDelay()
+	for _, n := range f.nodes {
+		for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+			if !mesh.HasNeighbor(n.c, d) {
+				continue
+			}
+			l := link.New[*packet.Packet](p)
+			n.out[d] = l
+			f.nodes[mesh.ID(n.c.Add(d))].in[d.Opposite()] = l
+		}
+	}
+	return f, nil
+}
+
+// Decoder exposes the wave→domain decoder (read-only use).
+func (f *Fabric) Decoder() *wave.Decoder { return f.dec }
+
+// Schedule exposes the wave schedule (read-only use).
+func (f *Fabric) Schedule() *wave.Schedule { return f.sched }
+
+// Inject offers p to node's per-domain NI queue.  It panics when the
+// packet violates the static domain contract (bad domain index, or a
+// size exceeding the domain's slot width) and returns false under
+// backpressure.
+func (f *Fabric) Inject(nodeID int, p *packet.Packet, now int64) bool {
+	if p.Domain < 0 || p.Domain >= f.cfg.Domains {
+		panic(fmt.Sprintf("surfbless: %v has domain outside [0,%d)", p, f.cfg.Domains))
+	}
+	if p.Size > f.slot[p.Domain] {
+		panic(fmt.Sprintf("surfbless: %v exceeds domain %d slot width %d", p, p.Domain, f.slot[p.Domain]))
+	}
+	n := f.nodes[nodeID]
+	if !n.ni.Offer(p) {
+		f.col.Refused(p.Domain, now)
+		return false
+	}
+	f.col.Created(p)
+	f.meter.BufferWrite(p.Size)
+	f.inFlight++
+	return true
+}
+
+// Step advances the network by one cycle.
+func (f *Fabric) Step(now int64) {
+	if now <= f.lastStep {
+		panic(fmt.Sprintf("surfbless: Step(%d) after Step(%d)", now, f.lastStep))
+	}
+	f.lastStep = now
+	for _, n := range f.nodes {
+		f.stepNode(n, now)
+	}
+}
+
+func (f *Fabric) stepNode(n *node, now int64) {
+	// Collect arrivals and check the confinement invariant: a packet
+	// must arrive on a wave owned by its own domain, at a window start.
+	var arrivals []*packet.Packet
+	arrivalDir := make(map[*packet.Packet]geom.Dir, geom.NumLinkDirs)
+	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+		if n.in[d] == nil {
+			continue
+		}
+		for _, p := range n.in[d].Recv(now) {
+			w := f.sched.InputWave(n.c, d, now)
+			if dom := f.dec.Domain(w); dom != p.Domain {
+				panic(fmt.Sprintf("surfbless: %v arrived at %v/%v cycle %d on wave %d of domain %d",
+					p, n.c, d, now, w, dom))
+			}
+			if !f.dec.CanStart(w, f.slot[p.Domain]) {
+				panic(fmt.Sprintf("surfbless: %v arrived at %v/%v cycle %d mid-window (wave %d)",
+					p, n.c, d, now, w))
+			}
+			arrivals = append(arrivals, p)
+			arrivalDir[p] = d
+		}
+	}
+
+	// Ejection happens only on the south-east sub-wave (§4.2): the
+	// ejection port is owned by the SE scheduler's current wave, so a
+	// packet at its destination ejects only when that wave belongs to
+	// its domain — otherwise it is deflected onward (§5.1.3).
+	seWave := f.sched.OutputWave(n.c, geom.Local, now)
+	seDom := f.dec.Domain(seWave)
+	seStart := seDom >= 0 && f.dec.CanStart(seWave, f.slot[seDom])
+	ejected := -1
+	if seStart {
+		for i, p := range arrivals {
+			if p.Dst == n.c && p.Domain == seDom && (ejected < 0 || p.Older(arrivals[ejected])) {
+				ejected = i
+			}
+		}
+	}
+	if ejected >= 0 {
+		f.eject(n, arrivals[ejected], now)
+		arrivals = append(arrivals[:ejected], arrivals[ejected+1:]...)
+	}
+
+	// Step 1 of the routing algorithm: old-first packet order.
+	router.SortOldestFirst(arrivals)
+
+	// Step 2: X-Y, then Y-X, then random same-domain deflection.
+	var taken [geom.NumLinkDirs]bool
+	for _, p := range arrivals {
+		d := f.pickOutput(n, p, now, &taken)
+		if d < 0 {
+			panic(fmt.Sprintf("surfbless: no same-domain output at %v cycle %d for %v (arrived %v) — wave balance violated",
+				n.c, now, p, arrivalDir[p]))
+		}
+		f.forward(n, p, d, now, &taken)
+	}
+
+	// Injection: only on the SE sub-wave, only for the domain owning it,
+	// and only at the lowest priority (a free same-domain output must
+	// remain, §4.3).
+	if seStart {
+		if p := n.ni.Head(seDom); p != nil {
+			if d := f.pickOutput(n, p, now, &taken); d >= 0 {
+				n.ni.Pop(seDom)
+				p.InjectedAt = now
+				f.col.Injected(p)
+				f.meter.BufferRead(p.Size)
+				f.forward(n, p, d, now, &taken)
+			}
+		}
+	}
+}
+
+// eligible reports whether output d may carry p's head this cycle.
+func (f *Fabric) eligible(n *node, p *packet.Packet, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool) bool {
+	if d == geom.Local || n.out[d] == nil || taken[d] {
+		return false
+	}
+	w := f.sched.OutputWave(n.c, d, now)
+	return f.dec.Domain(w) == p.Domain && f.dec.CanStart(w, f.slot[p.Domain])
+}
+
+// pickOutput implements Step 2 of §4.3.  It returns -1 when no
+// same-domain output is free (legal only for injection attempts).
+func (f *Fabric) pickOutput(n *node, p *packet.Packet, now int64, taken *[geom.NumLinkDirs]bool) geom.Dir {
+	if d := geom.XYFirst(n.c, p.Dst); d != geom.Local && f.eligible(n, p, d, now, taken) {
+		return d
+	}
+	if !f.pol.DisableYX {
+		if d := geom.YXFirst(n.c, p.Dst); d != geom.Local && f.eligible(n, p, d, now, taken) {
+			return d
+		}
+	}
+	// Random deflection among the remaining same-domain outputs.  The
+	// choice is a pure hash of (packet, cycle): no shared RNG state, so
+	// one domain's traffic can never perturb another domain's draws.
+	var free []geom.Dir
+	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+		if f.eligible(n, p, d, now, taken) {
+			free = append(free, d)
+		}
+	}
+	if len(free) == 0 {
+		return -1
+	}
+	if f.pol.DisableRandom {
+		return free[0]
+	}
+	return free[router.Hash64(p.ID, uint64(now))%uint64(len(free))]
+}
+
+func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool) {
+	taken[d] = true
+	p.Hops++
+	if !geom.Productive(n.c, p.Dst, d) {
+		p.Deflections++
+	}
+	f.meter.Allocation(1)
+	f.meter.CrossbarTraversal(p.Size)
+	f.meter.LinkTraversal(p.Size)
+	n.out[d].Send(p, now)
+}
+
+func (f *Fabric) eject(n *node, p *packet.Packet, now int64) {
+	p.EjectedAt = now
+	f.meter.CrossbarTraversal(p.Size)
+	f.col.Ejected(p)
+	f.inFlight--
+	if f.sink != nil {
+		f.sink(f.mesh.ID(n.c), p, now)
+	}
+}
+
+// InFlight returns accepted-but-undelivered packets.
+func (f *Fabric) InFlight() int { return f.inFlight }
+
+// Audit verifies that NI queues plus link occupancy account for every
+// in-flight packet (Surf-Bless routers hold no state between cycles).
+func (f *Fabric) Audit() error {
+	n := 0
+	for _, nd := range f.nodes {
+		n += nd.ni.Backlog()
+		for _, l := range nd.out {
+			if l != nil {
+				n += l.InFlight()
+			}
+		}
+	}
+	if n != f.inFlight {
+		return fmt.Errorf("surfbless: %d packets in queues+links, %d in flight", n, f.inFlight)
+	}
+	return nil
+}
+
+var _ network.Fabric = (*Fabric)(nil)

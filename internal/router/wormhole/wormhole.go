@@ -1,0 +1,605 @@
+// Package wormhole implements the flit-level virtual-channel router
+// engine used by both VC-based comparators of §5:
+//
+//   - WH — the baseline wormhole network (4-stage pipeline, X-Y DOR,
+//     credit-based flow control, Table-1 VC complement), and
+//   - Surf — the SurfNoC-style confined-interference network [2],
+//     realized by package surf as this engine with per-domain VCs and
+//     wave-gated output ports (see Options.WaveGated).
+//
+// Modelling granularity matches Garnet: packets move flit by flit;
+// a head flit performs route computation and VC allocation, every flit
+// competes in switch allocation and consumes a credit, and the tail
+// flit releases the VC.  The 4-stage router pipeline plus link
+// traversal are folded into the hop delay of the flit delay lines
+// (Table 1: P = 5 for the VC networks), so a flit that never waits in a
+// VC experiences exactly P cycles per hop — which is what lets Surf
+// packets "surf" their waves with zero slot-waiting in the steady
+// direction.
+package wormhole
+
+import (
+	"fmt"
+
+	"surfbless/internal/config"
+	"surfbless/internal/geom"
+	"surfbless/internal/link"
+	"surfbless/internal/network"
+	"surfbless/internal/packet"
+	"surfbless/internal/power"
+	"surfbless/internal/router"
+	"surfbless/internal/stats"
+	"surfbless/internal/wave"
+)
+
+// VCSpec describes one virtual channel of every input port.
+type VCSpec struct {
+	Depth int // buffer depth in flits
+	Group int // match key (VNet or domain); -1 admits any packet
+}
+
+// Key selects what packet field VC groups and NI queues match against.
+type Key int
+
+// Matching policies.
+const (
+	KeyNone   Key = iota // any packet may use any VC (synthetic WH)
+	KeyVNet              // VC group must equal the packet's virtual network (protocol WH)
+	KeyDomain            // VC group must equal the packet's domain (Surf)
+)
+
+// Options configures one engine instance.
+type Options struct {
+	Cfg config.Config
+	VCs []VCSpec // the VC complement of every non-local input port
+	Key Key
+
+	// WaveGated enables Surf's TDM: a flit may cross output port o at
+	// cycle T only when the wave owning o at T decodes to the flit's
+	// domain.  Requires Sched and Dec.
+	WaveGated bool
+	Sched     *wave.Schedule
+	Dec       *wave.Decoder
+}
+
+// SharedVCs returns the Table-1 VC complement with every VC open to
+// every packet (the synthetic-traffic WH configuration).
+func SharedVCs(cfg config.Config) []VCSpec {
+	return vcComplement(cfg, -1, -1)
+}
+
+// VNetVCs returns the Table-1 complement with control VCs bound to the
+// control virtual networks and data VCs to the data virtual networks
+// (vnet 0 … ctrl first, then data), the protocol WH configuration.
+func VNetVCs(cfg config.Config) []VCSpec {
+	var specs []VCSpec
+	g := 0
+	for i := 0; i < cfg.CtrlVCsPerPort; i++ {
+		specs = append(specs, VCSpec{Depth: cfg.CtrlVCDepth, Group: g})
+		g++
+	}
+	for i := 0; i < cfg.DataVCsPerPort; i++ {
+		specs = append(specs, VCSpec{Depth: cfg.DataVCDepth, Group: g})
+		g++
+	}
+	return specs
+}
+
+// DomainVCs replicates the configured VC complement once per domain,
+// binding each copy to its domain — Surf's buffer organization, whose
+// 5-ports-×-D-domains growth is the static-energy story of Fig. 6.
+func DomainVCs(cfg config.Config) []VCSpec {
+	var specs []VCSpec
+	for d := 0; d < cfg.Domains; d++ {
+		specs = append(specs, vcComplement(cfg, d, d)...)
+	}
+	return specs
+}
+
+func vcComplement(cfg config.Config, ctrlGroup, dataGroup int) []VCSpec {
+	var specs []VCSpec
+	for i := 0; i < cfg.CtrlVCsPerPort; i++ {
+		specs = append(specs, VCSpec{Depth: cfg.CtrlVCDepth, Group: ctrlGroup})
+	}
+	for i := 0; i < cfg.DataVCsPerPort; i++ {
+		specs = append(specs, VCSpec{Depth: cfg.DataVCDepth, Group: dataGroup})
+	}
+	return specs
+}
+
+type flitMsg struct {
+	f  packet.Flit
+	vc int
+}
+
+type creditMsg struct {
+	vc int
+}
+
+type inVC struct {
+	spec   VCSpec
+	fifo   []packet.Flit
+	active bool // a packet holds this VC (head routed, tail not yet forwarded)
+	outDir geom.Dir
+	outVC  int
+}
+
+type inPort struct {
+	vcs       []inVC
+	flitsIn   *link.Line[flitMsg]   // nil for absent ports
+	creditOut *link.Line[creditMsg] // credits back upstream
+}
+
+type outPort struct {
+	flitsOut *link.Line[flitMsg]   // nil for Local and absent ports
+	creditIn *link.Line[creditMsg] // credits from downstream
+	credits  []int                 // free downstream buffer slots per VC
+	owner    []*packet.Packet      // downstream VC holder, nil = allocatable
+}
+
+type injState struct {
+	active bool
+	outDir geom.Dir
+	outVC  int
+	sent   int
+}
+
+type node struct {
+	c   geom.Coord
+	ni  *router.NI
+	inj []injState
+	in  [geom.NumDirs]inPort // Local unused (injection is the NI)
+	out [geom.NumDirs]outPort
+
+	// per-cycle scratch, reset in step
+	inUsed  [geom.NumDirs][]bool // [port][lane]: input bandwidth consumed
+	injUsed []bool               // [lane]: injection bandwidth consumed
+}
+
+// Engine is a mesh of VC routers.  It implements network.Fabric.
+type Engine struct {
+	opt   Options
+	mesh  geom.Mesh
+	nodes []*node
+	sink  network.Sink
+	col   *stats.Collector
+	meter *power.Meter
+
+	lanes    int // input-port bandwidth lanes (1, or #domains when wave-gated)
+	inFlight int
+	flitsIn  int64 // flits injected into the network
+	flitsOut int64 // flits ejected
+	lastStep int64
+}
+
+// New builds the engine.  The caller provides the VC layout and gating;
+// use package surf for the Surf configuration or SharedVCs/VNetVCs here
+// for WH.
+func New(opt Options, sink network.Sink, col *stats.Collector, meter *power.Meter) (*Engine, error) {
+	cfg := opt.Cfg
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model != config.WH && cfg.Model != config.Surf {
+		return nil, fmt.Errorf("wormhole: config model is %v", cfg.Model)
+	}
+	if col == nil || meter == nil {
+		return nil, fmt.Errorf("wormhole: collector and meter are required")
+	}
+	if len(opt.VCs) == 0 {
+		return nil, fmt.Errorf("wormhole: no VCs specified")
+	}
+	for i, s := range opt.VCs {
+		if s.Depth < 1 {
+			return nil, fmt.Errorf("wormhole: VC %d depth %d", i, s.Depth)
+		}
+	}
+	if opt.WaveGated && (opt.Sched == nil || opt.Dec == nil) {
+		return nil, fmt.Errorf("wormhole: wave gating requires a schedule and decoder")
+	}
+
+	e := &Engine{opt: opt, mesh: cfg.Mesh(), sink: sink, col: col, meter: meter, lanes: 1, lastStep: -1}
+	if opt.WaveGated {
+		// Per-domain input bandwidth removes cross-domain contention at
+		// input ports; output TDM already bounds aggregate switch use.
+		// See DESIGN.md §2 (modelling conventions for Surf).
+		e.lanes = cfg.Domains
+	}
+	e.nodes = make([]*node, e.mesh.Nodes())
+	for id := range e.nodes {
+		n := &node{
+			c:   e.mesh.CoordOf(id),
+			ni:  router.NewNI(cfg.Domains, cfg.InjectionQueueCap),
+			inj: make([]injState, cfg.Domains),
+		}
+		for d := geom.Dir(0); d < geom.NumDirs; d++ {
+			n.inUsed[d] = make([]bool, e.lanes)
+		}
+		n.injUsed = make([]bool, e.lanes)
+		e.nodes[id] = n
+	}
+	// Wire flit and credit lines, and initialize per-output credit and
+	// ownership state mirroring the downstream VC layout.
+	hop := cfg.HopDelay()
+	for _, n := range e.nodes {
+		for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+			if !e.mesh.HasNeighbor(n.c, d) {
+				continue
+			}
+			peer := e.nodes[e.mesh.ID(n.c.Add(d))]
+			fl := link.New[flitMsg](hop)
+			cl := link.New[creditMsg](1)
+			n.out[d].flitsOut = fl
+			n.out[d].creditIn = cl
+			n.out[d].credits = make([]int, len(opt.VCs))
+			n.out[d].owner = make([]*packet.Packet, len(opt.VCs))
+			for v, s := range opt.VCs {
+				n.out[d].credits[v] = s.Depth
+			}
+			peer.in[d.Opposite()].flitsIn = fl
+			peer.in[d.Opposite()].creditOut = cl
+			peer.in[d.Opposite()].vcs = make([]inVC, len(opt.VCs))
+			for v, s := range opt.VCs {
+				peer.in[d.Opposite()].vcs[v] = inVC{spec: s, fifo: make([]packet.Flit, 0, s.Depth)}
+			}
+		}
+	}
+	return e, nil
+}
+
+// key returns the packet field VC groups match against.
+func (e *Engine) key(p *packet.Packet) int {
+	switch e.opt.Key {
+	case KeyVNet:
+		return p.VNet
+	case KeyDomain:
+		return p.Domain
+	default:
+		return -1
+	}
+}
+
+func (e *Engine) vcAdmits(spec VCSpec, p *packet.Packet) bool {
+	return spec.Group < 0 || e.opt.Key == KeyNone || spec.Group == e.key(p)
+}
+
+// gate reports whether a flit of p may cross output o of router c at
+// cycle now (always true unless wave-gated).  The Local (ejection)
+// port is never gated: the NI's per-domain sinks are not a shared mesh
+// resource, and arbitrateOutput gives Local one grant lane per domain,
+// so ungated ejection cannot couple domains.
+func (e *Engine) gate(c geom.Coord, o geom.Dir, p *packet.Packet, now int64) bool {
+	if !e.opt.WaveGated || o == geom.Local {
+		return true
+	}
+	w := e.opt.Sched.OutputWave(c, o, now)
+	return e.opt.Dec.Domain(w) == p.Domain
+}
+
+// lane returns the input-bandwidth lane a packet uses at an input port.
+func (e *Engine) lane(p *packet.Packet) int {
+	if e.lanes == 1 {
+		return 0
+	}
+	return p.Domain
+}
+
+// Inject offers p to the node's NI.
+func (e *Engine) Inject(nodeID int, p *packet.Packet, now int64) bool {
+	if p.Domain < 0 || p.Domain >= e.opt.Cfg.Domains {
+		panic(fmt.Sprintf("wormhole: %v has domain outside [0,%d)", p, e.opt.Cfg.Domains))
+	}
+	if e.opt.Key == KeyVNet && p.VNet < 0 {
+		panic(fmt.Sprintf("wormhole: %v has no virtual network in KeyVNet mode", p))
+	}
+	n := e.nodes[nodeID]
+	if !n.ni.Offer(p) {
+		e.col.Refused(p.Domain, now)
+		return false
+	}
+	e.col.Created(p)
+	e.meter.BufferWrite(p.Size)
+	e.inFlight++
+	return true
+}
+
+// Step advances the network by one cycle.
+func (e *Engine) Step(now int64) {
+	if now <= e.lastStep {
+		panic(fmt.Sprintf("wormhole: Step(%d) after Step(%d)", now, e.lastStep))
+	}
+	e.lastStep = now
+	for _, n := range e.nodes {
+		e.receive(n, now)
+	}
+	for _, n := range e.nodes {
+		e.allocate(n, now)
+		e.switchTraversal(n, now)
+	}
+}
+
+// receive drains credit and flit lines into router state.
+func (e *Engine) receive(n *node, now int64) {
+	for d := geom.Dir(0); d < geom.NumDirs; d++ {
+		if cl := n.out[d].creditIn; cl != nil {
+			for _, m := range cl.Recv(now) {
+				n.out[d].credits[m.vc]++
+				if n.out[d].credits[m.vc] > e.opt.VCs[m.vc].Depth {
+					panic(fmt.Sprintf("wormhole: credit overflow at %v/%v vc %d", n.c, d, m.vc))
+				}
+			}
+		}
+		if fl := n.in[d].flitsIn; fl != nil {
+			for _, m := range fl.Recv(now) {
+				vc := &n.in[d].vcs[m.vc]
+				if len(vc.fifo) >= vc.spec.Depth {
+					panic(fmt.Sprintf("wormhole: buffer overflow at %v/%v vc %d", n.c, d, m.vc))
+				}
+				vc.fifo = append(vc.fifo, m.f)
+				e.meter.BufferWrite(1)
+			}
+		}
+	}
+}
+
+// allocate performs route computation and downstream-VC allocation for
+// every head flit at the front of an idle VC, and for NI head packets.
+func (e *Engine) allocate(n *node, now int64) {
+	for d := geom.Dir(0); d < geom.NumDirs; d++ {
+		for v := range n.in[d].vcs {
+			vc := &n.in[d].vcs[v]
+			if vc.active || len(vc.fifo) == 0 {
+				continue
+			}
+			head := vc.fifo[0]
+			if !head.Head() {
+				panic(fmt.Sprintf("wormhole: body flit of %v at idle VC head (%v/%v vc %d)", head.Pkt, n.c, d, v))
+			}
+			e.tryAllocate(n, head.Pkt, &vc.active, &vc.outDir, &vc.outVC, now)
+		}
+	}
+	for dom := range n.inj {
+		st := &n.inj[dom]
+		if st.active {
+			continue
+		}
+		p := n.ni.Head(dom)
+		if p == nil {
+			continue
+		}
+		st.sent = 0
+		e.tryAllocate(n, p, &st.active, &st.outDir, &st.outVC, now)
+	}
+}
+
+// tryAllocate routes p and claims a downstream VC; on success it sets
+// the provided allocation fields.
+func (e *Engine) tryAllocate(n *node, p *packet.Packet, active *bool, outDir *geom.Dir, outVC *int, now int64) {
+	d := geom.XYFirst(n.c, p.Dst)
+	if d == geom.Local {
+		*active, *outDir, *outVC = true, geom.Local, -1
+		e.meter.Allocation(1)
+		return
+	}
+	out := &n.out[d]
+	if out.flitsOut == nil {
+		panic(fmt.Sprintf("wormhole: X-Y route of %v leaves the mesh at %v", p, n.c))
+	}
+	// Prefer a VC deep enough to hold the whole packet — parking a
+	// 5-flit worm in a 1-flit control VC would throttle it to one flit
+	// per credit round-trip.  Fall back to any admitting VC.
+	pick := -1
+	for v, s := range e.opt.VCs {
+		if out.owner[v] != nil || !e.vcAdmits(s, p) {
+			continue
+		}
+		if s.Depth >= p.Size {
+			pick = v
+			break
+		}
+		if pick < 0 {
+			pick = v
+		}
+	}
+	if pick >= 0 {
+		out.owner[pick] = p
+		*active, *outDir, *outVC = true, d, pick
+		e.meter.Allocation(1)
+	}
+}
+
+// switchTraversal arbitrates each output port and moves winning flits.
+func (e *Engine) switchTraversal(n *node, now int64) {
+	for d := geom.Dir(0); d < geom.NumDirs; d++ {
+		for l := range n.inUsed[d] {
+			n.inUsed[d][l] = false
+		}
+	}
+	for l := range n.injUsed {
+		n.injUsed[l] = false
+	}
+
+	for _, o := range []geom.Dir{geom.North, geom.East, geom.South, geom.West, geom.Local} {
+		if o != geom.Local && n.out[o].flitsOut == nil {
+			continue
+		}
+		e.arbitrateOutput(n, o, now)
+	}
+}
+
+// request is one switch-allocation candidate.
+type request struct {
+	fromInj bool
+	port    geom.Dir // input port (ignored for injection)
+	vc      int      // input VC index (or NI domain for injection)
+}
+
+func (e *Engine) arbitrateOutput(n *node, o geom.Dir, now int64) {
+	var reqs []request
+	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+		for v := range n.in[d].vcs {
+			vc := &n.in[d].vcs[v]
+			if !vc.active || vc.outDir != o || len(vc.fifo) == 0 {
+				continue
+			}
+			p := vc.fifo[0].Pkt
+			if n.inUsed[d][e.lane(p)] || !e.gate(n.c, o, p, now) {
+				continue
+			}
+			if o != geom.Local && n.out[o].credits[vc.outVC] == 0 {
+				continue
+			}
+			reqs = append(reqs, request{port: d, vc: v})
+		}
+	}
+	// In-network flits outrank injection (injection has the lowest
+	// priority); consider NI candidates only when no VC wants o.
+	if len(reqs) == 0 {
+		for dom := range n.inj {
+			st := &n.inj[dom]
+			if !st.active || st.outDir != o {
+				continue
+			}
+			p := n.ni.Head(dom)
+			if p == nil {
+				panic(fmt.Sprintf("wormhole: injection state active with empty queue (%v dom %d)", n.c, dom))
+			}
+			if n.injUsed[e.lane(p)] || !e.gate(n.c, o, p, now) {
+				continue
+			}
+			if o != geom.Local && n.out[o].credits[st.outVC] == 0 {
+				continue
+			}
+			reqs = append(reqs, request{fromInj: true, vc: dom})
+		}
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	if o == geom.Local && e.lanes > 1 {
+		// Ungated ejection with one grant lane per domain: pick at most
+		// one flit per domain, rotating within each domain's candidates
+		// so the choice never depends on other domains' presence.
+		byDom := make(map[int][]request)
+		var doms []int
+		for _, r := range reqs {
+			d := e.reqPacket(n, r).Domain
+			if len(byDom[d]) == 0 {
+				doms = append(doms, d)
+			}
+			byDom[d] = append(byDom[d], r)
+		}
+		for _, d := range doms {
+			cand := byDom[d]
+			e.grant(n, o, cand[int(now%int64(len(cand)))], now)
+		}
+		return
+	}
+	// One grant per output per cycle, rotating priority for fairness.
+	// Under wave gating all candidates belong to the wave's one domain,
+	// so the shared rotation cannot couple domains.
+	e.grant(n, o, reqs[int(now%int64(len(reqs)))], now)
+}
+
+// reqPacket returns the packet a request would move.
+func (e *Engine) reqPacket(n *node, r request) *packet.Packet {
+	if r.fromInj {
+		return n.ni.Head(r.vc)
+	}
+	return n.in[r.port].vcs[r.vc].fifo[0].Pkt
+}
+
+// grant moves one flit of request r through output o.
+func (e *Engine) grant(n *node, o geom.Dir, r request, now int64) {
+	var f packet.Flit
+	var outVC int
+	if r.fromInj {
+		st := &n.inj[r.vc]
+		p := n.ni.Head(r.vc)
+		f = packet.Flit{Pkt: p, Seq: st.sent}
+		outVC = st.outVC
+		if f.Head() {
+			p.InjectedAt = now
+			e.col.Injected(p)
+		}
+		st.sent++
+		e.meter.BufferRead(1)
+		e.flitsIn++
+		n.injUsed[e.lane(p)] = true
+		if f.Tail() {
+			n.ni.Pop(r.vc)
+			st.active = false
+		}
+	} else {
+		in := &n.in[r.port]
+		vc := &in.vcs[r.vc]
+		f = vc.fifo[0]
+		outVC = vc.outVC
+		vc.fifo = append(vc.fifo[:0], vc.fifo[1:]...)
+		e.meter.BufferRead(1)
+		in.creditOut.Send(creditMsg{vc: r.vc}, now)
+		n.inUsed[r.port][e.lane(f.Pkt)] = true
+		if f.Tail() {
+			vc.active = false
+		}
+	}
+	e.meter.CrossbarTraversal(1)
+
+	if o == geom.Local {
+		e.flitsOut++
+		if f.Tail() {
+			p := f.Pkt
+			p.EjectedAt = now
+			p.Hops = e.mesh.Hops(p.Src, p.Dst)
+			e.col.Ejected(p)
+			e.inFlight--
+			if e.sink != nil {
+				e.sink(e.mesh.ID(n.c), p, now)
+			}
+		}
+		return
+	}
+
+	out := &n.out[o]
+	out.credits[outVC]--
+	e.meter.LinkTraversal(1)
+	out.flitsOut.Send(flitMsg{f: f, vc: outVC}, now)
+	if f.Tail() {
+		out.owner[outVC] = nil
+	}
+}
+
+// InFlight returns accepted-but-undelivered packets.
+func (e *Engine) InFlight() int { return e.inFlight }
+
+// Audit verifies flit conservation: flits buffered in VCs plus flits on
+// links must equal flits injected minus flits ejected, and NI queues
+// plus partially/fully buffered packets must equal InFlight.
+func (e *Engine) Audit() error {
+	buffered := int64(0)
+	for _, n := range e.nodes {
+		for d := geom.Dir(0); d < geom.NumDirs; d++ {
+			for v := range n.in[d].vcs {
+				buffered += int64(len(n.in[d].vcs[v].fifo))
+			}
+			if fl := n.in[d].flitsIn; fl != nil {
+				buffered += int64(fl.InFlight())
+			}
+		}
+	}
+	if got := e.flitsIn - e.flitsOut; got != buffered {
+		return fmt.Errorf("wormhole: %d flits in network, %d buffered+in-flight", got, buffered)
+	}
+	// Packet-level: every in-flight packet is either still (partially)
+	// in an NI queue or fully inside the network awaiting ejection.
+	queued := 0
+	for _, n := range e.nodes {
+		queued += n.ni.Backlog()
+	}
+	if queued > e.inFlight {
+		return fmt.Errorf("wormhole: %d packets queued exceeds %d in flight", queued, e.inFlight)
+	}
+	return nil
+}
+
+var _ network.Fabric = (*Engine)(nil)

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"surfbless/internal/config"
+	"surfbless/internal/router"
+	"surfbless/internal/traffic"
+)
+
+// Property-style sweeps: many random configurations, each run with the
+// conservation audit live and the SB fabric's wave assertions armed.
+// Any domain leak, lost packet or balance violation fails the run.
+
+func pseudo(seed *uint64) uint64 {
+	*seed = router.Hash64(*seed, 0x5bd1e995)
+	return *seed
+}
+
+func TestSBRandomConfigsProperty(t *testing.T) {
+	seed := uint64(0xfeed)
+	for trial := 0; trial < 12; trial++ {
+		n := []int{3, 4, 5, 6, 8}[pseudo(&seed)%5]
+		domains := 1 + int(pseudo(&seed)%9)
+		cfg := config.Default(config.SB)
+		cfg.Width, cfg.Height = n, n
+		if domains > cfg.Smax() {
+			domains = cfg.Smax()
+		}
+		cfg.Domains = domains
+		rate := 0.02 + float64(pseudo(&seed)%8)/100
+		res, err := Run(Options{
+			Cfg:     cfg,
+			Pattern: traffic.Pattern(pseudo(&seed) % 4),
+			Sources: ctrlSources(domains, rate/float64(domains)),
+			Warmup:  100, Measure: 800, Drain: 30000,
+			Seed:       int64(pseudo(&seed)),
+			AuditEvery: 200,
+		})
+		if err != nil {
+			t.Fatalf("trial %d (N=%d D=%d rate=%.2f): %v", trial, n, domains, rate, err)
+		}
+		if res.LeftInFlight != 0 {
+			t.Errorf("trial %d (N=%d D=%d rate=%.2f): %d packets stuck",
+				trial, n, domains, rate, res.LeftInFlight)
+		}
+	}
+}
+
+// Non-square meshes are legal for the unscheduled models.
+func TestRectangularMeshesProperty(t *testing.T) {
+	seed := uint64(0xbeef)
+	for trial := 0; trial < 10; trial++ {
+		w := 2 + int(pseudo(&seed)%7)
+		h := 2 + int(pseudo(&seed)%7)
+		for _, m := range []config.Model{config.BLESS, config.WH, config.CHIPPER} {
+			cfg := config.Default(m)
+			cfg.Width, cfg.Height = w, h
+			res, err := Run(Options{
+				Cfg:     cfg,
+				Pattern: traffic.UniformRandom,
+				Sources: ctrlSources(1, 0.04),
+				Warmup:  100, Measure: 600, Drain: 30000,
+				Seed:       int64(pseudo(&seed)),
+				AuditEvery: 300,
+			})
+			if err != nil {
+				t.Fatalf("%v %dx%d: %v", m, w, h, err)
+			}
+			if res.LeftInFlight != 0 {
+				t.Errorf("%v %dx%d: %d stuck", m, w, h, res.LeftInFlight)
+			}
+			if res.Total.Ejected == 0 {
+				t.Errorf("%v %dx%d: nothing delivered", m, w, h)
+			}
+		}
+	}
+}
+
+// The hop-delay parameter generalizes: SB works for P ∈ {2,3,4,5}
+// (different pipeline depths), with Smax scaling as 2·P·(N−1).
+func TestSBHopDelayProperty(t *testing.T) {
+	for _, pipe := range []int{1, 2, 3, 4} {
+		cfg := config.Default(config.SB)
+		cfg.BufferlessPipeline = pipe // P = pipe + 1 link cycle
+		cfg.Domains = 2
+		res, err := Run(Options{
+			Cfg:     cfg,
+			Pattern: traffic.UniformRandom,
+			Sources: ctrlSources(2, 0.02),
+			Warmup:  100, Measure: 800, Drain: 30000,
+			Seed:       5,
+			AuditEvery: 200,
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", pipe+1, err)
+		}
+		if res.LeftInFlight != 0 || res.Total.Ejected == 0 {
+			t.Errorf("P=%d: delivery broken (%d stuck, %d delivered)",
+				pipe+1, res.LeftInFlight, res.Total.Ejected)
+		}
+	}
+}
+
+// Percentile results are coherent: p50 ≤ p99 ≤ max for every domain.
+func TestLatencyPercentilesCoherent(t *testing.T) {
+	cfg := config.Default(config.SB)
+	cfg.Domains = 3
+	res, err := Run(Options{
+		Cfg:     cfg,
+		Pattern: traffic.UniformRandom,
+		Sources: ctrlSources(3, 0.02),
+		Warmup:  200, Measure: 2000, Drain: 20000,
+		Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 3; d++ {
+		p50, p99 := res.LatencyP50[d], res.LatencyP99[d]
+		max := res.Domains[d].MaxTotalLatency
+		if p50 <= 0 || p50 > p99 || p99 > 2*max+1 {
+			t.Errorf("domain %d: incoherent percentiles p50=%d p99=%d max=%d", d, p50, p99, max)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package sim is the synthetic-workload simulator façade: it builds the
+// fabric selected by the configuration (WH, BLESS, Surf or SB), drives
+// it with a traffic generator through warm-up / measurement / drain
+// phases, and returns the per-domain statistics and the energy report —
+// everything the §5.1 experiments need.
+package sim
+
+import (
+	"fmt"
+
+	"surfbless/internal/config"
+	"surfbless/internal/network"
+	"surfbless/internal/power"
+	"surfbless/internal/router/bless"
+	"surfbless/internal/router/chipper"
+	"surfbless/internal/router/runahead"
+	"surfbless/internal/router/surf"
+	"surfbless/internal/router/surfbless"
+	"surfbless/internal/router/wormhole"
+	"surfbless/internal/stats"
+	"surfbless/internal/traffic"
+)
+
+// Options configures one synthetic run.
+type Options struct {
+	Cfg     config.Config
+	Pattern traffic.Pattern
+	// Sources gives each domain's injection process; its length must
+	// equal Cfg.Domains.
+	Sources []traffic.Source
+	// SlotWidths is the per-domain wave-window length for SB (nil = 1).
+	SlotWidths []int
+
+	Warmup  int64 // cycles of unmeasured traffic before the window
+	Measure int64 // cycles of measured traffic
+	Drain   int64 // max cycles to let in-flight packets finish
+
+	Seed int64
+
+	// AuditEvery runs the fabric's conservation audit every N cycles
+	// (0 disables).  Tests use it; experiment harnesses leave it off.
+	AuditEvery int64
+
+	// Coefficients overrides the energy model (nil = Default45nm).
+	Coefficients *power.Coefficients
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Domains []stats.Domain
+	Total   stats.Domain
+	Energy  power.Energy
+
+	// LatencyP50 and LatencyP99 are per-domain total-latency percentile
+	// bounds (power-of-two-bucket histograms; see stats.Histogram).
+	LatencyP50 []int64
+	LatencyP99 []int64
+
+	Cycles         int64 // cycles actually simulated (incl. drain)
+	MeasuredCycles int64
+	Nodes          int
+	LeftInFlight   int // packets still in flight after the drain budget
+}
+
+// Throughput returns domain d's accepted rate in packets/node/cycle
+// over the measurement window.
+func (r Result) Throughput(d int) float64 {
+	if r.MeasuredCycles == 0 {
+		return 0
+	}
+	return float64(r.Domains[d].Ejected) / float64(r.Nodes) / float64(r.MeasuredCycles)
+}
+
+// BuildFabric constructs the fabric for cfg.Model.  slotWidths applies
+// to SB only.
+func BuildFabric(cfg config.Config, slotWidths []int, sink network.Sink,
+	col *stats.Collector, meter *power.Meter) (network.Fabric, error) {
+	switch cfg.Model {
+	case config.WH:
+		return wormhole.New(wormhole.Options{
+			Cfg: cfg,
+			VCs: wormhole.SharedVCs(cfg),
+			Key: wormhole.KeyNone,
+		}, sink, col, meter)
+	case config.BLESS:
+		return bless.New(cfg, sink, col, meter)
+	case config.Surf:
+		return surf.New(cfg, sink, col, meter)
+	case config.SB:
+		return surfbless.New(cfg, slotWidths, sink, col, meter)
+	case config.CHIPPER:
+		return chipper.New(cfg, sink, col, meter)
+	case config.RUNAHEAD:
+		return runahead.New(cfg, sink, col, meter)
+	default:
+		return nil, fmt.Errorf("sim: unknown model %v", cfg.Model)
+	}
+}
+
+// Run executes one synthetic simulation.
+func Run(o Options) (Result, error) {
+	if err := o.Cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(o.Sources) != o.Cfg.Domains {
+		return Result{}, fmt.Errorf("sim: %d sources for %d domains", len(o.Sources), o.Cfg.Domains)
+	}
+	if o.Measure <= 0 {
+		return Result{}, fmt.Errorf("sim: Measure must be positive")
+	}
+	if o.Warmup < 0 || o.Drain < 0 {
+		return Result{}, fmt.Errorf("sim: negative phase length")
+	}
+
+	co := power.Default45nm()
+	if o.Coefficients != nil {
+		co = *o.Coefficients
+	}
+	col := stats.NewCollector(o.Cfg.Domains, o.Warmup, o.Warmup+o.Measure)
+	meter := power.NewMeter(o.Cfg, co)
+	fab, err := BuildFabric(o.Cfg, o.SlotWidths, nil, col, meter)
+	if err != nil {
+		return Result{}, err
+	}
+	gen := traffic.New(o.Cfg.Mesh(), o.Pattern, o.Sources, o.Seed)
+
+	now := int64(0)
+	genEnd := o.Warmup + o.Measure
+	for ; now < genEnd; now++ {
+		gen.Tick(fab, now)
+		fab.Step(now)
+		if o.AuditEvery > 0 && now%o.AuditEvery == 0 {
+			if err := fab.Audit(); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	// Drain: no new traffic; stop early once the network is empty.
+	drainEnd := genEnd + o.Drain
+	for ; now < drainEnd && fab.InFlight() > 0; now++ {
+		fab.Step(now)
+	}
+	if o.AuditEvery > 0 {
+		if err := fab.Audit(); err != nil {
+			return Result{}, err
+		}
+		if err := col.CheckConservation(fab.InFlight()); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{
+		Domains:        make([]stats.Domain, o.Cfg.Domains),
+		LatencyP50:     make([]int64, o.Cfg.Domains),
+		LatencyP99:     make([]int64, o.Cfg.Domains),
+		Total:          col.Total(),
+		Energy:         meter.Report(now),
+		Cycles:         now,
+		MeasuredCycles: o.Measure,
+		Nodes:          o.Cfg.Nodes(),
+		LeftInFlight:   fab.InFlight(),
+	}
+	for d := 0; d < o.Cfg.Domains; d++ {
+		res.Domains[d] = col.Domain(d)
+		res.LatencyP50[d] = col.Latency(d).Percentile(0.5)
+		res.LatencyP99[d] = col.Latency(d).Percentile(0.99)
+	}
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram accumulates latency samples into power-of-two buckets, so
+// percentiles are available without storing samples (tail latency is a
+// first-class quantity for confined-interference networks: the wave
+// schedule bounds it, deflection storms blow it up).
+type Histogram struct {
+	buckets [64]int64 // bucket i counts samples with bit length i
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// Add records one sample; negative samples panic (latencies are
+// non-negative by construction).
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative histogram sample %d", v))
+	}
+	h.buckets[bits.Len64(uint64(v))]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile returns an upper bound for the p-quantile (0 < p ≤ 1):
+// the top of the bucket where the cumulative count crosses p·count.
+// The bound is within 2× of the true quantile by construction.
+func (h *Histogram) Percentile(p float64) int64 {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %g outside (0,1]", p))
+	}
+	if h.count == 0 {
+		return 0
+	}
+	threshold := int64(p * float64(h.count))
+	if threshold < 1 {
+		threshold = 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= threshold {
+			if i == 0 {
+				return 0
+			}
+			upper := int64(1)<<i - 1
+			if upper > h.max {
+				upper = h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// String renders a compact sparkline-ish summary.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f p50≤%d p95≤%d p99≤%d max=%d",
+		h.count, h.Mean(), h.Percentile(0.5), h.Percentile(0.95), h.Percentile(0.99), h.max)
+	return b.String()
+}

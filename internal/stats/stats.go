@@ -1,0 +1,242 @@
+// Package stats accumulates the metrics the paper reports: average
+// packet latency (with its queue/network breakdown from Fig. 9),
+// accepted throughput, hop and deflection counts — globally and per
+// interference domain (Figs. 5 and 7 plot per-domain series).
+//
+// Measurement discipline: packets created inside the measurement window
+// [WarmupEnd, MeasureEnd) are counted; everything else (warm-up and
+// drain traffic) still flows through the network but leaves no trace in
+// the averages.  MeasureEnd == 0 means "no upper bound".
+package stats
+
+import (
+	"fmt"
+
+	"surfbless/internal/packet"
+)
+
+// Domain accumulates metrics for one interference domain.
+type Domain struct {
+	Created  int64 // packets offered by the generator in-window
+	Refused  int64 // offers rejected by a full NI queue (backpressure)
+	Injected int64 // in-window packets that entered the network
+	Ejected  int64 // in-window packets delivered
+
+	TotalLatencySum   int64 // creation → ejection
+	NetworkLatencySum int64 // injection → ejection
+	QueueLatencySum   int64 // creation → injection
+	MaxTotalLatency   int64
+
+	Hops        int64
+	Deflections int64
+	FlitsMoved  int64 // ejected packets × size, for throughput in flits
+}
+
+// AvgTotalLatency returns the mean creation-to-ejection latency in
+// cycles, or 0 when nothing was delivered.
+func (d Domain) AvgTotalLatency() float64 { return ratio(d.TotalLatencySum, d.Ejected) }
+
+// AvgNetworkLatency returns the mean in-network latency in cycles.
+func (d Domain) AvgNetworkLatency() float64 { return ratio(d.NetworkLatencySum, d.Ejected) }
+
+// AvgQueueLatency returns the mean NI queueing latency in cycles.
+func (d Domain) AvgQueueLatency() float64 { return ratio(d.QueueLatencySum, d.Ejected) }
+
+// AvgHops returns the mean hop count of delivered packets.
+func (d Domain) AvgHops() float64 { return ratio(d.Hops, d.Ejected) }
+
+// AvgDeflections returns the mean deflections per delivered packet.
+func (d Domain) AvgDeflections() float64 { return ratio(d.Deflections, d.Ejected) }
+
+func ratio(sum, n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// EventKind classifies tracer callbacks.
+type EventKind int
+
+// Tracer event kinds.
+const (
+	EvCreated EventKind = iota
+	EvRefused
+	EvInjected
+	EvEjected
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvCreated:
+		return "created"
+	case EvRefused:
+		return "refused"
+	case EvInjected:
+		return "injected"
+	case EvEjected:
+		return "ejected"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Tracer observes every packet lifecycle event the collector sees
+// (windowed or not).  p is nil for EvRefused.
+type Tracer func(kind EventKind, p *packet.Packet, domain int, now int64)
+
+// Collector gathers per-domain and aggregate statistics for one run.
+type Collector struct {
+	warmupEnd  int64
+	measureEnd int64 // 0 = unbounded
+	domains    []Domain
+	histos     []Histogram // per-domain total-latency histograms (in-window)
+	tracer     Tracer
+
+	// Conservation accounting over the WHOLE run (not windowed), used
+	// by tests to prove no packet is ever lost or duplicated.
+	AllCreated  int64
+	AllInjected int64
+	AllEjected  int64
+}
+
+// NewCollector returns a collector for the given number of domains and
+// measurement window.  measureEnd == 0 disables the upper bound.
+func NewCollector(domains int, warmupEnd, measureEnd int64) *Collector {
+	if domains < 1 {
+		panic(fmt.Sprintf("stats: %d domains", domains))
+	}
+	if measureEnd != 0 && measureEnd < warmupEnd {
+		panic(fmt.Sprintf("stats: window [%d,%d) inverted", warmupEnd, measureEnd))
+	}
+	return &Collector{
+		warmupEnd:  warmupEnd,
+		measureEnd: measureEnd,
+		domains:    make([]Domain, domains),
+		histos:     make([]Histogram, domains),
+	}
+}
+
+// SetTracer installs a lifecycle observer (nil to remove).
+func (c *Collector) SetTracer(t Tracer) { c.tracer = t }
+
+// InWindow reports whether a packet created at cycle t is measured.
+func (c *Collector) InWindow(t int64) bool {
+	return t >= c.warmupEnd && (c.measureEnd == 0 || t < c.measureEnd)
+}
+
+func (c *Collector) domain(i int) *Domain {
+	return &c.domains[i]
+}
+
+// Created records a generator offer that was accepted by the NI.
+func (c *Collector) Created(p *packet.Packet) {
+	c.AllCreated++
+	if c.tracer != nil {
+		c.tracer(EvCreated, p, p.Domain, p.CreatedAt)
+	}
+	if c.InWindow(p.CreatedAt) {
+		c.domain(p.Domain).Created++
+	}
+}
+
+// Refused records a generator offer rejected by a full NI queue.
+func (c *Collector) Refused(domain int, now int64) {
+	if c.tracer != nil {
+		c.tracer(EvRefused, nil, domain, now)
+	}
+	if c.InWindow(now) {
+		c.domain(domain).Refused++
+	}
+}
+
+// Injected records a packet entering the network.
+func (c *Collector) Injected(p *packet.Packet) {
+	c.AllInjected++
+	if c.tracer != nil {
+		c.tracer(EvInjected, p, p.Domain, p.InjectedAt)
+	}
+	if c.InWindow(p.CreatedAt) {
+		c.domain(p.Domain).Injected++
+	}
+}
+
+// Ejected records a delivered packet and accumulates its latencies.
+func (c *Collector) Ejected(p *packet.Packet) {
+	c.AllEjected++
+	if c.tracer != nil {
+		c.tracer(EvEjected, p, p.Domain, p.EjectedAt)
+	}
+	if !c.InWindow(p.CreatedAt) {
+		return
+	}
+	c.histos[p.Domain].Add(p.TotalLatency())
+	d := c.domain(p.Domain)
+	d.Ejected++
+	tl := p.TotalLatency()
+	d.TotalLatencySum += tl
+	d.NetworkLatencySum += p.NetworkLatency()
+	d.QueueLatencySum += p.QueueLatency()
+	if tl > d.MaxTotalLatency {
+		d.MaxTotalLatency = tl
+	}
+	d.Hops += int64(p.Hops)
+	d.Deflections += int64(p.Deflections)
+	d.FlitsMoved += int64(p.Size)
+}
+
+// Latency returns the in-window total-latency histogram of domain i.
+func (c *Collector) Latency(i int) *Histogram { return &c.histos[i] }
+
+// Domains returns the number of domains tracked.
+func (c *Collector) Domains() int { return len(c.domains) }
+
+// Domain returns a copy of the accumulated metrics for domain i.
+func (c *Collector) Domain(i int) Domain { return c.domains[i] }
+
+// Total returns the metrics summed over all domains.
+func (c *Collector) Total() Domain {
+	var t Domain
+	for i := range c.domains {
+		d := &c.domains[i]
+		t.Created += d.Created
+		t.Refused += d.Refused
+		t.Injected += d.Injected
+		t.Ejected += d.Ejected
+		t.TotalLatencySum += d.TotalLatencySum
+		t.NetworkLatencySum += d.NetworkLatencySum
+		t.QueueLatencySum += d.QueueLatencySum
+		if d.MaxTotalLatency > t.MaxTotalLatency {
+			t.MaxTotalLatency = d.MaxTotalLatency
+		}
+		t.Hops += d.Hops
+		t.Deflections += d.Deflections
+		t.FlitsMoved += d.FlitsMoved
+	}
+	return t
+}
+
+// Throughput returns the accepted packet rate of domain i in
+// packets/node/cycle over a measurement span of the given cycles.
+func (c *Collector) Throughput(i, nodes int, cycles int64) float64 {
+	if nodes <= 0 || cycles <= 0 {
+		return 0
+	}
+	return float64(c.domain(i).Ejected) / float64(nodes) / float64(cycles)
+}
+
+// CheckConservation verifies created ≥ injected ≥ ejected and that
+// exactly inFlight packets remain unaccounted (buffered or on links).
+func (c *Collector) CheckConservation(inFlight int) error {
+	if c.AllInjected > c.AllCreated {
+		return fmt.Errorf("stats: injected %d > created %d", c.AllInjected, c.AllCreated)
+	}
+	if c.AllEjected > c.AllInjected {
+		return fmt.Errorf("stats: ejected %d > injected %d", c.AllEjected, c.AllInjected)
+	}
+	if got := c.AllCreated - c.AllEjected; got != int64(inFlight) {
+		return fmt.Errorf("stats: %d packets unaccounted, fabric reports %d in flight", got, inFlight)
+	}
+	return nil
+}

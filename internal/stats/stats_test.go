@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"testing"
+
+	"surfbless/internal/geom"
+	"surfbless/internal/packet"
+)
+
+func mkPkt(id uint64, domain int, created, injected, ejected int64) *packet.Packet {
+	p := packet.New(id, geom.Coord{}, geom.Coord{X: 1, Y: 1}, domain, packet.Ctrl, created)
+	p.InjectedAt = injected
+	p.EjectedAt = ejected
+	p.Hops = 3
+	p.Deflections = 1
+	return p
+}
+
+func TestWindowing(t *testing.T) {
+	c := NewCollector(1, 100, 200)
+	if c.InWindow(99) || !c.InWindow(100) || !c.InWindow(199) || c.InWindow(200) {
+		t.Error("window boundaries wrong")
+	}
+	// Unbounded window.
+	u := NewCollector(1, 100, 0)
+	if !u.InWindow(1 << 40) {
+		t.Error("measureEnd=0 must mean unbounded")
+	}
+}
+
+func TestNewCollectorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero domains":    func() { NewCollector(0, 0, 0) },
+		"inverted window": func() { NewCollector(1, 10, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEjectedAccumulates(t *testing.T) {
+	c := NewCollector(2, 0, 0)
+	p := mkPkt(1, 1, 10, 15, 40)
+	c.Created(p)
+	c.Injected(p)
+	c.Ejected(p)
+	d := c.Domain(1)
+	if d.Ejected != 1 || d.Created != 1 || d.Injected != 1 {
+		t.Fatalf("counts = %+v", d)
+	}
+	if d.TotalLatencySum != 30 || d.NetworkLatencySum != 25 || d.QueueLatencySum != 5 {
+		t.Errorf("latency sums = %d/%d/%d", d.TotalLatencySum, d.NetworkLatencySum, d.QueueLatencySum)
+	}
+	if d.MaxTotalLatency != 30 {
+		t.Errorf("MaxTotalLatency = %d", d.MaxTotalLatency)
+	}
+	if d.Hops != 3 || d.Deflections != 1 || d.FlitsMoved != 1 {
+		t.Errorf("hops/deflections/flits = %d/%d/%d", d.Hops, d.Deflections, d.FlitsMoved)
+	}
+	// Domain 0 untouched.
+	if z := c.Domain(0); z.Ejected != 0 {
+		t.Error("wrong domain accumulated")
+	}
+}
+
+func TestAverages(t *testing.T) {
+	c := NewCollector(1, 0, 0)
+	for i, lat := range []int64{10, 20, 30} {
+		p := mkPkt(uint64(i), 0, 0, 0, lat)
+		c.Created(p)
+		c.Injected(p)
+		c.Ejected(p)
+	}
+	d := c.Domain(0)
+	if got := d.AvgTotalLatency(); got != 20 {
+		t.Errorf("AvgTotalLatency = %g, want 20", got)
+	}
+	if got := d.AvgHops(); got != 3 {
+		t.Errorf("AvgHops = %g, want 3", got)
+	}
+	if got := d.AvgDeflections(); got != 1 {
+		t.Errorf("AvgDeflections = %g, want 1", got)
+	}
+	var empty Domain
+	if empty.AvgTotalLatency() != 0 || empty.AvgNetworkLatency() != 0 || empty.AvgQueueLatency() != 0 {
+		t.Error("empty domain averages must be 0, not NaN")
+	}
+}
+
+func TestOutOfWindowIgnoredButConserved(t *testing.T) {
+	c := NewCollector(1, 100, 200)
+	warm := mkPkt(1, 0, 50, 55, 80) // created before window
+	c.Created(warm)
+	c.Injected(warm)
+	c.Ejected(warm)
+	if d := c.Domain(0); d.Ejected != 0 || d.Created != 0 {
+		t.Error("out-of-window packet leaked into domain metrics")
+	}
+	if c.AllCreated != 1 || c.AllEjected != 1 {
+		t.Error("conservation counters must see every packet")
+	}
+}
+
+func TestRefused(t *testing.T) {
+	c := NewCollector(2, 10, 0)
+	c.Refused(1, 5) // before window: ignored
+	c.Refused(1, 15)
+	if got := c.Domain(1).Refused; got != 1 {
+		t.Errorf("Refused = %d, want 1", got)
+	}
+}
+
+func TestTotal(t *testing.T) {
+	c := NewCollector(3, 0, 0)
+	for dom := 0; dom < 3; dom++ {
+		p := mkPkt(uint64(dom), dom, 0, 1, int64(10*(dom+1)))
+		c.Created(p)
+		c.Injected(p)
+		c.Ejected(p)
+	}
+	tot := c.Total()
+	if tot.Ejected != 3 {
+		t.Errorf("Total.Ejected = %d", tot.Ejected)
+	}
+	if tot.TotalLatencySum != 10+20+30 {
+		t.Errorf("Total latency sum = %d", tot.TotalLatencySum)
+	}
+	if tot.MaxTotalLatency != 30 {
+		t.Errorf("Total.MaxTotalLatency = %d", tot.MaxTotalLatency)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	c := NewCollector(1, 0, 0)
+	for i := 0; i < 640; i++ {
+		p := mkPkt(uint64(i), 0, 0, 0, 5)
+		c.Created(p)
+		c.Injected(p)
+		c.Ejected(p)
+	}
+	if got := c.Throughput(0, 64, 100); got != 0.1 {
+		t.Errorf("Throughput = %g, want 0.1", got)
+	}
+	if c.Throughput(0, 0, 100) != 0 || c.Throughput(0, 64, 0) != 0 {
+		t.Error("degenerate throughput must be 0")
+	}
+}
+
+func TestCheckConservation(t *testing.T) {
+	c := NewCollector(1, 0, 0)
+	p := mkPkt(1, 0, 0, 1, 2)
+	c.Created(p)
+	if err := c.CheckConservation(1); err != nil {
+		t.Errorf("1 created, 1 in flight: %v", err)
+	}
+	if err := c.CheckConservation(0); err == nil {
+		t.Error("missing packet not detected")
+	}
+	c.Injected(p)
+	c.Ejected(p)
+	if err := c.CheckConservation(0); err != nil {
+		t.Errorf("balanced run flagged: %v", err)
+	}
+	c.AllEjected++ // corrupt: ejected more than injected
+	if err := c.CheckConservation(0); err == nil {
+		t.Error("duplicate ejection not detected")
+	}
+}

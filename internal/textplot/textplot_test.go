@@ -1,0 +1,88 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewTablePanicsWithoutColumns(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTable("t")
+}
+
+func TestRowArityChecked(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("short row accepted")
+		}
+	}()
+	tab.Row("only-one")
+}
+
+func TestStringAlignment(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.Row("x", "1")
+	tab.Row("longer", "22")
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("%d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: "value" header starts at the same offset in every row.
+	off := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[4][off:], "22") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestCellAccess(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.Row("1", "2")
+	if tab.Rows() != 1 || tab.Cell(0, 1) != "2" {
+		t.Error("Rows/Cell broken")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.Row("plain", `has,comma "and quote"`)
+	csv := tab.CSV()
+	want := "a,b\nplain,\"has,comma \"\"and quote\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestF(t *testing.T) {
+	for v, want := range map[float64]string{
+		0:      "0",
+		1234.5: "1234",
+		42.25:  "42.2",
+		1.2345: "1.234",
+		0.0001: "0.0001",
+	} {
+		if got := F(v); got != want {
+			t.Errorf("F(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestMJAndPct(t *testing.T) {
+	if got := MJ(0.00123); got != "1.230" {
+		t.Errorf("MJ = %q", got)
+	}
+	if got := Pct(1.0323); got != "+3.2%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(0.95); got != "-5.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"surfbless/internal/config"
+	"surfbless/internal/geom"
+	"surfbless/internal/packet"
+	"surfbless/internal/power"
+	"surfbless/internal/router/bless"
+	"surfbless/internal/stats"
+)
+
+func TestLineFormat(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	tr := w.Tracer()
+	p := packet.New(7, geom.Coord{X: 1, Y: 2}, geom.Coord{X: 3, Y: 4}, 1, packet.Ctrl, 10)
+	p.Hops = 5
+	p.Deflections = 2
+	tr(stats.EvEjected, p, 1, 42)
+	tr(stats.EvRefused, nil, 0, 43)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	if lines[0] != "42,ejected,7,1,1:2,3:4,5,2" {
+		t.Errorf("ejection line = %q", lines[0])
+	}
+	if lines[1] != "43,refused,,0,,,," {
+		t.Errorf("refusal line = %q", lines[1])
+	}
+	if w.Events() != 2 {
+		t.Errorf("Events = %d", w.Events())
+	}
+	// Field count matches the header.
+	if got, want := strings.Count(lines[0], ","), strings.Count(Header(), ","); got != want {
+		t.Errorf("line has %d commas, header %d", got, want)
+	}
+}
+
+func TestFiltered(t *testing.T) {
+	var sb strings.Builder
+	w := NewFiltered(&sb, stats.EvEjected)
+	tr := w.Tracer()
+	p := packet.New(1, geom.Coord{}, geom.Coord{X: 1, Y: 0}, 0, packet.Ctrl, 0)
+	tr(stats.EvCreated, p, 0, 1)
+	tr(stats.EvInjected, p, 0, 2)
+	tr(stats.EvEjected, p, 0, 3)
+	w.Flush()
+	if w.Events() != 1 {
+		t.Errorf("filtered writer saw %d events, want 1", w.Events())
+	}
+	if !strings.HasPrefix(sb.String(), "3,ejected") {
+		t.Errorf("output = %q", sb.String())
+	}
+}
+
+// End to end: trace a real BLESS run and check event accounting matches
+// the collector's conservation counters.
+func TestTraceRealRun(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	cfg := config.Default(config.BLESS)
+	col := stats.NewCollector(1, 0, 0)
+	col.SetTracer(w.Tracer())
+	meter := power.NewMeter(cfg, power.Default45nm())
+	fab, err := bless.New(cfg, nil, col, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids packet.IDSource
+	mesh := cfg.Mesh()
+	now := int64(0)
+	for cyc := 0; cyc < 50; cyc++ {
+		for node := 0; node < mesh.Nodes(); node += 7 {
+			src := mesh.CoordOf(node)
+			dst := mesh.CoordOf((node + 13) % mesh.Nodes())
+			if src == dst {
+				continue
+			}
+			fab.Inject(node, packet.New(ids.Next(), src, dst, 0, packet.Ctrl, now), now)
+		}
+		fab.Step(now)
+		now++
+	}
+	for i := 0; i < 500 && fab.InFlight() > 0; i++ {
+		fab.Step(now)
+		now++
+	}
+	w.Flush()
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	want := col.AllCreated + col.AllInjected + col.AllEjected
+	if int64(len(lines)) != want {
+		t.Errorf("%d trace lines, want %d (created+injected+ejected)", len(lines), want)
+	}
+	if int64(strings.Count(sb.String(), ",ejected,")) != col.AllEjected {
+		t.Error("ejection count mismatch")
+	}
+}

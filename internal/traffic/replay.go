@@ -1,0 +1,128 @@
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"surfbless/internal/geom"
+	"surfbless/internal/network"
+	"surfbless/internal/packet"
+)
+
+// Replayer injects a previously recorded packet population — the
+// "created" lines of an internal/trace CSV — into another fabric at the
+// recorded cycles.  Record a run once, then replay the identical
+// workload onto a different network model: the deterministic
+// counterpart of the per-domain Bernoulli generators.
+type Replayer struct {
+	events []replayEvent
+	pos    int
+
+	Offered int64 // packets injected so far
+	Refused int64 // offers rejected by NI backpressure (dropped)
+}
+
+type replayEvent struct {
+	cycle  int64
+	src    geom.Coord
+	dst    geom.Coord
+	id     uint64
+	domain int
+	class  packet.Class
+}
+
+// NewReplayer parses a trace (see internal/trace: lines of
+// "cycle,kind,packet_id,domain,srcX:srcY,dstX:dstY,hops,deflections"),
+// keeping the created events.  Lines of other kinds are skipped; a
+// header line is tolerated.  Events must be ordered by cycle (traces
+// are written in simulation order).
+func NewReplayer(r io.Reader, mesh geom.Mesh, classOf func(domain int) packet.Class) (*Replayer, error) {
+	if classOf == nil {
+		classOf = func(int) packet.Class { return packet.Ctrl }
+	}
+	rp := &Replayer{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "cycle,") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != 8 {
+			return nil, fmt.Errorf("traffic: trace line %d has %d fields, want 8", lineNo, len(f))
+		}
+		if f[1] != "created" {
+			continue
+		}
+		var ev replayEvent
+		if _, err := fmt.Sscanf(f[0], "%d", &ev.cycle); err != nil {
+			return nil, fmt.Errorf("traffic: trace line %d: bad cycle %q", lineNo, f[0])
+		}
+		if _, err := fmt.Sscanf(f[2], "%d", &ev.id); err != nil {
+			return nil, fmt.Errorf("traffic: trace line %d: bad packet id %q", lineNo, f[2])
+		}
+		if _, err := fmt.Sscanf(f[3], "%d", &ev.domain); err != nil {
+			return nil, fmt.Errorf("traffic: trace line %d: bad domain %q", lineNo, f[3])
+		}
+		var err error
+		if ev.src, err = parseCoord(f[4]); err != nil {
+			return nil, fmt.Errorf("traffic: trace line %d: %w", lineNo, err)
+		}
+		if ev.dst, err = parseCoord(f[5]); err != nil {
+			return nil, fmt.Errorf("traffic: trace line %d: %w", lineNo, err)
+		}
+		if !mesh.Contains(ev.src) || !mesh.Contains(ev.dst) {
+			return nil, fmt.Errorf("traffic: trace line %d: %v→%v outside the %dx%d mesh",
+				lineNo, ev.src, ev.dst, mesh.Width, mesh.Height)
+		}
+		ev.class = classOf(ev.domain)
+		if n := len(rp.events); n > 0 && rp.events[n-1].cycle > ev.cycle {
+			return nil, fmt.Errorf("traffic: trace line %d: cycles out of order", lineNo)
+		}
+		rp.events = append(rp.events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traffic: %w", err)
+	}
+	return rp, nil
+}
+
+func parseCoord(s string) (geom.Coord, error) {
+	var c geom.Coord
+	if _, err := fmt.Sscanf(s, "%d:%d", &c.X, &c.Y); err != nil {
+		return c, fmt.Errorf("bad coordinate %q", s)
+	}
+	return c, nil
+}
+
+// Events returns the number of recorded creations.
+func (rp *Replayer) Events() int { return len(rp.events) }
+
+// Done reports whether every recorded packet has been offered.
+func (rp *Replayer) Done() bool { return rp.pos >= len(rp.events) }
+
+// Tick offers every packet recorded for cycle now.  Offers the target
+// fabric refuses are counted and dropped (replay is open-loop, like the
+// generators).
+func (rp *Replayer) Tick(f network.Fabric, now int64, mesh geom.Mesh) {
+	for rp.pos < len(rp.events) && rp.events[rp.pos].cycle == now {
+		ev := rp.events[rp.pos]
+		rp.pos++
+		p := packet.New(ev.id, ev.src, ev.dst, ev.domain, ev.class, now)
+		p.VNet = -1
+		if f.Inject(mesh.ID(ev.src), p, now) {
+			rp.Offered++
+		} else {
+			rp.Refused++
+		}
+	}
+	// Skip any events recorded before now (the caller jumped cycles).
+	for rp.pos < len(rp.events) && rp.events[rp.pos].cycle < now {
+		rp.pos++
+		rp.Refused++
+	}
+}

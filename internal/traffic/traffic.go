@@ -1,0 +1,178 @@
+// Package traffic provides the open-loop synthetic workload generators
+// of §5.1: per-node, per-domain Bernoulli injection processes over the
+// classic patterns of Dally & Towles [12].  The paper's experiments use
+// uniform random traffic; the other patterns are provided for the
+// confinement stress tests and ablations.
+//
+// Determinism contract: each (node, domain) pair owns an independent
+// RNG stream and an independent packet-ID sequence, so the complete
+// packet population of one domain — IDs, creation times, destinations —
+// is bit-identical regardless of what any other domain does.  The
+// headline non-interference test relies on this.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"surfbless/internal/geom"
+	"surfbless/internal/network"
+	"surfbless/internal/packet"
+)
+
+// Pattern selects the destination distribution.
+type Pattern int
+
+// Destination patterns.
+const (
+	// UniformRandom sends each packet to a destination drawn uniformly
+	// from all other nodes (the paper's pattern).
+	UniformRandom Pattern = iota
+	// Transpose sends (x,y) → (y,x); diagonal nodes generate nothing.
+	Transpose
+	// BitComplement sends node i → (N−1)−i.
+	BitComplement
+	// Hotspot sends 20% of packets to node 0 and the rest uniformly.
+	Hotspot
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case UniformRandom:
+		return "uniform"
+	case Transpose:
+		return "transpose"
+	case BitComplement:
+		return "bitcomp"
+	case Hotspot:
+		return "hotspot"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+const hotspotFraction = 0.2
+
+// Source describes one domain's injection process.
+type Source struct {
+	Rate  float64      // packets/node/cycle, Bernoulli per node per cycle
+	Class packet.Class // packet class injected by this domain
+	VNet  int          // virtual network stamped on packets; -1 if unused
+}
+
+// Generator drives one fabric with per-domain Bernoulli traffic.
+type Generator struct {
+	mesh    geom.Mesh
+	pattern Pattern
+	sources []Source
+	rngs    [][]*rand.Rand // [node][domain]
+	seqs    [][]uint64     // [node][domain] per-stream packet sequence
+}
+
+// New returns a generator for the given mesh and per-domain sources.
+// Seed fixes every stream; equal seeds give bit-identical populations.
+func New(mesh geom.Mesh, pattern Pattern, sources []Source, seed int64) *Generator {
+	if len(sources) == 0 {
+		panic("traffic: no sources")
+	}
+	for d, s := range sources {
+		if s.Rate < 0 || s.Rate > 1 {
+			panic(fmt.Sprintf("traffic: domain %d rate %g outside [0,1]", d, s.Rate))
+		}
+	}
+	g := &Generator{
+		mesh:    mesh,
+		pattern: pattern,
+		sources: sources,
+		rngs:    make([][]*rand.Rand, mesh.Nodes()),
+		seqs:    make([][]uint64, mesh.Nodes()),
+	}
+	for n := 0; n < mesh.Nodes(); n++ {
+		g.rngs[n] = make([]*rand.Rand, len(sources))
+		g.seqs[n] = make([]uint64, len(sources))
+		for d := range sources {
+			// Mix (seed, node, domain) so streams are independent.
+			s := mix(uint64(seed), uint64(n)<<20|uint64(d))
+			g.rngs[n][d] = rand.New(rand.NewSource(int64(s)))
+		}
+	}
+	return g
+}
+
+func mix(a, b uint64) uint64 {
+	z := a*0x9E3779B97F4A7C15 + b + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// PacketID encodes (node, domain, seq) so that a stream's IDs do not
+// depend on any other stream's activity.
+func PacketID(node, domain int, seq uint64) uint64 {
+	return uint64(node)<<48 | uint64(domain)<<40 | seq
+}
+
+// Tick generates this cycle's offers for every node and domain and
+// injects them into the fabric.  Offers refused by a full NI queue are
+// dropped (open-loop load); the fabric records them as refused.
+func (g *Generator) Tick(f network.Fabric, now int64) {
+	for n := 0; n < g.mesh.Nodes(); n++ {
+		src := g.mesh.CoordOf(n)
+		for d, s := range g.sources {
+			if s.Rate == 0 {
+				continue
+			}
+			rng := g.rngs[n][d]
+			if rng.Float64() >= s.Rate {
+				continue
+			}
+			dst, ok := g.destination(src, rng)
+			if !ok {
+				continue
+			}
+			p := packet.New(PacketID(n, d, g.seqs[n][d]), src, dst, d, s.Class, now)
+			g.seqs[n][d]++
+			p.VNet = s.VNet
+			f.Inject(n, p, now)
+		}
+	}
+}
+
+// destination draws a destination for the configured pattern.  ok is
+// false when the pattern gives this source no destination (transpose
+// diagonal).
+func (g *Generator) destination(src geom.Coord, rng *rand.Rand) (geom.Coord, bool) {
+	nodes := g.mesh.Nodes()
+	switch g.pattern {
+	case Transpose:
+		dst := geom.Coord{X: src.Y, Y: src.X}
+		if dst == src || !g.mesh.Contains(dst) {
+			return geom.Coord{}, false
+		}
+		return dst, true
+	case BitComplement:
+		id := g.mesh.ID(src)
+		dst := g.mesh.CoordOf(nodes - 1 - id)
+		if dst == src {
+			return geom.Coord{}, false
+		}
+		return dst, true
+	case Hotspot:
+		if rng.Float64() < hotspotFraction && g.mesh.ID(src) != 0 {
+			return g.mesh.CoordOf(0), true
+		}
+		fallthrough
+	default: // UniformRandom
+		id := g.mesh.ID(src)
+		d := rng.Intn(nodes - 1)
+		if d >= id {
+			d++
+		}
+		return g.mesh.CoordOf(d), true
+	}
+}
+
+// Offered returns how many packets the (node, domain) stream has
+// generated so far.
+func (g *Generator) Offered(node, domain int) uint64 { return g.seqs[node][domain] }

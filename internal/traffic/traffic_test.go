@@ -1,0 +1,274 @@
+package traffic
+
+import (
+	"testing"
+
+	"surfbless/internal/geom"
+	"surfbless/internal/packet"
+)
+
+// recorder is a minimal network.Fabric capturing injected packets.
+type recorder struct {
+	pkts    []*packet.Packet
+	byNode  map[int][]*packet.Packet
+	refuse  bool
+	inCount int
+}
+
+func newRecorder() *recorder { return &recorder{byNode: map[int][]*packet.Packet{}} }
+
+func (r *recorder) Inject(node int, p *packet.Packet, now int64) bool {
+	if r.refuse {
+		return false
+	}
+	r.pkts = append(r.pkts, p)
+	r.byNode[node] = append(r.byNode[node], p)
+	r.inCount++
+	return true
+}
+func (r *recorder) Step(now int64) {}
+func (r *recorder) InFlight() int  { return r.inCount }
+func (r *recorder) Audit() error   { return nil }
+
+func run(g *Generator, f *recorder, cycles int64) {
+	for now := int64(0); now < cycles; now++ {
+		g.Tick(f, now)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	m := geom.NewMesh(4, 4)
+	for name, f := range map[string]func(){
+		"no sources": func() { New(m, UniformRandom, nil, 1) },
+		"bad rate":   func() { New(m, UniformRandom, []Source{{Rate: 1.5}}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRateIsApproximatelyRespected(t *testing.T) {
+	m := geom.NewMesh(8, 8)
+	g := New(m, UniformRandom, []Source{{Rate: 0.1, Class: packet.Ctrl, VNet: -1}}, 3)
+	f := newRecorder()
+	const cycles = 2000
+	run(g, f, cycles)
+	want := 0.1 * float64(m.Nodes()) * cycles
+	got := float64(len(f.pkts))
+	if got < 0.9*want || got > 1.1*want {
+		t.Errorf("generated %g packets, want ≈%g", got, want)
+	}
+}
+
+func TestZeroRateGeneratesNothing(t *testing.T) {
+	m := geom.NewMesh(4, 4)
+	g := New(m, UniformRandom, []Source{{Rate: 0}}, 3)
+	f := newRecorder()
+	run(g, f, 500)
+	if len(f.pkts) != 0 {
+		t.Errorf("zero-rate source generated %d packets", len(f.pkts))
+	}
+}
+
+func TestUniformNeverSelfAddressed(t *testing.T) {
+	m := geom.NewMesh(4, 4)
+	g := New(m, UniformRandom, []Source{{Rate: 0.5, Class: packet.Ctrl}}, 9)
+	f := newRecorder()
+	run(g, f, 200)
+	for _, p := range f.pkts {
+		if p.Src == p.Dst {
+			t.Fatalf("self-addressed packet %v", p)
+		}
+		if !m.Contains(p.Dst) {
+			t.Fatalf("destination off mesh: %v", p)
+		}
+	}
+}
+
+func TestUniformCoversAllDestinations(t *testing.T) {
+	m := geom.NewMesh(4, 4)
+	g := New(m, UniformRandom, []Source{{Rate: 1, Class: packet.Ctrl}}, 1)
+	f := newRecorder()
+	run(g, f, 500)
+	seen := map[geom.Coord]bool{}
+	for _, p := range f.byNode[0] {
+		seen[p.Dst] = true
+	}
+	if len(seen) != m.Nodes()-1 {
+		t.Errorf("node 0 reached %d destinations, want %d", len(seen), m.Nodes()-1)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := geom.NewMesh(4, 4)
+	g := New(m, Transpose, []Source{{Rate: 1, Class: packet.Ctrl}}, 1)
+	f := newRecorder()
+	run(g, f, 10)
+	for _, p := range f.pkts {
+		if p.Dst.X != p.Src.Y || p.Dst.Y != p.Src.X {
+			t.Fatalf("transpose sent %v→%v", p.Src, p.Dst)
+		}
+	}
+	// Diagonal nodes stay silent.
+	for _, p := range f.byNode[m.ID(geom.Coord{X: 2, Y: 2})] {
+		t.Fatalf("diagonal node generated %v", p)
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	m := geom.NewMesh(4, 4)
+	g := New(m, BitComplement, []Source{{Rate: 1, Class: packet.Ctrl}}, 1)
+	f := newRecorder()
+	run(g, f, 5)
+	for _, p := range f.pkts {
+		if m.ID(p.Dst) != m.Nodes()-1-m.ID(p.Src) {
+			t.Fatalf("bit-complement sent %v→%v", p.Src, p.Dst)
+		}
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	m := geom.NewMesh(8, 8)
+	g := New(m, Hotspot, []Source{{Rate: 0.5, Class: packet.Ctrl}}, 4)
+	f := newRecorder()
+	run(g, f, 500)
+	hot := 0
+	for _, p := range f.pkts {
+		if m.ID(p.Dst) == 0 {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(f.pkts))
+	// 20% directed + ~1.3% of the uniform remainder.
+	if frac < 0.15 || frac < 1.0/float64(m.Nodes()) {
+		t.Errorf("hotspot fraction %.3f too low", frac)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[Pattern]string{
+		UniformRandom: "uniform", Transpose: "transpose",
+		BitComplement: "bitcomp", Hotspot: "hotspot",
+	} {
+		if p.String() != want {
+			t.Errorf("Pattern %d string = %q", p, p.String())
+		}
+	}
+	if Pattern(99).String() != "Pattern(99)" {
+		t.Error("unknown pattern string wrong")
+	}
+}
+
+func TestPacketIDEncoding(t *testing.T) {
+	id := PacketID(63, 8, 12345)
+	if id != uint64(63)<<48|uint64(8)<<40|12345 {
+		t.Errorf("PacketID = %x", id)
+	}
+	// IDs of distinct streams never collide for realistic sequences.
+	if PacketID(1, 0, 0) == PacketID(0, 1, 0) {
+		t.Error("stream IDs collide")
+	}
+}
+
+func TestPacketFieldsStamped(t *testing.T) {
+	m := geom.NewMesh(4, 4)
+	g := New(m, UniformRandom, []Source{
+		{Rate: 1, Class: packet.Data, VNet: 2},
+	}, 1)
+	f := newRecorder()
+	g.Tick(f, 77)
+	if len(f.pkts) == 0 {
+		t.Fatal("rate-1 source generated nothing")
+	}
+	p := f.pkts[0]
+	if p.CreatedAt != 77 || p.Class != packet.Data || p.Size != 5 || p.VNet != 2 || p.Domain != 0 {
+		t.Errorf("packet fields wrong: %+v", p)
+	}
+}
+
+// The determinism contract: a domain's population is bit-identical
+// regardless of other domains' configuration.
+func TestStreamIndependence(t *testing.T) {
+	m := geom.NewMesh(8, 8)
+	collect := func(otherRate float64) []*packet.Packet {
+		g := New(m, UniformRandom, []Source{
+			{Rate: 0.05, Class: packet.Ctrl},
+			{Rate: otherRate, Class: packet.Ctrl},
+		}, 42)
+		f := newRecorder()
+		run(g, f, 300)
+		var dom0 []*packet.Packet
+		for _, p := range f.pkts {
+			if p.Domain == 0 {
+				dom0 = append(dom0, p)
+			}
+		}
+		return dom0
+	}
+	quiet := collect(0)
+	noisy := collect(0.3)
+	if len(quiet) != len(noisy) {
+		t.Fatalf("domain-0 population size changed: %d vs %d", len(quiet), len(noisy))
+	}
+	for i := range quiet {
+		a, b := quiet[i], noisy[i]
+		if a.ID != b.ID || a.Src != b.Src || a.Dst != b.Dst || a.CreatedAt != b.CreatedAt {
+			t.Fatalf("domain-0 packet %d differs: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// Same seed ⇒ same population; different seed ⇒ different population.
+func TestSeeding(t *testing.T) {
+	m := geom.NewMesh(8, 8)
+	gen := func(seed int64) []*packet.Packet {
+		g := New(m, UniformRandom, []Source{{Rate: 0.1, Class: packet.Ctrl}}, seed)
+		f := newRecorder()
+		run(g, f, 100)
+		return f.pkts
+	}
+	a, b := gen(5), gen(5)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different population size")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Dst != b[i].Dst {
+			t.Fatal("same seed, different packets")
+		}
+	}
+	c := gen(6)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Dst != c[i].Dst || a[i].CreatedAt != c[i].CreatedAt {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+// Refused offers do not advance delivery but do advance the stream, so
+// backpressure on one run cannot desynchronize another run's stream.
+func TestOfferedCounts(t *testing.T) {
+	m := geom.NewMesh(4, 4)
+	g := New(m, UniformRandom, []Source{{Rate: 1, Class: packet.Ctrl}}, 2)
+	f := newRecorder()
+	f.refuse = true
+	run(g, f, 10)
+	if len(f.pkts) != 0 {
+		t.Error("refused offers recorded as injected")
+	}
+	if g.Offered(0, 0) != 10 {
+		t.Errorf("Offered = %d, want 10 (streams advance despite refusal)", g.Offered(0, 0))
+	}
+}

@@ -1,0 +1,73 @@
+package wave
+
+import "fmt"
+
+// Analysis utilities behind the wave-set placement finding (DESIGN.md
+// §6): where can a packet travelling on the north (or west) sub-wave
+// hop back onto the south-east sub-wave?
+//
+// At row y the SE scheduler shows s_N − 2·P·y when the N scheduler
+// shows s_N (and symmetrically with x for the W scheduler), so a worm
+// of `size` flits riding a window starting at wave s can eject or turn
+// at row y exactly when (s − 2·P·y) mod Smax is again a startable
+// window of its domain.
+
+// TurnRows returns, for a worm of `size` flits of domain dom riding the
+// window starting at wave s, the rows y ∈ [0, rows) at which it can
+// transfer from the north sub-wave onto the south-east sub-wave (the
+// same set applies to columns for the west sub-wave, by symmetry).
+func TurnRows(dec *Decoder, hopDelay, rows, dom, s, size int) []int {
+	if !dec.CanStart(s, size) || dec.Domain(s) != dom {
+		panic(fmt.Sprintf("wave: TurnRows(s=%d) is not a startable window of domain %d", s, dom))
+	}
+	var ys []int
+	for y := 0; y < rows; y++ {
+		w := mod(s-2*hopDelay*y, dec.Smax())
+		if dec.Domain(w) == dom && dec.CanStart(w, size) {
+			ys = append(ys, y)
+		}
+	}
+	return ys
+}
+
+// WorstDetour returns, over all startable windows of the domain, the
+// maximum number of extra rows a north-bound worm must overshoot past
+// its destination before it reaches a turn row (rows beyond the border
+// mean "bounce off row 0", counted to the border).  It is the
+// analytical form of the deflection detour the placement ablation
+// measures.
+func WorstDetour(dec *Decoder, hopDelay, rows, dom, size int) int {
+	worst := 0
+	for s := 0; s < dec.Smax(); s++ {
+		if dec.Domain(s) != dom || !dec.CanStart(s, size) {
+			continue
+		}
+		turns := TurnRows(dec, hopDelay, rows, dom, s, size)
+		turnSet := make(map[int]bool, len(turns))
+		for _, y := range turns {
+			turnSet[y] = true
+		}
+		// A worm destined for row y travelling north keeps moving north
+		// (decreasing y) until it hits a turn row; row 0 always turns
+		// (the border rule makes all schedulers coincide there).
+		for y := rows - 1; y >= 0; y-- {
+			detour := 0
+			for t := y; t >= 0; t-- {
+				if turnSet[t] || t == 0 {
+					detour = y - t
+					break
+				}
+			}
+			if detour > worst {
+				worst = detour
+			}
+		}
+	}
+	return worst
+}
+
+// DomainShare returns the fraction of waves owned by the domain — the
+// domain's share of every link's bandwidth under the schedule.
+func DomainShare(dec *Decoder, dom int) float64 {
+	return float64(len(dec.Owned(dom))) / float64(dec.Smax())
+}

@@ -1,0 +1,49 @@
+package wave_test
+
+import (
+	"fmt"
+
+	"surfbless/internal/geom"
+	"surfbless/internal/wave"
+)
+
+// ExampleNew builds the paper's Figure-3 schedule and reads the three
+// sub-wave counters of one router.
+func ExampleNew() {
+	s := wave.New(geom.NewMesh(4, 4), 1)
+	c := geom.Coord{X: 1, Y: 2}
+	fmt.Println("Smax:", s.Smax())
+	fmt.Printf("router %v at T=0: SE=%d N=%d W=%d\n",
+		c, s.Index(wave.SE, c, 0), s.Index(wave.NSub, c, 0), s.Index(wave.WSub, c, 0))
+	// Output:
+	// Smax: 6
+	// router (1,2) at T=0: SE=3 N=1 W=5
+}
+
+// ExampleRenderWave draws one frame of the Figure-3 wave animation.
+func ExampleRenderWave() {
+	s := wave.New(geom.NewMesh(4, 4), 1)
+	fmt.Print(wave.RenderWave(s, 0, 0))
+	// Output:
+	// T=0 wave 0
+	// o>o o o
+	// v ^
+	// o<o o o
+	//     ^
+	// o o<o o
+	//       ^
+	// o o o<o
+}
+
+// ExampleRoundRobin shows the §5.1 decoder: waves assigned to domains
+// round-robin.
+func ExampleRoundRobin() {
+	dec := wave.RoundRobin(42, 3)
+	fmt.Println("wave 0 →", dec.Domain(0))
+	fmt.Println("wave 7 →", dec.Domain(7))
+	fmt.Println("domain 1 owns", len(dec.Owned(1)), "waves")
+	// Output:
+	// wave 0 → 0
+	// wave 7 → 1
+	// domain 1 owns 14 waves
+}

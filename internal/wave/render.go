@@ -1,0 +1,97 @@
+package wave
+
+import (
+	"fmt"
+	"strings"
+
+	"surfbless/internal/geom"
+)
+
+// RenderWave draws which directed links one wave owns at cycle t — the
+// textual reproduction of the paper's Figure 3 (which shows the wave
+// pattern on a 4×4 mesh with hop delay 1, where the pattern repeats
+// after Smax = 2·1·(4−1) = 6 time slots).
+//
+// Routers appear as "o" on a (2N−1)×(2N−1) character grid.  A link cell
+// between two routers shows the direction of the owned traversal:
+// '>' / '<' for the east/west link, 'v' / '^' for south/north, and 'x'
+// when the wave owns both directions of the physical channel that
+// cycle (which happens where sub-waves cross at borders).
+func RenderWave(s *Schedule, w int, t int64) string {
+	if w < 0 || w >= s.smax {
+		panic(fmt.Sprintf("wave: RenderWave(%d) out of range [0,%d)", w, s.smax))
+	}
+	n := s.mesh.Width
+	grid := make([][]byte, 2*n-1)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", 2*n-1))
+	}
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			grid[2*y][2*x] = 'o'
+		}
+	}
+	mark := func(r, c int, ch byte) {
+		if grid[r][c] == ' ' {
+			grid[r][c] = ch
+		} else {
+			grid[r][c] = 'x'
+		}
+	}
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			c := geom.Coord{X: x, Y: y}
+			if x+1 < n && s.OutputWave(c, geom.East, t) == w {
+				mark(2*y, 2*x+1, '>')
+			}
+			if x > 0 && s.OutputWave(c, geom.West, t) == w {
+				mark(2*y, 2*x-1, '<')
+			}
+			if y+1 < n && s.OutputWave(c, geom.South, t) == w {
+				mark(2*y+1, 2*x, 'v')
+			}
+			if y > 0 && s.OutputWave(c, geom.North, t) == w {
+				mark(2*y-1, 2*x, '^')
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "T=%d wave %d\n", t, w)
+	for _, row := range grid {
+		b.WriteString(strings.TrimRight(string(row), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderPeriod renders one full reverberation period of a wave, Figure
+// 3 style: Smax frames starting at cycle t0.
+func RenderPeriod(s *Schedule, w int, t0 int64) []string {
+	frames := make([]string, s.smax)
+	for i := range frames {
+		frames[i] = RenderWave(s, w, t0+int64(i))
+	}
+	return frames
+}
+
+// OwnedLinks returns the directed links (as "(x,y)→(x,y) SUB" strings,
+// deterministic order) that wave w owns at cycle t, for tests and
+// diagnostics.
+func (s *Schedule) OwnedLinks(w int, t int64) []string {
+	var out []string
+	n := s.mesh.Width
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			c := geom.Coord{X: x, Y: y}
+			for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+				if !s.mesh.HasNeighbor(c, d) {
+					continue
+				}
+				if s.OutputWave(c, d, t) == w {
+					out = append(out, fmt.Sprintf("%v→%v %v", c, c.Add(d), OutputSub(d)))
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package wave
+
+import (
+	"strings"
+	"testing"
+
+	"surfbless/internal/geom"
+)
+
+// fig3Schedule is the schedule the paper's Figure 3 depicts: a 4×4
+// mesh with hop delay 1, whose pattern repeats after 6 time slots.
+func fig3Schedule() *Schedule { return New(geom.NewMesh(4, 4), 1) }
+
+func TestRenderPeriodRepeats(t *testing.T) {
+	s := fig3Schedule()
+	if s.Smax() != 6 {
+		t.Fatalf("Figure-3 schedule has Smax %d, want 6", s.Smax())
+	}
+	for w := 0; w < s.Smax(); w++ {
+		for tm := int64(0); tm < 6; tm++ {
+			a := RenderWave(s, w, tm)
+			b := RenderWave(s, w, tm+6)
+			// Frames carry the cycle number in the header; compare bodies.
+			if body(a) != body(b) {
+				t.Fatalf("wave %d frame at T=%d differs after one period:\n%s\nvs\n%s", w, tm, a, b)
+			}
+		}
+	}
+}
+
+func body(frame string) string {
+	i := strings.IndexByte(frame, '\n')
+	return frame[i+1:]
+}
+
+func TestRenderGridShape(t *testing.T) {
+	s := fig3Schedule()
+	frame := RenderWave(s, 0, 0)
+	lines := strings.Split(strings.TrimRight(frame, "\n"), "\n")
+	if len(lines) != 1+7 { // header + (2·4−1) rows
+		t.Fatalf("frame has %d lines:\n%s", len(lines), frame)
+	}
+	for i, l := range lines[1:] {
+		if len(l) > 7 {
+			t.Errorf("row %d has width %d, want ≤ 7 (trailing spaces trimmed)", i, len(l))
+		}
+	}
+	// 16 routers drawn.
+	if got := strings.Count(frame, "o"); got != 16 {
+		t.Errorf("%d routers drawn, want 16", got)
+	}
+}
+
+func TestRenderWavePanicsOutOfRange(t *testing.T) {
+	s := fig3Schedule()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RenderWave(s, 6, 0)
+}
+
+// Every directed link is owned by exactly one wave per cycle, so the
+// per-wave owned-link lists partition the 2·2·N·(N−1) = 48 links.
+func TestOwnedLinksPartition(t *testing.T) {
+	s := fig3Schedule()
+	for tm := int64(0); tm < 6; tm++ {
+		seen := map[string]int{}
+		total := 0
+		for w := 0; w < s.Smax(); w++ {
+			links := s.OwnedLinks(w, tm)
+			total += len(links)
+			for _, l := range links {
+				if prev, dup := seen[l]; dup {
+					t.Fatalf("link %s owned by waves %d and %d at T=%d", l, prev, w, tm)
+				}
+				seen[l] = w
+			}
+		}
+		if total != 48 {
+			t.Fatalf("T=%d: %d directed links owned, want 48", tm, total)
+		}
+	}
+}
+
+// The wave moves: consecutive frames differ, and the wave never
+// vanishes (it always owns links — the reverberation has no dead slot).
+func TestWaveMovesAndPersists(t *testing.T) {
+	s := fig3Schedule()
+	for tm := int64(0); tm < 6; tm++ {
+		links := s.OwnedLinks(0, tm)
+		if len(links) == 0 {
+			t.Fatalf("wave 0 owns nothing at T=%d", tm)
+		}
+		if body(RenderWave(s, 0, tm)) == body(RenderWave(s, 0, tm+1)) {
+			t.Fatalf("wave 0 frozen between T=%d and T=%d", tm, tm+1)
+		}
+	}
+}
+
+// The rendered glyph census matches the sub-wave structure: the SE
+// sub-wave contributes '>' and 'v' marks, the returning WN and WW
+// sub-waves '^' and '<'.
+func TestRenderGlyphs(t *testing.T) {
+	s := fig3Schedule()
+	for tm := int64(0); tm < 6; tm++ {
+		frame := body(RenderWave(s, 0, tm)) // drop the header ("wave" has a 'v')
+		se := strings.Count(frame, ">") + strings.Count(frame, "v")
+		back := strings.Count(frame, "<") + strings.Count(frame, "^")
+		cross := strings.Count(frame, "x")
+		if se == 0 {
+			t.Errorf("T=%d: no south-east sub-wave links rendered", tm)
+		}
+		if back == 0 {
+			t.Errorf("T=%d: no returning sub-wave links rendered", tm)
+		}
+		want := len(s.OwnedLinks(0, tm))
+		if got := se + back + 2*cross; got != want {
+			t.Errorf("T=%d: %d link glyphs (x counts twice), want %d", tm, got, want)
+		}
+	}
+}

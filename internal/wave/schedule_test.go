@@ -1,0 +1,256 @@
+package wave
+
+import (
+	"testing"
+	"testing/quick"
+
+	"surfbless/internal/geom"
+)
+
+func mesh8() geom.Mesh { return geom.NewMesh(8, 8) }
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"non-square", func() { New(geom.NewMesh(4, 8), 3) }},
+		{"too small", func() { New(geom.NewMesh(1, 1), 3) }},
+		{"zero hop delay", func() { New(mesh8(), 0) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New should panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}
+
+// The Section 4.2 example: 8×8 mesh, P = 3 ⇒ Smax = 42.
+func TestSmaxPaperExample(t *testing.T) {
+	s := New(mesh8(), 3)
+	if s.Smax() != 42 {
+		t.Errorf("Smax = %d, want 42", s.Smax())
+	}
+	if s.HopDelay() != 3 {
+		t.Errorf("HopDelay = %d, want 3", s.HopDelay())
+	}
+}
+
+// Initial values must match Eq. (1)–(3) literally.
+func TestInitialValueEquations(t *testing.T) {
+	const p, n = 3, 8
+	s := New(mesh8(), p)
+	smax := 2 * p * (n - 1)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			c := geom.Coord{X: x, Y: y}
+			wantSE := ((smax*p-p*(x+y))%smax + smax) % smax
+			wantW := ((smax*p+p*(x-y))%smax + smax) % smax
+			wantN := ((smax*p-p*(x-y))%smax + smax) % smax
+			if got := s.Index(SE, c, 0); got != wantSE {
+				t.Errorf("InitialSE(%v) = %d, want %d", c, got, wantSE)
+			}
+			if got := s.Index(WSub, c, 0); got != wantW {
+				t.Errorf("InitialW(%v) = %d, want %d", c, got, wantW)
+			}
+			if got := s.Index(NSub, c, 0); got != wantN {
+				t.Errorf("InitialN(%v) = %d, want %d", c, got, wantN)
+			}
+		}
+	}
+}
+
+// Counters count cyclically 0…Smax−1, advancing by one per cycle.
+func TestCounterAdvance(t *testing.T) {
+	s := New(mesh8(), 3)
+	c := geom.Coord{X: 2, Y: 5}
+	for _, sub := range []Sub{SE, NSub, WSub} {
+		v0 := s.Index(sub, c, 0)
+		if got := s.Index(sub, c, 1); got != (v0+1)%42 {
+			t.Errorf("%v counter at t=1 = %d, want %d", sub, got, (v0+1)%42)
+		}
+		if got := s.Index(sub, c, 42); got != v0 {
+			t.Errorf("%v counter must repeat after Smax cycles", sub)
+		}
+		if got := s.Index(sub, c, -1); got != (v0+41)%42 {
+			t.Errorf("%v counter at t=-1 = %d, want %d", sub, got, (v0+41)%42)
+		}
+	}
+}
+
+// Property (1): a flit following any sub-wave keeps its wave index.
+func TestContinuityAllCycles(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5} {
+		for _, n := range []int{2, 4, 8} {
+			s := New(geom.NewMesh(n, n), p)
+			for tm := int64(0); tm < int64(s.Smax()); tm++ {
+				if err := s.CheckContinuity(tm); err != nil {
+					t.Fatalf("N=%d P=%d: %v", n, p, err)
+				}
+			}
+		}
+	}
+}
+
+// Property (2): per-wave input/output port balance at every router and
+// cycle — the deflection guarantee of Section 4.1.
+func TestBalanceAllRoutersAllCycles(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5} {
+		for _, n := range []int{2, 4, 8} {
+			s := New(geom.NewMesh(n, n), p)
+			m := s.Mesh()
+			for tm := int64(0); tm < int64(s.Smax()); tm++ {
+				for id := 0; id < m.Nodes(); id++ {
+					if err := s.CheckBalance(m.CoordOf(id), tm); err != nil {
+						t.Fatalf("N=%d P=%d: %v", n, p, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Balance also holds at arbitrary (possibly huge/negative) cycles.
+func TestBalanceQuick(t *testing.T) {
+	s := New(mesh8(), 3)
+	f := func(x, y uint8, tm int64) bool {
+		c := geom.Coord{X: int(x % 8), Y: int(y % 8)}
+		return s.CheckBalance(c, tm) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Rule-1/Rule-2 border coincidences: the N scheduler equals the SE
+// scheduler on the south and north borders, the W scheduler on the east
+// and west borders, and all three coincide at the corners.
+func TestBorderCoincidence(t *testing.T) {
+	s := New(mesh8(), 3)
+	for tm := int64(0); tm < 42; tm++ {
+		for i := 0; i < 8; i++ {
+			south := geom.Coord{X: i, Y: 7}
+			if s.Index(NSub, south, tm) != s.Index(SE, south, tm) {
+				t.Fatalf("south border %v cycle %d: N %d != SE %d",
+					south, tm, s.Index(NSub, south, tm), s.Index(SE, south, tm))
+			}
+			north := geom.Coord{X: i, Y: 0}
+			if s.Index(NSub, north, tm) != s.Index(SE, north, tm) {
+				t.Fatalf("north border %v cycle %d: N != SE", north, tm)
+			}
+			east := geom.Coord{X: 7, Y: i}
+			if s.Index(WSub, east, tm) != s.Index(SE, east, tm) {
+				t.Fatalf("east border %v cycle %d: W != SE", east, tm)
+			}
+			west := geom.Coord{X: 0, Y: i}
+			if s.Index(WSub, west, tm) != s.Index(SE, west, tm) {
+				t.Fatalf("west border %v cycle %d: W != SE", west, tm)
+			}
+		}
+	}
+}
+
+// Interior routers must NOT have coincident schedulers in general —
+// otherwise the three schedulers would be redundant.
+func TestInteriorSchedulersDiffer(t *testing.T) {
+	s := New(mesh8(), 3)
+	c := geom.Coord{X: 3, Y: 4}
+	if s.Index(NSub, c, 0) == s.Index(SE, c, 0) && s.Index(WSub, c, 0) == s.Index(SE, c, 0) {
+		t.Error("interior router has all schedulers coincident at t=0; schedule degenerate")
+	}
+}
+
+// The offsets proved in DESIGN.md: s_N − s_SE = 2·P·y and
+// s_W − s_SE = 2·P·x (mod Smax).  These drive the Fig-7 domain
+// asymmetry, so pin them down.
+func TestSchedulerOffsets(t *testing.T) {
+	const p = 3
+	s := New(mesh8(), p)
+	smax := s.Smax()
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			c := geom.Coord{X: x, Y: y}
+			se := s.Index(SE, c, 17)
+			if got := s.Index(NSub, c, 17); got != (se+2*p*y)%smax {
+				t.Fatalf("s_N offset at %v: got %d, want SE+%d", c, got, 2*p*y)
+			}
+			if got := s.Index(WSub, c, 17); got != (se+2*p*x)%smax {
+				t.Fatalf("s_W offset at %v: got %d, want SE+%d", c, got, 2*p*x)
+			}
+		}
+	}
+}
+
+func TestInputOutputSubMapping(t *testing.T) {
+	// Fig. 4(b): SE scheduler pairs {N,W,Injection} inputs with
+	// {S,E,Ejection} outputs; N scheduler {S}→{N}; W scheduler {E}→{W}.
+	for in, want := range map[geom.Dir]Sub{
+		geom.North: SE, geom.West: SE, geom.Local: SE,
+		geom.South: NSub, geom.East: WSub,
+	} {
+		if got := InputSub(in); got != want {
+			t.Errorf("InputSub(%v) = %v, want %v", in, got, want)
+		}
+	}
+	for out, want := range map[geom.Dir]Sub{
+		geom.South: SE, geom.East: SE, geom.Local: SE,
+		geom.North: NSub, geom.West: WSub,
+	} {
+		if got := OutputSub(out); got != want {
+			t.Errorf("OutputSub(%v) = %v, want %v", out, got, want)
+		}
+	}
+}
+
+func TestSubString(t *testing.T) {
+	if SE.String() != "SE" || NSub.String() != "N" || WSub.String() != "W" {
+		t.Error("Sub names wrong")
+	}
+	if Sub(9).String() != "Sub(9)" {
+		t.Error("unknown Sub string wrong")
+	}
+}
+
+func TestIndexPanicsOnBadSub(t *testing.T) {
+	s := New(mesh8(), 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Index with invalid sub must panic")
+		}
+	}()
+	s.Index(Sub(9), geom.Coord{}, 0)
+}
+
+// No two waves overlap: at one router and cycle, distinct port groups
+// may map to the same wave only via the border coincidences, and the
+// ownership of each port is a single wave — i.e. the schedule is a
+// function.  Here we verify the complementary claim from §4.1 ("there
+// is no overlapping between any two waves"): summed over the whole
+// mesh, each wave owns the same total number of input ports.
+func TestWaveFairness(t *testing.T) {
+	s := New(mesh8(), 3)
+	m := s.Mesh()
+	counts := make([]int, s.Smax())
+	total := 0
+	for tm := int64(0); tm < int64(s.Smax()); tm++ {
+		for id := 0; id < m.Nodes(); id++ {
+			c := m.CoordOf(id)
+			for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+				if m.HasNeighbor(c, d) {
+					counts[s.InputWave(c, d, tm)]++
+					total++
+				}
+			}
+		}
+	}
+	want := total / s.Smax()
+	for w, n := range counts {
+		if n != want {
+			t.Fatalf("wave %d owns %d input-port-cycles per period, want %d (unfair schedule)", w, n, want)
+		}
+	}
+}

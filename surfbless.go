@@ -1,0 +1,130 @@
+// Package surfbless is a cycle-accurate reproduction of "Surf-Bless: A
+// Confined-interference Routing for Energy-Efficient Communication in
+// NoCs" (DAC 2019).
+//
+// It provides the four 8×8-mesh network-on-chip models the paper
+// compares — the WH wormhole baseline, the BLESS bufferless baseline,
+// the Surf (SurfNoC-style) confined-interference network and the
+// paper's Surf-Bless (SB) — two related-work extensions (CHIPPER and
+// RUNAHEAD), plus the substrates the paper's evaluation runs on:
+// synthetic traffic generators, a DSENT-like energy model, and a
+// 64-core MESI cache-coherence full-system simulator with nine
+// PARSEC-like application profiles.
+//
+// Two entry points cover the paper's two evaluation styles:
+//
+//   - RunSynthetic drives a network with open-loop synthetic traffic
+//     (the §5.1 experiments: non-interference, energy vs domains,
+//     latency vs load), and
+//   - RunSystem boots the full-system simulator and measures application
+//     execution time, packet latency and NoC energy (the §5.2
+//     experiments).
+//
+// The exported names are aliases of the implementation packages under
+// internal/, so the documented methods on Config, Result etc. are
+// available through this package.  See DESIGN.md for the system map and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package surfbless
+
+import (
+	"surfbless/internal/config"
+	"surfbless/internal/cpu"
+	"surfbless/internal/experiments"
+	"surfbless/internal/power"
+	"surfbless/internal/sim"
+	"surfbless/internal/system"
+	"surfbless/internal/traffic"
+	"surfbless/internal/wave"
+)
+
+// Model selects the router microarchitecture.
+type Model = config.Model
+
+// The four networks of the paper's evaluation.
+const (
+	WH    = config.WH    // wormhole VC baseline
+	BLESS = config.BLESS // bufferless deflection baseline
+	Surf  = config.Surf  // confined interference with per-domain VCs
+	SB    = config.SB    // Surf-Bless: confined interference, bufferless
+	// CHIPPER is the permutation-network bufferless router of the
+	// paper's related work [10], built as an extension.
+	CHIPPER = config.CHIPPER
+	// RUNAHEAD is the dropping single-cycle bufferless network of the
+	// paper's related work [11], built as an extension.
+	RUNAHEAD = config.RUNAHEAD
+)
+
+// Config is the full parameter set (Table 1 defaults via DefaultConfig).
+type Config = config.Config
+
+// DefaultConfig returns the paper's Table-1 configuration for a model.
+func DefaultConfig(m Model) Config { return config.Default(m) }
+
+// Pattern selects a synthetic destination distribution.
+type Pattern = traffic.Pattern
+
+// Synthetic traffic patterns.
+const (
+	UniformRandom = traffic.UniformRandom // the paper's pattern
+	Transpose     = traffic.Transpose
+	BitComplement = traffic.BitComplement
+	Hotspot       = traffic.Hotspot
+)
+
+// Source describes one domain's injection process.
+type Source = traffic.Source
+
+// SimOptions configures a synthetic run (see sim.Options).
+type SimOptions = sim.Options
+
+// SimResult is a synthetic run's outcome (see sim.Result).
+type SimResult = sim.Result
+
+// RunSynthetic executes one synthetic-traffic simulation.
+func RunSynthetic(o SimOptions) (SimResult, error) { return sim.Run(o) }
+
+// Profile is one synthetic application (see cpu.Profile).
+type Profile = cpu.Profile
+
+// Applications returns the nine PARSEC-like profiles of §5.2.
+func Applications() []Profile { return cpu.Profiles() }
+
+// Application returns the named profile.
+func Application(name string) (Profile, error) { return cpu.ProfileByName(name) }
+
+// SystemOptions configures a full-system run (see system.Options).
+type SystemOptions = system.Options
+
+// SystemResult is a full-system run's outcome (see system.Result).
+type SystemResult = system.Result
+
+// RunSystem executes one full-system (cores + MESI + NoC) simulation.
+func RunSystem(o SystemOptions) (SystemResult, error) { return system.Run(o) }
+
+// Energy is a NoC energy report in the paper's breakdown.
+type Energy = power.Energy
+
+// PowerCoefficients parameterizes the energy model.
+type PowerCoefficients = power.Coefficients
+
+// DefaultPowerCoefficients returns the calibrated 45 nm-flavoured model.
+func DefaultPowerCoefficients() PowerCoefficients { return power.Default45nm() }
+
+// WaveSchedule is the paper's core scheduling structure (Section 4):
+// three per-router sub-wave counters realizing the repetitive wave
+// pattern, exposed for research on wave-based scheduling.
+type WaveSchedule = wave.Schedule
+
+// WaveDecoder maps wave indices to interference domains.
+type WaveDecoder = wave.Decoder
+
+// ExperimentScale sizes the figure-reproduction harnesses.
+type ExperimentScale = experiments.Scale
+
+// Experiment scales: Tiny for tests, Quick for benchmarks, Full near
+// the paper's operating points.
+var (
+	TinyScale  = experiments.Tiny
+	QuickScale = experiments.Quick
+	FullScale  = experiments.Full
+)

@@ -1,0 +1,94 @@
+package surfbless_test
+
+import (
+	"testing"
+
+	"surfbless"
+	"surfbless/internal/packet"
+)
+
+// The public API must carry a complete §5.1-style run end to end.
+func TestPublicSyntheticAPI(t *testing.T) {
+	cfg := surfbless.DefaultConfig(surfbless.SB)
+	cfg.Domains = 2
+	res, err := surfbless.RunSynthetic(surfbless.SimOptions{
+		Cfg:     cfg,
+		Pattern: surfbless.UniformRandom,
+		Sources: []surfbless.Source{
+			{Rate: 0.03, Class: packet.Ctrl, VNet: -1},
+			{Rate: 0.03, Class: packet.Ctrl, VNet: -1},
+		},
+		Warmup: 200, Measure: 1500, Drain: 10000,
+		Seed: 3, AuditEvery: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Ejected == 0 || res.LeftInFlight != 0 {
+		t.Fatalf("synthetic run broken: %+v", res.Total)
+	}
+	if res.Throughput(0) <= 0 {
+		t.Error("zero victim throughput")
+	}
+}
+
+// …and a §5.2-style full-system run.
+func TestPublicSystemAPI(t *testing.T) {
+	app, err := surfbless.Application("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := surfbless.RunSystem(surfbless.SystemOptions{
+		Model:        surfbless.SB,
+		App:          app,
+		InstrPerCore: 1200,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished || res.ExecCycles < 1200 {
+		t.Fatalf("system run broken: %+v", res)
+	}
+	if res.Energy.Total() <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestApplications(t *testing.T) {
+	apps := surfbless.Applications()
+	if len(apps) != 9 {
+		t.Fatalf("%d applications, want 9", len(apps))
+	}
+	if _, err := surfbless.Application("nope"); err == nil {
+		t.Error("unknown application accepted")
+	}
+}
+
+func TestModelsExported(t *testing.T) {
+	for _, m := range []surfbless.Model{surfbless.WH, surfbless.BLESS, surfbless.Surf, surfbless.SB} {
+		if err := surfbless.DefaultConfig(m).Validate(); err != nil {
+			t.Errorf("%v default config invalid: %v", m, err)
+		}
+	}
+	if !surfbless.SB.ConfinedInterference() || !surfbless.SB.Bufferless() {
+		t.Error("SB must be confined-interference and bufferless")
+	}
+}
+
+func TestPowerCoefficientsExported(t *testing.T) {
+	co := surfbless.DefaultPowerCoefficients()
+	if co.BufferSlot <= 0 || co.LinkTraversal <= 0 {
+		t.Error("default coefficients empty")
+	}
+}
+
+func TestScalesExported(t *testing.T) {
+	for _, f := range []func() surfbless.ExperimentScale{
+		surfbless.TinyScale, surfbless.QuickScale, surfbless.FullScale,
+	} {
+		if err := f().Validate(); err != nil {
+			t.Errorf("scale invalid: %v", err)
+		}
+	}
+}
