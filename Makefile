@@ -1,0 +1,38 @@
+# Build/test entry points.  `make ci` is the gate every change must
+# pass; `make fuzz` gives the fuzz targets a short budget; `make bench`
+# regenerates the figure benchmarks with the result cache disabled
+# (benchmarks never install a cache, so the timings measure real
+# simulations — see internal/experiments.SetCache).
+
+GO ?= go
+
+.PHONY: ci vet build test race fuzz bench experiments clean-cache
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzConfigJSON -fuzztime=10s ./internal/config
+	$(GO) test -fuzz=FuzzFingerprint -fuzztime=10s ./internal/simcache
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+# Regenerate every figure into results/ (cached; add FLAGS=-no-cache
+# for fresh simulations).
+experiments:
+	$(GO) run ./cmd/experiments -scale quick -out results $(FLAGS)
+
+clean-cache:
+	rm -rf results/.simcache

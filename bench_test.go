@@ -6,9 +6,14 @@
 // Run a single figure with e.g.
 //
 //	go test -bench=BenchmarkFig6 -benchtime=1x
+//
+// Timings stay honest: TestMain pins the experiments result cache off,
+// so every iteration performs real simulations even if some earlier
+// test or harness installed a cache in the same process.
 package surfbless_test
 
 import (
+	"os"
 	"testing"
 
 	"surfbless"
@@ -21,6 +26,14 @@ import (
 	"surfbless/internal/system"
 	"surfbless/internal/traffic"
 )
+
+// TestMain keeps the benchmarks cache-free: cached figure
+// regeneration would report the cost of a map lookup, not of the
+// simulator.
+func TestMain(m *testing.M) {
+	experiments.SetCache(nil)
+	os.Exit(m.Run())
+}
 
 // BenchmarkTable1Config regenerates Table 1 from the live configuration.
 func BenchmarkTable1Config(b *testing.B) {

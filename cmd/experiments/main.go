@@ -5,9 +5,15 @@
 // Usage:
 //
 //	experiments [-scale tiny|quick|full] [-fig all|table1|fig5|fig6|fig7|apps|ablations] [-out DIR]
+//	            [-cache] [-cache-dir DIR] [-no-cache]
 //
 // "apps" runs the §5.2 full-system matrix that produces Figs. 8, 9 and
 // 10 together.  At -scale full expect several minutes.
+//
+// Every simulation is a pure function of its options, so results are
+// cached content-addressed under -cache-dir (default
+// results/.simcache); regenerating an unchanged figure is near-instant
+// on the second run.  -no-cache forces fresh simulations.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"surfbless/internal/experiments"
+	"surfbless/internal/simcache"
 	"surfbless/internal/textplot"
 )
 
@@ -26,6 +33,9 @@ func main() {
 	scaleName := flag.String("scale", "quick", "simulation scale: tiny, quick or full")
 	fig := flag.String("fig", "all", "which experiment: all, table1, fig3, fig5, fig6, fig7, apps, ablations, extensions")
 	out := flag.String("out", "", "directory to write .txt and .csv outputs (optional)")
+	useCache := flag.Bool("cache", true, "reuse cached simulation results")
+	cacheDir := flag.String("cache-dir", filepath.Join("results", ".simcache"), "result-cache directory")
+	noCache := flag.Bool("no-cache", false, "run every simulation fresh (overrides -cache)")
 	flag.Parse()
 
 	sc, err := scaleByName(*scaleName)
@@ -36,6 +46,16 @@ func main() {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
 		}
+	}
+	var cache *simcache.Cache
+	if *useCache && !*noCache {
+		if cache, err = simcache.New(simcache.Options{Dir: *cacheDir}); err != nil {
+			fatal(err)
+		}
+		experiments.SetCache(cache)
+		defer func() {
+			fmt.Fprintf(os.Stderr, "cache (%s): %v\n", *cacheDir, cache.Stats())
+		}()
 	}
 
 	run := func(name string, f func() ([]*textplot.Table, error)) {

@@ -5,17 +5,23 @@
 // Usage:
 //
 //	sweep [-model SB] [-domains 2] [-from 0.01] [-to 0.3] [-step 0.02]
-//	      [-cycles 10000] [-seed 1]
+//	      [-cycles 10000] [-seed 1] [-cache] [-cache-dir DIR] [-no-cache]
+//
+// Points are cached content-addressed under -cache-dir (default
+// results/.simcache), shared with cmd/experiments; -no-cache forces
+// fresh simulations.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"surfbless/internal/config"
 	"surfbless/internal/packet"
 	"surfbless/internal/sim"
+	"surfbless/internal/simcache"
 	"surfbless/internal/traffic"
 )
 
@@ -27,7 +33,19 @@ func main() {
 	step := flag.Float64("step", 0.02, "rate increment")
 	cycles := flag.Int64("cycles", 10000, "measured cycles per point")
 	seed := flag.Int64("seed", 1, "random seed")
+	useCache := flag.Bool("cache", true, "reuse cached simulation results")
+	cacheDir := flag.String("cache-dir", filepath.Join("results", ".simcache"), "result-cache directory")
+	noCache := flag.Bool("no-cache", false, "run every simulation fresh (overrides -cache)")
 	flag.Parse()
+
+	var cache *simcache.Cache
+	if *useCache && !*noCache {
+		var err error
+		if cache, err = simcache.New(simcache.Options{Dir: *cacheDir}); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
 
 	var m config.Model
 	switch *model {
@@ -56,13 +74,13 @@ func main() {
 		for i := range sources {
 			sources[i] = traffic.Source{Rate: rate / float64(*domains), Class: packet.Ctrl, VNet: -1}
 		}
-		res, err := sim.Run(sim.Options{
+		res, err := sim.RunCached(sim.Options{
 			Cfg:     cfg,
 			Pattern: traffic.UniformRandom,
 			Sources: sources,
 			Warmup:  *cycles / 10, Measure: *cycles, Drain: 10 * *cycles,
 			Seed: *seed,
-		})
+		}, cache)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: rate %.3f: %v\n", rate, err)
 			os.Exit(1)
@@ -75,5 +93,8 @@ func main() {
 		fmt.Printf("%.3f,%.3f,%.3f,%.3f,%.4f,%.3f,%d\n",
 			rate, tot.AvgTotalLatency(), tot.AvgQueueLatency(), tot.AvgNetworkLatency(),
 			thr, tot.AvgDeflections(), tot.Refused)
+	}
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "cache (%s): %v\n", *cacheDir, cache.Stats())
 	}
 }

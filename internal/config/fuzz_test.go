@@ -1,0 +1,56 @@
+package config
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzConfigJSON feeds arbitrary bytes through the same decode path
+// Load uses (probe the model, decode over that model's defaults) and
+// asserts two properties: no input may panic the decoder, and any
+// input that yields a valid configuration must survive a
+// marshal/unmarshal round trip unchanged.  The round trip is what the
+// result cache's fingerprinting leans on — a configuration that
+// serialized lossily would alias distinct runs onto one cache key.
+func FuzzConfigJSON(f *testing.F) {
+	for _, m := range []Model{WH, BLESS, Surf, SB, CHIPPER, RUNAHEAD} {
+		raw, err := json.Marshal(Default(m))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`{"Model":"SB","Domains":3}`))
+	f.Add([]byte(`{"Model":"Surf","WaveSets":[[0,1],[2]],"Domains":2}`))
+	f.Add([]byte(`{"Model":"BLESS","Width":-1}`))
+	f.Add([]byte(`{"Model":42}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var probe struct{ Model Model }
+		if json.Unmarshal(data, &probe) != nil {
+			return
+		}
+		cfg := Default(probe.Model)
+		if json.Unmarshal(data, &cfg) != nil {
+			return
+		}
+		if cfg.Validate() != nil {
+			return
+		}
+		out, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("valid config failed to marshal: %v", err)
+		}
+		var back Config
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed to decode: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(cfg, back) {
+			t.Fatalf("round trip not lossless:\n in: %+v\nout: %+v", cfg, back)
+		}
+		if back.Validate() != nil {
+			t.Fatalf("round trip invalidated the config: %+v", back)
+		}
+	})
+}

@@ -41,13 +41,13 @@ func AblationWaveSets(sc Scale) ([]WaveSetRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		tuned, err := system.Run(system.Options{
+		tuned, err := runSystem(system.Options{
 			Model: config.SB, App: prof, InstrPerCore: sc.Instr, Seed: sc.Seed,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("ablation wavesets %s tuned: %w", app, err)
 		}
-		paper, err := system.Run(system.Options{
+		paper, err := runSystem(system.Options{
 			Model: config.SB, App: prof, InstrPerCore: sc.Instr, Seed: sc.Seed,
 			WaveSets: system.PaperWaveSets(),
 		})
@@ -164,7 +164,7 @@ func AblationMeshSweep(sc Scale) ([]MeshRow, error) {
 	for _, n := range []int{4, 6, 8, 10} {
 		cfg := fig6Config(config.SB, 2)
 		cfg.Width, cfg.Height = n, n
-		out, err := sim.Run(sim.Options{
+		out, err := runSim(sim.Options{
 			Cfg:     cfg,
 			Pattern: traffic.UniformRandom,
 			Sources: []traffic.Source{

@@ -46,7 +46,7 @@ func Apps(sc Scale) (AppsResult, error) {
 		}
 	}
 	outs, err := parmap(jobs, func(j job) (system.Result, error) {
-		out, err := system.Run(system.Options{
+		out, err := runSystem(system.Options{
 			Model:        j.model,
 			App:          j.prof,
 			InstrPerCore: sc.Instr,

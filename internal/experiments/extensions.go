@@ -38,7 +38,7 @@ func ExtensionBufferless(sc Scale) ([]BufferlessRow, error) {
 	for _, model := range []config.Model{config.BLESS, config.CHIPPER, config.RUNAHEAD, config.SB} {
 		for _, rate := range []float64{0.05, 0.15, 0.25} {
 			cfg := config.Default(model)
-			out, err := sim.Run(sim.Options{
+			out, err := runSim(sim.Options{
 				Cfg:     cfg,
 				Pattern: traffic.UniformRandom,
 				Sources: []traffic.Source{{Rate: rate, Class: packet.Ctrl, VNet: -1}},
@@ -90,7 +90,7 @@ func ExtensionPatterns(sc Scale) ([]PatternRow, error) {
 	run := func(model config.Model, pattern traffic.Pattern, interference float64) (float64, error) {
 		cfg := config.Default(model)
 		cfg.Domains = 2
-		out, err := sim.Run(sim.Options{
+		out, err := runSim(sim.Options{
 			Cfg:     cfg,
 			Pattern: pattern,
 			Sources: []traffic.Source{

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"surfbless/internal/sim"
+	"surfbless/internal/simcache"
+	"surfbless/internal/system"
+)
+
+// cachePtr holds the simulation-result cache every driver consults.
+// It is an atomic pointer because drivers fan simulations out through
+// parmap: workers read it concurrently, and one simcache.Cache is safe
+// to share between them.
+var cachePtr atomic.Pointer[simcache.Cache]
+
+// SetCache installs the result cache used by all figure, ablation and
+// extension drivers (nil disables caching).  The default is nil so
+// that tests and the bench_test.go benchmarks measure real
+// simulations; cmd/experiments installs a cache according to its
+// flags.
+func SetCache(c *simcache.Cache) {
+	cachePtr.Store(c)
+}
+
+// Cache returns the installed cache, or nil when caching is disabled.
+func Cache() *simcache.Cache { return cachePtr.Load() }
+
+// runSim is the cached sim.Run every synthetic driver goes through.
+func runSim(o sim.Options) (sim.Result, error) {
+	return sim.RunCached(o, cachePtr.Load())
+}
+
+// runSystem is the cached system.Run every full-system driver goes
+// through.
+func runSystem(o system.Options) (system.Result, error) {
+	return system.RunCached(o, cachePtr.Load())
+}

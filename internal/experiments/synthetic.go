@@ -48,7 +48,7 @@ func Fig5(sc Scale) (Fig5Result, error) {
 	run := func(model config.Model, victim, interference float64) (stats.Domain, float64, error) {
 		cfg := config.Default(model)
 		cfg.Domains = 2
-		out, err := sim.Run(sim.Options{
+		out, err := runSim(sim.Options{
 			Cfg:     cfg,
 			Pattern: traffic.UniformRandom,
 			Sources: []traffic.Source{
@@ -144,7 +144,7 @@ func Fig6(sc Scale) (Fig6Result, error) {
 		for i := range sources {
 			sources[i] = traffic.Source{Rate: fig6Rate / float64(domains), Class: packet.Ctrl, VNet: -1}
 		}
-		out, err := sim.Run(sim.Options{
+		out, err := runSim(sim.Options{
 			Cfg:     cfg,
 			Pattern: traffic.UniformRandom,
 			Sources: sources,
@@ -285,7 +285,7 @@ func fig7Point(sc Scale, model config.Model, domains int, rate float64) (latency
 	for i := range sources {
 		sources[i] = traffic.Source{Rate: rate / float64(domains), Class: packet.Ctrl, VNet: -1}
 	}
-	out, err := sim.Run(sim.Options{
+	out, err := runSim(sim.Options{
 		Cfg:     cfg,
 		Pattern: traffic.UniformRandom,
 		Sources: sources,

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"surfbless/internal/config"
+	"surfbless/internal/simcache"
+	"surfbless/internal/traffic"
+)
+
+// The result cache is only sound if Run is a pure function of its
+// Options.  These tests enforce that: identical options must yield
+// deep-equal results and identical fingerprints, run back to back or
+// concurrently in any order (the experiments package fans runs out
+// through a parallel map, so scheduling must not leak into results).
+
+func determinismOptions(model config.Model, seed int64) Options {
+	cfg := config.Default(model)
+	cfg.Domains = 2
+	return Options{
+		Cfg:     cfg,
+		Pattern: traffic.UniformRandom,
+		Sources: ctrlSources(2, 0.04),
+		Warmup:  100, Measure: 1000, Drain: 20000,
+		Seed: seed,
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	for _, model := range []config.Model{config.BLESS, config.SB, config.WH, config.Surf} {
+		o := determinismOptions(model, 11)
+		r1, err := Run(o)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		r2, err := Run(o)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("%v: identical options produced different results:\n%+v\n%+v", model, r1, r2)
+		}
+		k1, err := Fingerprint(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := Fingerprint(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 != k2 {
+			t.Errorf("%v: identical options fingerprint differently", model)
+		}
+		if ko, err := Fingerprint(determinismOptions(model, 12)); err != nil || ko == k1 {
+			t.Errorf("%v: different seeds share a fingerprint (err %v)", model, err)
+		}
+	}
+}
+
+// TestRunDeterminismAcrossOrderings executes the same batch of runs
+// serially, concurrently in submission order, and concurrently in
+// reverse order; every ordering must produce the identical result set.
+func TestRunDeterminismAcrossOrderings(t *testing.T) {
+	var opts []Options
+	for _, model := range []config.Model{config.BLESS, config.SB} {
+		for seed := int64(1); seed <= 3; seed++ {
+			opts = append(opts, determinismOptions(model, seed))
+		}
+	}
+	serial := make([]Result, len(opts))
+	for i, o := range opts {
+		r, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = r
+	}
+	concurrent := func(order []int) []Result {
+		out := make([]Result, len(opts))
+		var wg sync.WaitGroup
+		for _, i := range order {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r, err := Run(opts[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out[i] = r
+			}(i)
+		}
+		wg.Wait()
+		return out
+	}
+	forward := make([]int, len(opts))
+	backward := make([]int, len(opts))
+	for i := range opts {
+		forward[i] = i
+		backward[i] = len(opts) - 1 - i
+	}
+	for name, got := range map[string][]Result{
+		"concurrent":          concurrent(forward),
+		"concurrent-reversed": concurrent(backward),
+	} {
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], got[i]) {
+				t.Errorf("%s: run %d diverged from the serial result", name, i)
+			}
+		}
+	}
+}
+
+// TestRunCachedRoundTrip checks the cache path end to end: a miss
+// stores the result, a hit returns a deep-equal copy (the JSON
+// round-trip must lose nothing the figures read), and the fingerprints
+// agree byte-for-byte across the two runs.
+func TestRunCachedRoundTrip(t *testing.T) {
+	c, err := simcache.New(simcache.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := determinismOptions(config.SB, 5)
+	miss, err := RunCached(o, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := RunCached(o, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 1 || s.Corrupt != 0 {
+		t.Fatalf("stats %+v, want exactly one miss then one hit", s)
+	}
+	if !reflect.DeepEqual(miss, hit) {
+		t.Errorf("cached result differs from computed result:\n%+v\n%+v", miss, hit)
+	}
+	direct, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, hit) {
+		t.Error("cached result differs from an uncached Run")
+	}
+	// A nil cache degrades to a plain Run.
+	plain, err := RunCached(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, direct) {
+		t.Error("nil-cache RunCached differs from Run")
+	}
+}

@@ -1,0 +1,38 @@
+package simcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFingerprint checks the keying contract the cache's soundness
+// rests on: equal (version, payload) pairs always map to equal keys,
+// and distinct pairs — including pairs whose concatenations coincide —
+// map to distinct keys.
+func FuzzFingerprint(f *testing.F) {
+	f.Add("sim-v1", []byte(`{"Seed":1}`), []byte(`{"Seed":2}`))
+	f.Add("", []byte{}, []byte{0})
+	f.Add("a", []byte("bc"), []byte("b"))
+	f.Fuzz(func(t *testing.T, version string, a, b []byte) {
+		ka := Fingerprint(version, a)
+		if ka != Fingerprint(version, a) {
+			t.Fatal("fingerprint is not deterministic")
+		}
+		kb := Fingerprint(version, b)
+		if bytes.Equal(a, b) != (ka == kb) {
+			t.Fatalf("payload equality %v but key equality %v", bytes.Equal(a, b), ka == kb)
+		}
+		// A version bump must invalidate: same payload, different token.
+		if ka == Fingerprint(version+"+1", a) {
+			t.Fatal("version bump did not change the key")
+		}
+		// Moving bytes across the version/payload boundary must not
+		// collide (the token is length-prefixed).
+		if len(a) > 0 {
+			shifted := Fingerprint(version+string(a[:1]), a[1:])
+			if ka == shifted {
+				t.Fatal("boundary-shifted inputs collide")
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package system
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"surfbless/internal/simcache"
+)
+
+// FingerprintVersion tags the canonical Options serialization and the
+// full-system simulator's behaviour (cores, MESI hierarchy, NoC).
+// Bump on any semantic change so stale cache entries become
+// unreachable.  It is distinct from sim.FingerprintVersion: the two
+// run kinds can never alias.
+const FingerprintVersion = "surfbless-system-v1"
+
+// Fingerprint derives the content-addressed cache key of a full-system
+// run from the canonical JSON serialization of its options (model,
+// application profile, instruction quota, cycle bound, seed, memory
+// latencies, energy coefficients, wave sets).
+func Fingerprint(o Options) (simcache.Key, error) {
+	payload, err := json.Marshal(o)
+	if err != nil {
+		return simcache.Key{}, fmt.Errorf("system: fingerprint: %w", err)
+	}
+	return simcache.Fingerprint(FingerprintVersion, payload), nil
+}
+
+// RunCached is Run behind a content-addressed cache, with the same
+// degradation contract as sim.RunCached: nil cache, unserializable
+// options and undecodable entries all fall back to a plain Run.
+func RunCached(o Options, c *simcache.Cache) (Result, error) {
+	if c == nil {
+		return Run(o)
+	}
+	key, err := Fingerprint(o)
+	if err != nil {
+		return Run(o)
+	}
+	if raw, ok := c.Get(key); ok {
+		var res Result
+		if err := json.Unmarshal(raw, &res); err == nil {
+			return res, nil
+		}
+		c.NoteCorrupt()
+	}
+	res, err := Run(o)
+	if err != nil {
+		return res, err
+	}
+	if raw, err := json.Marshal(res); err == nil {
+		c.Put(key, raw)
+	}
+	return res, nil
+}
