@@ -26,8 +26,10 @@ fuzz:
 	$(GO) test -fuzz=FuzzConfigJSON -fuzztime=10s ./internal/config
 	$(GO) test -fuzz=FuzzFingerprint -fuzztime=10s ./internal/simcache
 
+# Benchmarks, plus a machine-readable BENCH_<date>.json report
+# (ns/op per fabric model, probe on and off) via cmd/benchjson.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+	$(GO) test -run='^$$' -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%F).json
 
 # Regenerate every figure into results/ (cached; add FLAGS=-no-cache
 # for fresh simulations).

@@ -21,6 +21,7 @@ import (
 	"surfbless/internal/experiments"
 	"surfbless/internal/packet"
 	"surfbless/internal/power"
+	"surfbless/internal/probe"
 	"surfbless/internal/sim"
 	"surfbless/internal/stats"
 	"surfbless/internal/system"
@@ -214,6 +215,14 @@ func BenchmarkAblationMeshSweep(b *testing.B) {
 // --- Micro-benchmarks of the simulator core ---
 
 func benchFabricCycles(b *testing.B, model config.Model) {
+	benchFabric(b, model, false)
+}
+
+// benchFabric drives one fabric for b.N cycles; with probed set it
+// arms an interval probe first, so the *Probed variants measure the
+// observability layer's hot-path overhead against their plain twins
+// (the probe-off path must stay within noise of the seed timings).
+func benchFabric(b *testing.B, model config.Model, probed bool) {
 	cfg := config.Default(model)
 	cfg.Domains = 2
 	col := stats.NewCollector(2, 0, 0)
@@ -221,6 +230,15 @@ func benchFabricCycles(b *testing.B, model config.Model) {
 	fab, err := sim.BuildFabric(cfg, nil, nil, col, meter)
 	if err != nil {
 		b.Fatal(err)
+	}
+	var p *probe.Probe
+	if probed {
+		p = &probe.Probe{}
+		p.Arm(probe.Config{Mesh: cfg.Mesh(), Domains: 2, Every: 100, WarmupEnd: 0, MeasureEnd: int64(b.N)})
+		col.SetProbe(p)
+		if ps, ok := fab.(interface{ SetProbe(*probe.Probe) }); ok {
+			ps.SetProbe(p)
+		}
 	}
 	gen := traffic.New(cfg.Mesh(), traffic.UniformRandom, []traffic.Source{
 		{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
@@ -230,6 +248,9 @@ func benchFabricCycles(b *testing.B, model config.Model) {
 	for now := int64(0); now < int64(b.N); now++ {
 		gen.Tick(fab, now)
 		fab.Step(now)
+		if probed {
+			p.Tick(now, fab.InFlight())
+		}
 	}
 	b.ReportMetric(float64(cfg.Nodes()), "routers/cycle")
 }
@@ -245,6 +266,19 @@ func BenchmarkStepWH(b *testing.B) { benchFabricCycles(b, config.WH) }
 
 // BenchmarkStepSurf measures simulated Surf cycles per second.
 func BenchmarkStepSurf(b *testing.B) { benchFabricCycles(b, config.Surf) }
+
+// BenchmarkStepSBProbed is BenchmarkStepSB with a 100-cycle interval
+// probe armed, collecting time series and heatmaps while stepping.
+func BenchmarkStepSBProbed(b *testing.B) { benchFabric(b, config.SB, true) }
+
+// BenchmarkStepBLESSProbed is BenchmarkStepBLESS with a probe armed.
+func BenchmarkStepBLESSProbed(b *testing.B) { benchFabric(b, config.BLESS, true) }
+
+// BenchmarkStepWHProbed is BenchmarkStepWH with a probe armed.
+func BenchmarkStepWHProbed(b *testing.B) { benchFabric(b, config.WH, true) }
+
+// BenchmarkStepSurfProbed is BenchmarkStepSurf with a probe armed.
+func BenchmarkStepSurfProbed(b *testing.B) { benchFabric(b, config.Surf, true) }
 
 // BenchmarkSystemCycle measures full-system simulation speed (cores +
 // MESI + SB NoC).

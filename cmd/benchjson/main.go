@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON report, echoing the original output through so
+// it still reads normally in a terminal or CI log.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x . | benchjson -o BENCH_2026-08-05.json
+//
+// Every "Benchmark..." result line becomes one entry with the
+// benchmark name (GOMAXPROCS suffix stripped), iteration count,
+// ns/op, and any extra b.ReportMetric metrics keyed by unit.  The
+// surrounding goos/goarch/pkg header lines are captured too, so a
+// report is self-describing when diffing runs across machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one benchmark result line.
+type Bench struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go_version"`
+	Env        map[string]string `json:"env,omitempty"` // goos, goarch, pkg, cpu
+	Benchmarks []Bench           `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout only)")
+	flag.Parse()
+
+	rep := Report{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Env:       map[string]string{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // echo through
+		if k, v, ok := headerLine(line); ok {
+			rep.Env[k] = v
+			continue
+		}
+		if b, ok := parseBench(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
+}
+
+// headerLine recognizes the goos/goarch/pkg/cpu preamble.
+func headerLine(line string) (key, value string, ok bool) {
+	for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if strings.HasPrefix(line, k+":") {
+			return k, strings.TrimSpace(strings.TrimPrefix(line, k+":")), true
+		}
+	}
+	return "", "", false
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkStepSB-8   1000000   1234 ns/op   64.00 routers/cycle
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBench(line string) (Bench, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Bench{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Bench{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		name = name[:i] // strip the GOMAXPROCS suffix
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		if f[i+1] == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			b.Metrics[f[i+1]] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	b, ok := parseBench("BenchmarkStepSB-8   \t 1000000\t      1234 ns/op\t        64.00 routers/cycle")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if b.Name != "BenchmarkStepSB" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", b.Name)
+	}
+	if b.Iters != 1000000 || b.NsPerOp != 1234 {
+		t.Errorf("iters/ns = %d/%v", b.Iters, b.NsPerOp)
+	}
+	if b.Metrics["routers/cycle"] != 64 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+
+	for _, line := range []string{
+		"PASS",
+		"ok  \tsurfbless\t0.1s",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+	} {
+		if _, ok := parseBench(line); ok {
+			t.Errorf("line %q wrongly parsed as a benchmark", line)
+		}
+	}
+}
+
+func TestHeaderLine(t *testing.T) {
+	k, v, ok := headerLine("cpu: Intel(R) Xeon(R)")
+	if !ok || k != "cpu" || v != "Intel(R) Xeon(R)" {
+		t.Errorf("headerLine = %q %q %v", k, v, ok)
+	}
+	if _, _, ok := headerLine("BenchmarkX-8 1 2 ns/op"); ok {
+		t.Error("benchmark line parsed as header")
+	}
+}

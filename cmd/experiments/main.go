@@ -6,6 +6,7 @@
 //
 //	experiments [-scale tiny|quick|full] [-fig all|table1|fig5|fig6|fig7|apps|ablations] [-out DIR]
 //	            [-cache] [-cache-dir DIR] [-no-cache]
+//	            [-http ADDR] [-progress] [-probe-dir DIR] [-probe-every N]
 //
 // "apps" runs the §5.2 full-system matrix that produces Figs. 8, 9 and
 // 10 together.  At -scale full expect several minutes.
@@ -14,6 +15,14 @@
 // cached content-addressed under -cache-dir (default
 // results/.simcache); regenerating an unchanged figure is near-instant
 // on the second run.  -no-cache forces fresh simulations.
+//
+// Live introspection: -http ADDR serves /progress (JSON point counts
+// and ETA), /debug/vars and /debug/pprof/* while the run is in flight;
+// -progress prints a structured progress line to stderr every few
+// seconds for headless runs.  -probe-dir DIR additionally re-runs the
+// Fig. 5 interference experiment with a probe attached, writing
+// per-interval time-series JSONL and heatmap CSV files into DIR
+// (bucket width -probe-every cycles).
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"time"
 
 	"surfbless/internal/experiments"
+	"surfbless/internal/probe"
 	"surfbless/internal/simcache"
 	"surfbless/internal/textplot"
 )
@@ -36,6 +46,10 @@ func main() {
 	useCache := flag.Bool("cache", true, "reuse cached simulation results")
 	cacheDir := flag.String("cache-dir", filepath.Join("results", ".simcache"), "result-cache directory")
 	noCache := flag.Bool("no-cache", false, "run every simulation fresh (overrides -cache)")
+	httpAddr := flag.String("http", "", "serve /progress, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
+	progress := flag.Bool("progress", false, "print a structured progress line to stderr every 5s")
+	probeDir := flag.String("probe-dir", "", "write probed Fig. 5 time series (JSONL) and heatmaps (CSV) into this directory")
+	probeEvery := flag.Int64("probe-every", probe.DefaultEvery, "probe bucket width in cycles for -probe-dir")
 	flag.Parse()
 
 	sc, err := scaleByName(*scaleName)
@@ -58,10 +72,31 @@ func main() {
 		}()
 	}
 
+	g := probe.NewProgress()
+	experiments.SetProgress(g)
+	if cache != nil {
+		g.SetCacheStats(func() (int64, int64) {
+			s := cache.Stats()
+			return s.Hits, s.Misses
+		})
+	}
+	if *httpAddr != "" {
+		addr, err := probe.Serve(*httpAddr, g)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/progress\n", addr)
+	}
+	if *progress {
+		stop := g.Report(os.Stderr, 5*time.Second)
+		defer stop()
+	}
+
 	run := func(name string, f func() ([]*textplot.Table, error)) {
 		if *fig != "all" && *fig != name {
 			return
 		}
+		g.SetStage(name)
 		start := time.Now()
 		tabs, err := f()
 		if err != nil {
@@ -158,6 +193,15 @@ func main() {
 		tabs = append(tabs, experiments.PatternTable(pr))
 		return tabs, nil
 	})
+	if *probeDir != "" {
+		g.SetStage("fig5-probe")
+		start := time.Now()
+		if err := experiments.Fig5Probe(sc, *probeEvery, *probeDir); err != nil {
+			fatal(fmt.Errorf("fig5 probe: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "[fig5-probe done in %v; series and heatmaps in %s]\n",
+			time.Since(start).Round(time.Millisecond), *probeDir)
+	}
 }
 
 func scaleByName(name string) (experiments.Scale, error) {

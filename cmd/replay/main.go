@@ -111,7 +111,7 @@ func recordRun(model config.Model, domains int, rate float64, cycles, seed int64
 	for limit := now + 50*cycles; now < limit && fab.InFlight() > 0; now++ {
 		fab.Step(now)
 	}
-	if err := tw.Flush(); err != nil {
+	if err := tw.Close(); err != nil {
 		return "", stats.Domain{}, err
 	}
 	return buf.String(), col.Total(), nil

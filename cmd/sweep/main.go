@@ -6,22 +6,37 @@
 //
 //	sweep [-model SB] [-domains 2] [-from 0.01] [-to 0.3] [-step 0.02]
 //	      [-cycles 10000] [-seed 1] [-cache] [-cache-dir DIR] [-no-cache]
+//	      [-http ADDR] [-progress] [-trace FILE]
+//	      [-probe-dir DIR] [-probe-every N]
 //
 // Points are cached content-addressed under -cache-dir (default
 // results/.simcache), shared with cmd/experiments; -no-cache forces
 // fresh simulations.
+//
+// Observability: -http ADDR serves /progress (JSON point counts and
+// ETA), /debug/vars and /debug/pprof/* while the sweep runs; -progress
+// prints one structured stderr line per completed point.  -trace FILE
+// writes a packet lifecycle trace per point (FILE gains a _r<rate>
+// suffix so points do not interleave).  -probe-dir DIR attaches a
+// probe to every point and writes per-interval time-series JSONL and
+// heatmap CSV files there.  Traced or probed points always simulate —
+// the result cache is bypassed for them.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"surfbless/internal/config"
 	"surfbless/internal/packet"
+	"surfbless/internal/probe"
 	"surfbless/internal/sim"
 	"surfbless/internal/simcache"
+	"surfbless/internal/trace"
 	"surfbless/internal/traffic"
 )
 
@@ -36,14 +51,18 @@ func main() {
 	useCache := flag.Bool("cache", true, "reuse cached simulation results")
 	cacheDir := flag.String("cache-dir", filepath.Join("results", ".simcache"), "result-cache directory")
 	noCache := flag.Bool("no-cache", false, "run every simulation fresh (overrides -cache)")
+	httpAddr := flag.String("http", "", "serve /progress, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
+	progress := flag.Bool("progress", false, "print a structured progress line to stderr after every point")
+	traceFile := flag.String("trace", "", "write a packet lifecycle trace per point (suffixed _r<rate>)")
+	probeDir := flag.String("probe-dir", "", "write per-point time series (JSONL) and heatmaps (CSV) into this directory")
+	probeEvery := flag.Int64("probe-every", probe.DefaultEvery, "probe bucket width in cycles for -probe-dir")
 	flag.Parse()
 
 	var cache *simcache.Cache
 	if *useCache && !*noCache {
 		var err error
 		if cache, err = simcache.New(simcache.Options{Dir: *cacheDir}); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 
@@ -58,32 +77,87 @@ func main() {
 	case "SB", "sb":
 		m = config.SB
 	default:
-		fmt.Fprintf(os.Stderr, "sweep: unknown model %q\n", *model)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown model %q", *model))
 	}
 	if *step <= 0 || *from <= 0 || *to < *from {
-		fmt.Fprintln(os.Stderr, "sweep: invalid rate range")
-		os.Exit(1)
+		fatal(fmt.Errorf("invalid rate range"))
+	}
+	if *probeDir != "" {
+		if err := os.MkdirAll(*probeDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	var rates []float64
+	for rate := *from; rate <= *to+1e-9; rate += *step {
+		rates = append(rates, rate)
+	}
+
+	g := probe.NewProgress()
+	g.SetStage("sweep")
+	g.SetTotal(int64(len(rates)))
+	if cache != nil {
+		g.SetCacheStats(func() (int64, int64) {
+			s := cache.Stats()
+			return s.Hits, s.Misses
+		})
+	}
+	if *httpAddr != "" {
+		addr, err := probe.Serve(*httpAddr, g)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/progress\n", addr)
 	}
 
 	fmt.Println("rate,avg_latency,queue_latency,network_latency,throughput,deflections_per_pkt,refused")
-	for rate := *from; rate <= *to+1e-9; rate += *step {
+	for _, rate := range rates {
 		cfg := config.Default(m)
 		cfg.Domains = *domains
 		sources := make([]traffic.Source, *domains)
 		for i := range sources {
 			sources[i] = traffic.Source{Rate: rate / float64(*domains), Class: packet.Ctrl, VNet: -1}
 		}
-		res, err := sim.RunCached(sim.Options{
+		o := sim.Options{
 			Cfg:     cfg,
 			Pattern: traffic.UniformRandom,
 			Sources: sources,
 			Warmup:  *cycles / 10, Measure: *cycles, Drain: 10 * *cycles,
 			Seed: *seed,
-		}, cache)
+		}
+		var tw *trace.Writer
+		if *traceFile != "" {
+			f, err := os.Create(suffixed(*traceFile, rate))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(f, trace.Header())
+			tw = trace.New(f)
+			o.Tracer = tw.Tracer()
+		}
+		var p *probe.Probe
+		if *probeDir != "" {
+			p = &probe.Probe{}
+			o.Probe = p
+			o.ProbeEvery = *probeEvery
+		}
+		res, err := sim.RunCached(o, cache)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: rate %.3f: %v\n", rate, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("rate %.3f: %w", rate, err))
+		}
+		if tw != nil {
+			if err := tw.Close(); err != nil {
+				fatal(fmt.Errorf("rate %.3f: trace: %w", rate, err))
+			}
+		}
+		if p != nil {
+			base := fmt.Sprintf("%v_r%.3f", m, rate)
+			if err := exportFile(filepath.Join(*probeDir, "sweep_ts_"+base+".jsonl"), p.WriteTimeSeriesJSONL); err != nil {
+				fatal(err)
+			}
+			if err := exportFile(filepath.Join(*probeDir, "sweep_heat_"+base+".csv"), p.WriteHeatmapCSV); err != nil {
+				fatal(err)
+			}
 		}
 		tot := res.Total
 		thr := 0.0
@@ -93,8 +167,41 @@ func main() {
 		fmt.Printf("%.3f,%.3f,%.3f,%.3f,%.4f,%.3f,%d\n",
 			rate, tot.AvgTotalLatency(), tot.AvgQueueLatency(), tot.AvgNetworkLatency(),
 			thr, tot.AvgDeflections(), tot.Refused)
+		g.Add(1)
+		if *progress {
+			fmt.Fprintln(os.Stderr, g.Line())
+		}
 	}
 	if cache != nil {
 		fmt.Fprintf(os.Stderr, "cache (%s): %v\n", *cacheDir, cache.Stats())
 	}
+}
+
+// suffixed inserts _r<rate> before path's extension, so per-point
+// trace files do not clobber each other.
+func suffixed(path string, rate float64) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + fmt.Sprintf("_r%.3f", rate) + ext
+}
+
+// exportFile streams one probe exporter into path.
+func exportFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("%s: %w", path, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("%s: %w", path, cerr)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
 }

@@ -1,7 +1,8 @@
-// Tracing: attach a packet-lifecycle trace writer to a simulation and
-// analyze one packet's journey — useful for understanding how waves,
-// deflections and the old-first policy interact.  The trace is CSV;
-// pipe it into your favourite tooling.
+// Tracing: attach a packet-lifecycle trace writer and an interval
+// probe to a simulation, analyze one packet's journey and sketch the
+// run's time series — useful for understanding how waves, deflections
+// and the old-first policy interact.  The trace is CSV; pipe it into
+// your favourite tooling.
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"surfbless/internal/config"
 	"surfbless/internal/packet"
 	"surfbless/internal/power"
+	"surfbless/internal/probe"
 	"surfbless/internal/sim"
 	"surfbless/internal/stats"
 	"surfbless/internal/trace"
@@ -28,10 +30,19 @@ func main() {
 	tw := trace.New(&buf)
 	col.SetTracer(tw.Tracer())
 
+	// A probe rides along with the tracer: same lifecycle events,
+	// bucketed into 200-cycle intervals instead of logged line by line.
+	p := &probe.Probe{}
+	p.Arm(probe.Config{Mesh: cfg.Mesh(), Domains: cfg.Domains, Every: 200, WarmupEnd: 0, MeasureEnd: 2000})
+	col.SetProbe(p)
+
 	meter := power.NewMeter(cfg, power.Default45nm())
 	fab, err := sim.BuildFabric(cfg, nil, nil, col, meter)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ps, ok := fab.(interface{ SetProbe(*probe.Probe) }); ok {
+		ps.SetProbe(p) // spatial heatmaps too
 	}
 	sources := make([]traffic.Source, cfg.Domains)
 	for i := range sources {
@@ -43,11 +54,13 @@ func main() {
 	for ; now < 2000; now++ {
 		gen.Tick(fab, now)
 		fab.Step(now)
+		p.Tick(now, fab.InFlight())
 	}
 	for ; fab.InFlight() > 0; now++ {
 		fab.Step(now)
+		p.Tick(now, fab.InFlight())
 	}
-	if err := tw.Flush(); err != nil {
+	if err := tw.Close(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -80,5 +93,10 @@ func main() {
 	for d := 0; d < cfg.Domains; d++ {
 		fmt.Printf("domain %d latency: %v\n", d, col.Latency(d))
 	}
+
+	// The probe's sparkline digest: injections, ejections, latency and
+	// occupancy per 200-cycle interval, one block per domain.
+	fmt.Println()
+	fmt.Println(p.Summary())
 	_ = os.Stdout
 }

@@ -35,8 +35,10 @@ func AblationWaveSets(sc Scale) ([]WaveSetRow, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	apps := []string{"swaptions", "dedup", "canneal"}
+	addTotal(2 * len(apps))
 	var rows []WaveSetRow
-	for _, app := range []string{"swaptions", "dedup", "canneal"} {
+	for _, app := range apps {
 		prof, err := cpu.ProfileByName(app)
 		if err != nil {
 			return nil, err
@@ -160,8 +162,10 @@ func AblationMeshSweep(sc Scale) ([]MeshRow, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	sizes := []int{4, 6, 8, 10}
+	addTotal(len(sizes))
 	var rows []MeshRow
-	for _, n := range []int{4, 6, 8, 10} {
+	for _, n := range sizes {
 		cfg := fig6Config(config.SB, 2)
 		cfg.Width, cfg.Height = n, n
 		out, err := runSim(sim.Options{

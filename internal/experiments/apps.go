@@ -45,6 +45,7 @@ func Apps(sc Scale) (AppsResult, error) {
 			jobs = append(jobs, job{prof, model})
 		}
 	}
+	addTotal(len(jobs))
 	outs, err := parmap(jobs, func(j job) (system.Result, error) {
 		out, err := runSystem(system.Options{
 			Model:        j.model,

@@ -34,6 +34,7 @@ func ExtensionBufferless(sc Scale) ([]BufferlessRow, error) {
 		return nil, err
 	}
 	co := power.Default45nm()
+	addTotal(4 * 3) // 4 models × 3 rates
 	var rows []BufferlessRow
 	for _, model := range []config.Model{config.BLESS, config.CHIPPER, config.RUNAHEAD, config.SB} {
 		for _, rate := range []float64{0.05, 0.15, 0.25} {
@@ -105,6 +106,7 @@ func ExtensionPatterns(sc Scale) ([]PatternRow, error) {
 		}
 		return out.Domains[0].AvgTotalLatency(), nil
 	}
+	addTotal(4 * 4) // 4 patterns × {SB, BLESS} × {quiet, loud}
 	var rows []PatternRow
 	for _, p := range []traffic.Pattern{traffic.UniformRandom, traffic.Transpose, traffic.BitComplement, traffic.Hotspot} {
 		sbQuiet, err := run(config.SB, p, 0)

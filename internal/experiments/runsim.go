@@ -3,6 +3,7 @@ package experiments
 import (
 	"sync/atomic"
 
+	"surfbless/internal/probe"
 	"surfbless/internal/sim"
 	"surfbless/internal/simcache"
 	"surfbless/internal/system"
@@ -26,13 +27,40 @@ func SetCache(c *simcache.Cache) {
 // Cache returns the installed cache, or nil when caching is disabled.
 func Cache() *simcache.Cache { return cachePtr.Load() }
 
+// progressPtr holds the live-introspection point counter, shared the
+// same way as the cache: parmap workers bump it concurrently.
+var progressPtr atomic.Pointer[probe.Progress]
+
+// SetProgress installs a progress tracker that every figure, ablation
+// and extension driver bumps once per simulation point (nil disables).
+func SetProgress(g *probe.Progress) { progressPtr.Store(g) }
+
+// pointDone records one completed simulation point.
+func pointDone() {
+	if g := progressPtr.Load(); g != nil {
+		g.Add(1)
+	}
+}
+
+// addTotal declares n upcoming simulation points; every driver calls
+// it at entry so /progress ETAs stay meaningful mid-run.
+func addTotal(n int) {
+	if g := progressPtr.Load(); g != nil {
+		g.AddTotal(int64(n))
+	}
+}
+
 // runSim is the cached sim.Run every synthetic driver goes through.
 func runSim(o sim.Options) (sim.Result, error) {
-	return sim.RunCached(o, cachePtr.Load())
+	res, err := sim.RunCached(o, cachePtr.Load())
+	pointDone()
+	return res, err
 }
 
 // runSystem is the cached system.Run every full-system driver goes
 // through.
 func runSystem(o system.Options) (system.Result, error) {
-	return system.RunCached(o, cachePtr.Load())
+	res, err := system.RunCached(o, cachePtr.Load())
+	pointDone()
+	return res, err
 }

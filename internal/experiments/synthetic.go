@@ -44,6 +44,7 @@ func Fig5(sc Scale) (Fig5Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Fig5Result{}, err
 	}
+	addTotal(2 * len(Fig5Rates) * 2) // 2 models × rates × {latency, saturation} runs
 	res := Fig5Result{Rates: Fig5Rates}
 	run := func(model config.Model, victim, interference float64) (stats.Domain, float64, error) {
 		cfg := config.Default(model)
@@ -137,6 +138,7 @@ func Fig6(sc Scale) (Fig6Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Fig6Result{}, err
 	}
+	addTotal(2 + 2*9) // WH, BLESS, then Surf and SB at D=1…9
 	res := Fig6Result{Cycles: sc.EnergyCycles}
 	run := func(label string, model config.Model, domains int) error {
 		cfg := fig6Config(model, domains)
@@ -239,6 +241,7 @@ func Fig7Domains(sc Scale, domainCounts []int) (Fig7Result, error) {
 	type point struct {
 		latency, throughput float64
 	}
+	addTotal(len(jobs))
 	points, err := parmap(jobs, func(j job) (point, error) {
 		lat, thr, err := fig7Point(sc, j.model, j.domains, j.rate)
 		return point{lat, thr}, err

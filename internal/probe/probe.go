@@ -1,0 +1,311 @@
+// Package probe is the simulator's low-overhead observability layer:
+// it turns a run's packet-lifecycle and router hot-path events into
+// (a) per-interval time series — injections, ejections, refusals,
+// deflections, in-flight occupancy and mean latency per domain,
+// bucketed every Every cycles — and (b) spatial heatmaps — per-router
+// flit traversals, deflections and ejections plus per-link flit counts
+// accumulated over the run.
+//
+// Measurement discipline matches package stats exactly: only packets
+// created inside [WarmupEnd, MeasureEnd) contribute, so the probe's
+// totals reconcile with the collector's stats.Domain aggregates (to
+// the packet, once the network has fully drained).  Events are
+// bucketed by the cycle they happen at, which may fall after
+// MeasureEnd for in-window packets that eject during the drain phase.
+//
+// Overhead: a disarmed (nil) *Probe is safe to call and costs one
+// branch — fabrics guard their hot-path hooks with a nil check, and
+// every method returns immediately on a nil receiver — so probe-off
+// runs pay nothing measurable (bench_test.go tracks both paths).
+// Like the fabrics, a Probe is a single-goroutine state machine: do
+// not share one across concurrent runs.
+package probe
+
+import (
+	"surfbless/internal/geom"
+	"surfbless/internal/packet"
+)
+
+// DefaultEvery is the interval width used when a caller arms a probe
+// without choosing one.
+const DefaultEvery = 100
+
+// Config arms a probe for one run.
+type Config struct {
+	Mesh    geom.Mesh
+	Domains int
+	// Every is the time-series bucket width in cycles (≤0 = DefaultEvery).
+	Every int64
+	// WarmupEnd / MeasureEnd bound the measurement window, exactly as in
+	// stats.NewCollector.  MeasureEnd == 0 means "no upper bound".
+	WarmupEnd  int64
+	MeasureEnd int64
+}
+
+// DomainSlice is one domain's counters over one time-series interval.
+type DomainSlice struct {
+	Created     int64 // in-window packets accepted by an NI this interval
+	Refused     int64 // offers rejected by a full NI queue
+	Injected    int64 // in-window packets entering the network
+	Ejected     int64 // in-window packets delivered
+	Deflections int64 // unproductive hops suffered by in-window packets
+	LatencySum  int64 // total (creation→ejection) latency of the interval's ejections
+	InFlight    int64 // domain occupancy at the interval's last sampled cycle
+}
+
+// MeanLatency returns the interval's average total packet latency, or
+// 0 when nothing was delivered in it.
+func (s DomainSlice) MeanLatency() float64 {
+	if s.Ejected == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Ejected)
+}
+
+// Interval is one closed time-series bucket.
+type Interval struct {
+	Start int64 // first cycle of the bucket
+	End   int64 // one past the last observed cycle (Start+Every, except a trailing partial bucket)
+	// NetInFlight is the fabric's total occupancy (queued + in network)
+	// at the interval's last sampled cycle.
+	NetInFlight int64
+	Domains     []DomainSlice
+}
+
+// Heatmap is the spatial view of one run: per-router and per-out-link
+// counters indexed by mesh node ID (and geom direction for links).
+type Heatmap struct {
+	Mesh              geom.Mesh
+	RouterFlits       []int64                    // flits forwarded through each router
+	RouterDeflections []int64                    // deflections suffered at each router
+	RouterEjections   []int64                    // packets delivered at each router
+	LinkFlits         [][geom.NumLinkDirs]int64  // flits sent on each out-link
+	Cycles            int64                      // observed cycles, for utilization
+}
+
+// Utilization returns the flits-per-cycle utilization of node's
+// out-link in direction d over the observed cycles.
+func (h Heatmap) Utilization(node int, d geom.Dir) float64 {
+	if h.Cycles == 0 {
+		return 0
+	}
+	return float64(h.LinkFlits[node][d]) / float64(h.Cycles)
+}
+
+// Probe accumulates one run's time series and heatmaps.  The zero
+// value is disarmed and ignores every event; call Arm (sim.Run does it
+// when Options.Probe is set) before driving a fabric.
+type Probe struct {
+	cfg   Config
+	armed bool
+
+	buckets []Interval
+	occ     []int64 // per-domain live occupancy (created − ejected, unwindowed)
+	last    int64   // last cycle observed by Tick (or any event)
+
+	routerFlits       []int64
+	routerDeflections []int64
+	routerEjections   []int64
+	linkFlits         [][geom.NumLinkDirs]int64
+}
+
+// Armed reports whether the probe has been armed for a run.
+func (pr *Probe) Armed() bool { return pr != nil && pr.armed }
+
+// Arm resets the probe and configures it for one run.  Re-arming
+// discards all previously recorded data.
+func (pr *Probe) Arm(cfg Config) {
+	if cfg.Every <= 0 {
+		cfg.Every = DefaultEvery
+	}
+	nodes := cfg.Mesh.Nodes()
+	pr.cfg = cfg
+	pr.armed = true
+	pr.buckets = nil
+	pr.occ = make([]int64, cfg.Domains)
+	pr.last = -1
+	pr.routerFlits = make([]int64, nodes)
+	pr.routerDeflections = make([]int64, nodes)
+	pr.routerEjections = make([]int64, nodes)
+	pr.linkFlits = make([][geom.NumLinkDirs]int64, nodes)
+}
+
+// inWindow mirrors stats.Collector.InWindow.
+func (pr *Probe) inWindow(createdAt int64) bool {
+	return createdAt >= pr.cfg.WarmupEnd &&
+		(pr.cfg.MeasureEnd == 0 || createdAt < pr.cfg.MeasureEnd)
+}
+
+// bucket returns the interval holding cycle now, growing the series as
+// the run advances.
+func (pr *Probe) bucket(now int64) *Interval {
+	idx := int(now / pr.cfg.Every)
+	for len(pr.buckets) <= idx {
+		start := int64(len(pr.buckets)) * pr.cfg.Every
+		pr.buckets = append(pr.buckets, Interval{
+			Start:   start,
+			End:     start + pr.cfg.Every,
+			Domains: make([]DomainSlice, pr.cfg.Domains),
+		})
+	}
+	if now > pr.last {
+		pr.last = now
+	}
+	return &pr.buckets[idx]
+}
+
+// Created records an in-window NI acceptance (and domain occupancy for
+// any packet).  Wired from stats.Collector.
+func (pr *Probe) Created(p *packet.Packet) {
+	if pr == nil || !pr.armed {
+		return
+	}
+	pr.occ[p.Domain]++
+	if pr.inWindow(p.CreatedAt) {
+		pr.bucket(p.CreatedAt).Domains[p.Domain].Created++
+	}
+}
+
+// Refused records a rejected offer at cycle now.
+func (pr *Probe) Refused(domain int, now int64) {
+	if pr == nil || !pr.armed {
+		return
+	}
+	if pr.inWindow(now) {
+		pr.bucket(now).Domains[domain].Refused++
+	}
+}
+
+// Injected records an in-window packet entering the network.
+func (pr *Probe) Injected(p *packet.Packet) {
+	if pr == nil || !pr.armed {
+		return
+	}
+	if pr.inWindow(p.CreatedAt) {
+		pr.bucket(p.InjectedAt).Domains[p.Domain].Injected++
+	}
+}
+
+// Ejected records a delivery: the time series entry at the ejection
+// cycle and the destination router's heatmap cell.
+func (pr *Probe) Ejected(p *packet.Packet) {
+	if pr == nil || !pr.armed {
+		return
+	}
+	pr.occ[p.Domain]--
+	if !pr.inWindow(p.CreatedAt) {
+		return
+	}
+	d := &pr.bucket(p.EjectedAt).Domains[p.Domain]
+	d.Ejected++
+	d.LatencySum += p.TotalLatency()
+	pr.routerEjections[pr.cfg.Mesh.ID(p.Dst)]++
+}
+
+// Traverse is the router hot-path hook: flits of p left node through
+// out-link dir at cycle now; deflected marks an unproductive hop.
+// Packet-granular fabrics call it once per forward with flits =
+// p.Size; flit-granular (VC) fabrics once per link flit with flits = 1.
+func (pr *Probe) Traverse(node int, dir geom.Dir, p *packet.Packet, flits int, deflected bool, now int64) {
+	if pr == nil || !pr.armed || !pr.inWindow(p.CreatedAt) {
+		return
+	}
+	pr.routerFlits[node] += int64(flits)
+	pr.linkFlits[node][dir] += int64(flits)
+	if deflected {
+		pr.routerDeflections[node]++
+		pr.bucket(now).Domains[p.Domain].Deflections++
+	}
+	if now > pr.last {
+		pr.last = now
+	}
+}
+
+// Tick samples occupancy at the end of cycle now; the driver calls it
+// once per cycle after Fabric.Step.  inFlight is the fabric's total
+// occupancy (network.Fabric.InFlight).
+func (pr *Probe) Tick(now int64, inFlight int) {
+	if pr == nil || !pr.armed {
+		return
+	}
+	b := pr.bucket(now)
+	b.NetInFlight = int64(inFlight)
+	for d := range b.Domains {
+		b.Domains[d].InFlight = pr.occ[d]
+	}
+}
+
+// Intervals returns the recorded time series.  The trailing bucket of
+// a run whose length is not a multiple of Every is truncated to the
+// last observed cycle (End = last+1), so interval widths are exact.
+func (pr *Probe) Intervals() []Interval {
+	if pr == nil || len(pr.buckets) == 0 {
+		return nil
+	}
+	out := make([]Interval, len(pr.buckets))
+	copy(out, pr.buckets)
+	lastIdx := len(out) - 1
+	if end := pr.last + 1; end < out[lastIdx].End {
+		out[lastIdx].End = end
+	}
+	return out
+}
+
+// Heatmap returns the spatial counters accumulated so far.  Cycles is
+// the utilization denominator: the measurement-window length, or the
+// observed post-warm-up span when the window is unbounded.
+func (pr *Probe) Heatmap() Heatmap {
+	if pr == nil || !pr.armed {
+		return Heatmap{}
+	}
+	cycles := pr.cfg.MeasureEnd - pr.cfg.WarmupEnd
+	if pr.cfg.MeasureEnd == 0 {
+		if cycles = pr.last + 1 - pr.cfg.WarmupEnd; cycles < 0 {
+			cycles = 0
+		}
+	}
+	return Heatmap{
+		Mesh:              pr.cfg.Mesh,
+		RouterFlits:       pr.routerFlits,
+		RouterDeflections: pr.routerDeflections,
+		RouterEjections:   pr.routerEjections,
+		LinkFlits:         pr.linkFlits,
+		Cycles:            cycles,
+	}
+}
+
+// Totals sums the time series per domain — the reconciliation point
+// against stats.Domain (exact once LeftInFlight is zero).
+func (pr *Probe) Totals() []DomainSlice {
+	if pr == nil {
+		return nil
+	}
+	tot := make([]DomainSlice, pr.cfg.Domains)
+	for _, b := range pr.buckets {
+		for d, s := range b.Domains {
+			tot[d].Created += s.Created
+			tot[d].Refused += s.Refused
+			tot[d].Injected += s.Injected
+			tot[d].Ejected += s.Ejected
+			tot[d].Deflections += s.Deflections
+			tot[d].LatencySum += s.LatencySum
+		}
+	}
+	return tot
+}
+
+// Domains returns the number of domains the probe was armed for.
+func (pr *Probe) Domains() int {
+	if pr == nil {
+		return 0
+	}
+	return pr.cfg.Domains
+}
+
+// Every returns the armed bucket width in cycles.
+func (pr *Probe) Every() int64 {
+	if pr == nil {
+		return 0
+	}
+	return pr.cfg.Every
+}

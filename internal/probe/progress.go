@@ -1,0 +1,164 @@
+package probe
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks a long-running driver's point counts for live
+// introspection.  Unlike Probe it is safe for concurrent use: sweep
+// and experiment harnesses fan simulation points out across workers,
+// and every worker calls Add.
+type Progress struct {
+	start   time.Time
+	done    atomic.Int64
+	total   atomic.Int64 // 0 = unknown (no ETA)
+	stage   atomic.Value // string: current figure / phase
+	cacheFn atomic.Value // func() (hits, misses int64)
+}
+
+// NewProgress returns a progress tracker whose clock starts now.
+func NewProgress() *Progress {
+	g := &Progress{start: time.Now()}
+	g.stage.Store("")
+	return g
+}
+
+// SetStage labels the phase currently running (e.g. "fig5").
+func (g *Progress) SetStage(s string) { g.stage.Store(s) }
+
+// SetTotal declares the number of points the run will compute
+// (0 = unknown; ETA is then omitted).
+func (g *Progress) SetTotal(n int64) { g.total.Store(n) }
+
+// AddTotal grows the declared point count by n.
+func (g *Progress) AddTotal(n int64) { g.total.Add(n) }
+
+// Add records n completed points.
+func (g *Progress) Add(n int64) { g.done.Add(n) }
+
+// SetCacheStats installs a snapshot function reporting the result
+// cache's (hits, misses); nil-safe to leave unset.
+func (g *Progress) SetCacheStats(fn func() (hits, misses int64)) { g.cacheFn.Store(fn) }
+
+// Snapshot is the /progress wire format.
+type Snapshot struct {
+	Stage       string  `json:"stage,omitempty"`
+	Done        int64   `json:"done"`
+	Total       int64   `json:"total"` // 0 = unknown
+	Percent     float64 `json:"percent"`
+	ElapsedSec  float64 `json:"elapsed_s"`
+	ETASec      float64 `json:"eta_s"` // -1 = unknown
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+}
+
+// Snapshot returns the current counters with derived percent and ETA.
+func (g *Progress) Snapshot() Snapshot {
+	s := Snapshot{
+		Stage:      g.stage.Load().(string),
+		Done:       g.done.Load(),
+		Total:      g.total.Load(),
+		ElapsedSec: time.Since(g.start).Seconds(),
+		ETASec:     -1,
+	}
+	if fn, ok := g.cacheFn.Load().(func() (int64, int64)); ok && fn != nil {
+		s.CacheHits, s.CacheMisses = fn()
+	}
+	if s.Total > 0 {
+		s.Percent = 100 * float64(s.Done) / float64(s.Total)
+		if s.Done > 0 && s.Done < s.Total {
+			s.ETASec = s.ElapsedSec / float64(s.Done) * float64(s.Total-s.Done)
+		} else if s.Done >= s.Total {
+			s.ETASec = 0
+		}
+	}
+	return s
+}
+
+// Line renders the snapshot as one structured key=value stderr line
+// for headless runs.
+func (g *Progress) Line() string {
+	s := g.Snapshot()
+	line := fmt.Sprintf("progress done=%d total=%d pct=%.1f elapsed=%.1fs",
+		s.Done, s.Total, s.Percent, s.ElapsedSec)
+	if s.Stage != "" {
+		line = "progress stage=" + s.Stage + line[len("progress"):]
+	}
+	if s.ETASec >= 0 {
+		line += fmt.Sprintf(" eta=%.1fs", s.ETASec)
+	}
+	return line + fmt.Sprintf(" cache_hits=%d cache_misses=%d", s.CacheHits, s.CacheMisses)
+}
+
+// Report prints Line to w every interval until the returned stop
+// function is called (stop prints one final line).
+func (g *Progress) Report(w io.Writer, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(w, g.Line())
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(done)
+			fmt.Fprintln(w, g.Line())
+		})
+	}
+}
+
+// handler serves the /progress JSON endpoint.
+func (g *Progress) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(g.Snapshot()) //nolint:errcheck // best-effort diagnostics
+	})
+}
+
+// publishOnce guards the process-global expvar registration: expvar
+// panics on duplicate names, and tests may start several servers.
+var publishOnce sync.Once
+
+// Serve starts the introspection HTTP server on addr (host:port;
+// use 127.0.0.1:0 for an ephemeral port) and returns the bound
+// address.  Endpoints: /progress (JSON snapshot), /debug/vars
+// (expvar), /debug/pprof/* (net/http/pprof).  The server runs until
+// the process exits; drivers treat it as fire-and-forget.
+func Serve(addr string, g *Progress) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("probe: http listen: %w", err)
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("progress", expvar.Func(func() any { return g.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/progress", g.handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux) //nolint:errcheck // lives for the process
+	return ln.Addr().String(), nil
+}

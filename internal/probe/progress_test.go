@@ -1,0 +1,103 @@
+package probe_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"surfbless/internal/probe"
+)
+
+func TestProgressSnapshotAndLine(t *testing.T) {
+	g := probe.NewProgress()
+	g.SetStage("fig5")
+	g.SetTotal(10)
+	g.AddTotal(10)
+	g.Add(5)
+	g.SetCacheStats(func() (int64, int64) { return 3, 2 })
+
+	s := g.Snapshot()
+	if s.Stage != "fig5" || s.Done != 5 || s.Total != 20 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Percent != 25 {
+		t.Errorf("percent = %v, want 25", s.Percent)
+	}
+	if s.ETASec < 0 {
+		t.Errorf("eta = %v, want an estimate once points completed", s.ETASec)
+	}
+	if s.CacheHits != 3 || s.CacheMisses != 2 {
+		t.Errorf("cache stats = %d/%d", s.CacheHits, s.CacheMisses)
+	}
+
+	line := g.Line()
+	for _, want := range []string{"stage=fig5", "done=5", "total=20", "cache_hits=3"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+
+	// Unknown total: no ETA, percent 0.
+	g2 := probe.NewProgress()
+	g2.Add(7)
+	if s := g2.Snapshot(); s.ETASec != -1 || s.Percent != 0 {
+		t.Errorf("unknown-total snapshot = %+v", s)
+	}
+}
+
+// TestServeProgress drives the acceptance criterion: a GET on
+// /progress during a run returns live JSON counts, and the expvar and
+// pprof endpoints answer.
+func TestServeProgress(t *testing.T) {
+	g := probe.NewProgress()
+	g.SetStage("sweep")
+	g.SetTotal(4)
+	g.Add(1)
+	addr, err := probe.Serve("127.0.0.1:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/progress", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/progress status %d", resp.StatusCode)
+	}
+	var s probe.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stage != "sweep" || s.Done != 1 || s.Total != 4 {
+		t.Fatalf("/progress returned %+v", s)
+	}
+
+	// Counters advance between polls.
+	g.Add(2)
+	resp2, err := http.Get(fmt.Sprintf("http://%s/progress", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Done != 3 {
+		t.Fatalf("second poll done = %d, want 3", s.Done)
+	}
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		r, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d", path, r.StatusCode)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"surfbless/internal/network"
 	"surfbless/internal/packet"
 	"surfbless/internal/power"
+	"surfbless/internal/probe"
 	"surfbless/internal/router"
 	"surfbless/internal/stats"
 )
@@ -39,6 +40,7 @@ type Fabric struct {
 	sink  network.Sink
 	col   *stats.Collector
 	meter *power.Meter
+	probe *probe.Probe // nil = no spatial observation
 
 	inFlight int
 	lastStep int64
@@ -87,6 +89,10 @@ func New(cfg config.Config, sink network.Sink, col *stats.Collector, meter *powe
 	}
 	return f, nil
 }
+
+// SetProbe attaches a hot-path observer recording per-router
+// traversals, deflections and link flits (nil to remove).
+func (f *Fabric) SetProbe(p *probe.Probe) { f.probe = p }
 
 // Inject offers p to node's NI.  It panics on multi-flit packets (see
 // the package comment) and returns false under backpressure.
@@ -212,12 +218,16 @@ func (f *Fabric) freeOutput(n *node, p *packet.Packet, taken *[geom.NumLinkDirs]
 func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool) {
 	taken[d] = true
 	p.Hops++
-	if !geom.Productive(n.c, p.Dst, d) {
+	deflected := !geom.Productive(n.c, p.Dst, d)
+	if deflected {
 		p.Deflections++
 	}
 	f.meter.Allocation(1)
 	f.meter.CrossbarTraversal(p.Size)
 	f.meter.LinkTraversal(p.Size)
+	if f.probe != nil {
+		f.probe.Traverse(f.mesh.ID(n.c), d, p, p.Size, deflected, now)
+	}
 	n.out[d].Send(p, now)
 }
 

@@ -34,6 +34,7 @@ import (
 	"surfbless/internal/network"
 	"surfbless/internal/packet"
 	"surfbless/internal/power"
+	"surfbless/internal/probe"
 	"surfbless/internal/router"
 	"surfbless/internal/stats"
 )
@@ -53,6 +54,7 @@ type Fabric struct {
 	sink  network.Sink
 	col   *stats.Collector
 	meter *power.Meter
+	probe *probe.Probe // nil = no spatial observation
 
 	inFlight int
 	lastStep int64
@@ -64,6 +66,10 @@ type node struct {
 	in  [geom.NumLinkDirs]*link.Line[*packet.Packet]
 	out [geom.NumLinkDirs]*link.Line[*packet.Packet]
 }
+
+// SetProbe attaches a hot-path observer recording per-router
+// traversals, deflections and link flits (nil to remove).
+func (f *Fabric) SetProbe(p *probe.Probe) { f.probe = p }
 
 // New builds a CHIPPER mesh for cfg.
 func New(cfg config.Config, sink network.Sink, col *stats.Collector, meter *power.Meter) (*Fabric, error) {
@@ -330,12 +336,16 @@ func (f *Fabric) tryInject(n *node, slots *[geom.NumLinkDirs]*packet.Packet, now
 
 func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64) {
 	p.Hops++
-	if !geom.Productive(n.c, p.Dst, d) {
+	deflected := !geom.Productive(n.c, p.Dst, d)
+	if deflected {
 		p.Deflections++
 	}
 	f.meter.Allocation(1)
 	f.meter.CrossbarTraversal(p.Size)
 	f.meter.LinkTraversal(p.Size)
+	if f.probe != nil {
+		f.probe.Traverse(f.mesh.ID(n.c), d, p, p.Size, deflected, now)
+	}
 	n.out[d].Send(p, now)
 }
 

@@ -30,6 +30,7 @@ import (
 	"surfbless/internal/network"
 	"surfbless/internal/packet"
 	"surfbless/internal/power"
+	"surfbless/internal/probe"
 	"surfbless/internal/router"
 	"surfbless/internal/stats"
 )
@@ -48,6 +49,7 @@ type Fabric struct {
 	sink  network.Sink
 	col   *stats.Collector
 	meter *power.Meter
+	probe *probe.Probe // nil = no spatial observation
 
 	retries  retryHeap
 	retrySeq int64
@@ -124,6 +126,11 @@ func New(cfg config.Config, sink network.Sink, col *stats.Collector, meter *powe
 	}
 	return f, nil
 }
+
+// SetProbe attaches a hot-path observer recording per-router
+// traversals and link flits (Runahead drops rather than deflects, so
+// its deflection heatmap stays zero; nil to remove).
+func (f *Fabric) SetProbe(p *probe.Probe) { f.probe = p }
 
 // Inject offers p (single-flit) to node's NI.
 func (f *Fabric) Inject(nodeID int, p *packet.Packet, now int64) bool {
@@ -248,6 +255,9 @@ func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64) {
 	f.meter.Allocation(1)
 	f.meter.CrossbarTraversal(1)
 	f.meter.LinkTraversal(1)
+	if f.probe != nil {
+		f.probe.Traverse(f.mesh.ID(n.c), d, p, 1, false, now)
+	}
 	n.out[d].Send(p, now)
 }
 

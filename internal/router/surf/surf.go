@@ -18,6 +18,10 @@
 // contention cannot arise on the port that feeds the crossbar.  Output
 // links, the crossbar columns and ejection remain strictly
 // time-multiplexed by the wave schedule.
+//
+// Observability: the returned engine is the shared wormhole.Engine, so
+// SetProbe (per-router/per-link flit heatmaps; see internal/probe)
+// works on Surf exactly as on WH.
 package surf
 
 import (

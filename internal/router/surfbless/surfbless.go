@@ -38,6 +38,7 @@ import (
 	"surfbless/internal/network"
 	"surfbless/internal/packet"
 	"surfbless/internal/power"
+	"surfbless/internal/probe"
 	"surfbless/internal/router"
 	"surfbless/internal/stats"
 	"surfbless/internal/wave"
@@ -67,6 +68,7 @@ type Fabric struct {
 	sink  network.Sink
 	col   *stats.Collector
 	meter *power.Meter
+	probe *probe.Probe // nil = no spatial observation
 
 	inFlight int
 	lastStep int64
@@ -154,6 +156,10 @@ func NewWithPolicy(cfg config.Config, slotWidths []int, pol Policy, sink network
 	}
 	return f, nil
 }
+
+// SetProbe attaches a hot-path observer recording per-router
+// traversals, deflections and link flits (nil to remove).
+func (f *Fabric) SetProbe(p *probe.Probe) { f.probe = p }
 
 // Decoder exposes the wave→domain decoder (read-only use).
 func (f *Fabric) Decoder() *wave.Decoder { return f.dec }
@@ -309,12 +315,16 @@ func (f *Fabric) pickOutput(n *node, p *packet.Packet, now int64, taken *[geom.N
 func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool) {
 	taken[d] = true
 	p.Hops++
-	if !geom.Productive(n.c, p.Dst, d) {
+	deflected := !geom.Productive(n.c, p.Dst, d)
+	if deflected {
 		p.Deflections++
 	}
 	f.meter.Allocation(1)
 	f.meter.CrossbarTraversal(p.Size)
 	f.meter.LinkTraversal(p.Size)
+	if f.probe != nil {
+		f.probe.Traverse(f.mesh.ID(n.c), d, p, p.Size, deflected, now)
+	}
 	n.out[d].Send(p, now)
 }
 

@@ -27,6 +27,7 @@ import (
 	"surfbless/internal/network"
 	"surfbless/internal/packet"
 	"surfbless/internal/power"
+	"surfbless/internal/probe"
 	"surfbless/internal/router"
 	"surfbless/internal/stats"
 	"surfbless/internal/wave"
@@ -164,6 +165,7 @@ type Engine struct {
 	sink  network.Sink
 	col   *stats.Collector
 	meter *power.Meter
+	probe *probe.Probe // nil = no spatial observation
 
 	lanes    int // input-port bandwidth lanes (1, or #domains when wave-gated)
 	inFlight int
@@ -246,6 +248,11 @@ func New(opt Options, sink network.Sink, col *stats.Collector, meter *power.Mete
 	}
 	return e, nil
 }
+
+// SetProbe attaches a hot-path observer recording per-router and
+// per-link flit traversals (nil to remove).  VC routers never deflect,
+// so the probe's deflection heatmap stays zero for WH and Surf.
+func (e *Engine) SetProbe(p *probe.Probe) { e.probe = p }
 
 // key returns the packet field VC groups match against.
 func (e *Engine) key(p *packet.Packet) int {
@@ -563,6 +570,9 @@ func (e *Engine) grant(n *node, o geom.Dir, r request, now int64) {
 	out := &n.out[o]
 	out.credits[outVC]--
 	e.meter.LinkTraversal(1)
+	if e.probe != nil {
+		e.probe.Traverse(e.mesh.ID(n.c), o, f.Pkt, 1, false, now)
+	}
 	out.flitsOut.Send(flitMsg{f: f, vc: outVC}, now)
 	if f.Tail() {
 		out.owner[outVC] = nil

@@ -33,9 +33,11 @@ func Fingerprint(o Options) (simcache.Key, error) {
 // deserializes the stored Result, a miss runs the simulation and
 // stores it.  A nil cache, an unserializable option set, or a cached
 // value that no longer decodes all degrade to a plain Run — the cache
-// can make a run faster, never wrong.
+// can make a run faster, never wrong.  Observed runs (a Probe or
+// Tracer attached) always simulate for real: a cache hit would return
+// the right Result but leave the observer with nothing to observe.
 func RunCached(o Options, c *simcache.Cache) (Result, error) {
-	if c == nil {
+	if c == nil || o.Observed() {
 		return Run(o)
 	}
 	key, err := Fingerprint(o)

@@ -11,6 +11,7 @@ import (
 	"surfbless/internal/config"
 	"surfbless/internal/network"
 	"surfbless/internal/power"
+	"surfbless/internal/probe"
 	"surfbless/internal/router/bless"
 	"surfbless/internal/router/chipper"
 	"surfbless/internal/router/runahead"
@@ -43,7 +44,29 @@ type Options struct {
 
 	// Coefficients overrides the energy model (nil = Default45nm).
 	Coefficients *power.Coefficients
+
+	// Probe, when non-nil, is armed for this run (interval ProbeEvery,
+	// window [Warmup, Warmup+Measure)) and receives the run's lifecycle
+	// and router hot-path events — time series, heatmaps, occupancy.
+	// Observation never changes results, so the field is excluded from
+	// the cache fingerprint; RunCached still bypasses the cache for
+	// probed runs because a cache hit would leave the probe empty.
+	Probe *probe.Probe `json:"-"`
+	// ProbeEvery is the probe's time-series bucket width in cycles
+	// (≤0 = probe.DefaultEvery).  Ignored without a Probe.
+	ProbeEvery int64 `json:"-"`
+
+	// Tracer, when non-nil, is installed on the run's collector and
+	// sees every packet lifecycle event (see stats.Tracer).  Like
+	// Probe, it is observation-only and fingerprint-exempt; RunCached
+	// bypasses the cache for traced runs.
+	Tracer stats.Tracer `json:"-"`
 }
+
+// Observed reports whether the run carries an observer that requires a
+// real simulation (a probe or a tracer): cached results cannot replay
+// the events such observers consume.
+func (o Options) Observed() bool { return o.Probe != nil || o.Tracer != nil }
 
 // Result is one run's outcome.
 type Result struct {
@@ -69,6 +92,12 @@ func (r Result) Throughput(d int) float64 {
 		return 0
 	}
 	return float64(r.Domains[d].Ejected) / float64(r.Nodes) / float64(r.MeasuredCycles)
+}
+
+// probeSetter is implemented by every fabric that exposes router
+// hot-path events (traversals, deflections, link flits) to a probe.
+type probeSetter interface {
+	SetProbe(*probe.Probe)
 }
 
 // BuildFabric constructs the fabric for cfg.Model.  slotWidths applies
@@ -117,10 +146,28 @@ func Run(o Options) (Result, error) {
 		co = *o.Coefficients
 	}
 	col := stats.NewCollector(o.Cfg.Domains, o.Warmup, o.Warmup+o.Measure)
+	if o.Tracer != nil {
+		col.SetTracer(o.Tracer)
+	}
+	if o.Probe != nil {
+		o.Probe.Arm(probe.Config{
+			Mesh:       o.Cfg.Mesh(),
+			Domains:    o.Cfg.Domains,
+			Every:      o.ProbeEvery,
+			WarmupEnd:  o.Warmup,
+			MeasureEnd: o.Warmup + o.Measure,
+		})
+		col.SetProbe(o.Probe)
+	}
 	meter := power.NewMeter(o.Cfg, co)
 	fab, err := BuildFabric(o.Cfg, o.SlotWidths, nil, col, meter)
 	if err != nil {
 		return Result{}, err
+	}
+	if o.Probe != nil {
+		if ps, ok := fab.(probeSetter); ok {
+			ps.SetProbe(o.Probe)
+		}
 	}
 	gen := traffic.New(o.Cfg.Mesh(), o.Pattern, o.Sources, o.Seed)
 
@@ -129,6 +176,9 @@ func Run(o Options) (Result, error) {
 	for ; now < genEnd; now++ {
 		gen.Tick(fab, now)
 		fab.Step(now)
+		if o.Probe != nil {
+			o.Probe.Tick(now, fab.InFlight())
+		}
 		if o.AuditEvery > 0 && now%o.AuditEvery == 0 {
 			if err := fab.Audit(); err != nil {
 				return Result{}, err
@@ -136,9 +186,19 @@ func Run(o Options) (Result, error) {
 		}
 	}
 	// Drain: no new traffic; stop early once the network is empty.
+	// The conservation audit keeps its cadence here too — drain-phase
+	// invariant violations must not go unnoticed.
 	drainEnd := genEnd + o.Drain
 	for ; now < drainEnd && fab.InFlight() > 0; now++ {
 		fab.Step(now)
+		if o.Probe != nil {
+			o.Probe.Tick(now, fab.InFlight())
+		}
+		if o.AuditEvery > 0 && now%o.AuditEvery == 0 {
+			if err := fab.Audit(); err != nil {
+				return Result{}, err
+			}
+		}
 	}
 	if o.AuditEvery > 0 {
 		if err := fab.Audit(); err != nil {

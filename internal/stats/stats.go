@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"surfbless/internal/packet"
+	"surfbless/internal/probe"
 )
 
 // Domain accumulates metrics for one interference domain.
@@ -93,6 +94,7 @@ type Collector struct {
 	domains    []Domain
 	histos     []Histogram // per-domain total-latency histograms (in-window)
 	tracer     Tracer
+	probe      *probe.Probe // nil = no time-series observation
 
 	// Conservation accounting over the WHOLE run (not windowed), used
 	// by tests to prove no packet is ever lost or duplicated.
@@ -121,6 +123,12 @@ func NewCollector(domains int, warmupEnd, measureEnd int64) *Collector {
 // SetTracer installs a lifecycle observer (nil to remove).
 func (c *Collector) SetTracer(t Tracer) { c.tracer = t }
 
+// SetProbe attaches a time-series probe that receives every lifecycle
+// event the collector sees (nil to remove).  The probe applies the
+// same measurement window as the collector, so its totals reconcile
+// with the Domain aggregates.
+func (c *Collector) SetProbe(p *probe.Probe) { c.probe = p }
+
 // InWindow reports whether a packet created at cycle t is measured.
 func (c *Collector) InWindow(t int64) bool {
 	return t >= c.warmupEnd && (c.measureEnd == 0 || t < c.measureEnd)
@@ -136,6 +144,9 @@ func (c *Collector) Created(p *packet.Packet) {
 	if c.tracer != nil {
 		c.tracer(EvCreated, p, p.Domain, p.CreatedAt)
 	}
+	if c.probe != nil {
+		c.probe.Created(p)
+	}
 	if c.InWindow(p.CreatedAt) {
 		c.domain(p.Domain).Created++
 	}
@@ -145,6 +156,9 @@ func (c *Collector) Created(p *packet.Packet) {
 func (c *Collector) Refused(domain int, now int64) {
 	if c.tracer != nil {
 		c.tracer(EvRefused, nil, domain, now)
+	}
+	if c.probe != nil {
+		c.probe.Refused(domain, now)
 	}
 	if c.InWindow(now) {
 		c.domain(domain).Refused++
@@ -157,6 +171,9 @@ func (c *Collector) Injected(p *packet.Packet) {
 	if c.tracer != nil {
 		c.tracer(EvInjected, p, p.Domain, p.InjectedAt)
 	}
+	if c.probe != nil {
+		c.probe.Injected(p)
+	}
 	if c.InWindow(p.CreatedAt) {
 		c.domain(p.Domain).Injected++
 	}
@@ -167,6 +184,9 @@ func (c *Collector) Ejected(p *packet.Packet) {
 	c.AllEjected++
 	if c.tracer != nil {
 		c.tracer(EvEjected, p, p.Domain, p.EjectedAt)
+	}
+	if c.probe != nil {
+		c.probe.Ejected(p)
 	}
 	if !c.InWindow(p.CreatedAt) {
 		return

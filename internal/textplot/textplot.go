@@ -102,6 +102,36 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// sparkLevels are the eight block glyphs Spark maps values onto.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a unicode sparkline, scaled from the series
+// minimum (▁) to its maximum (█).  A flat series renders as all-▁, an
+// empty one as "".
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[i])
+	}
+	return b.String()
+}
+
 // F formats a float compactly for table cells.
 func F(v float64) string {
 	switch {

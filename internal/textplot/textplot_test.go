@@ -86,3 +86,24 @@ func TestMJAndPct(t *testing.T) {
 		t.Errorf("Pct = %q", got)
 	}
 }
+
+func TestSpark(t *testing.T) {
+	if got := Spark(nil); got != "" {
+		t.Errorf("Spark(nil) = %q, want empty", got)
+	}
+	if got := Spark([]float64{3, 3, 3}); got != "▁▁▁" {
+		t.Errorf("flat series = %q, want all-low", got)
+	}
+	got := []rune(Spark([]float64{0, 1, 2, 3, 4, 5, 6, 7}))
+	if len(got) != 8 {
+		t.Fatalf("Spark length = %d, want 8", len(got))
+	}
+	if got[0] != '▁' || got[7] != '█' {
+		t.Errorf("ramp = %q: min must map to ▁ and max to █", string(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Errorf("ramp not monotonic: %q", string(got))
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 // Writer streams packet lifecycle events.
 type Writer struct {
 	bw     *bufio.Writer
+	out    io.Writer
 	events int64
 	filter stats.EventKind
 	all    bool
@@ -29,12 +30,12 @@ type Writer struct {
 
 // New returns a Writer emitting every event kind to w.
 func New(w io.Writer) *Writer {
-	return &Writer{bw: bufio.NewWriter(w), all: true}
+	return &Writer{bw: bufio.NewWriter(w), out: w, all: true}
 }
 
 // NewFiltered returns a Writer emitting only the given kind.
 func NewFiltered(w io.Writer, kind stats.EventKind) *Writer {
-	return &Writer{bw: bufio.NewWriter(w), filter: kind}
+	return &Writer{bw: bufio.NewWriter(w), out: w, filter: kind}
 }
 
 // Tracer returns the callback to install with Collector.SetTracer.
@@ -58,6 +59,19 @@ func (t *Writer) Events() int64 { return t.events }
 
 // Flush drains the buffer to the underlying writer.
 func (t *Writer) Flush() error { return t.bw.Flush() }
+
+// Close flushes the buffer and, when the underlying writer is an
+// io.Closer (a file), closes it too; the first error wins.  After
+// Close the Writer must not be used.
+func (t *Writer) Close() error {
+	err := t.bw.Flush()
+	if c, ok := t.out.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // Header returns the CSV header matching the line format.
 func Header() string {

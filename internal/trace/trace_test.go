@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -100,5 +101,49 @@ func TestTraceRealRun(t *testing.T) {
 	}
 	if int64(strings.Count(sb.String(), ",ejected,")) != col.AllEjected {
 		t.Error("ejection count mismatch")
+	}
+}
+
+// closeRecorder counts Close calls and can inject a close error.
+type closeRecorder struct {
+	strings.Builder
+	closed int
+	err    error
+}
+
+func (c *closeRecorder) Close() error {
+	c.closed++
+	return c.err
+}
+
+var errClose = errors.New("disk full")
+
+func TestCloseFlushesAndClosesUnderlying(t *testing.T) {
+	var rec closeRecorder
+	w := New(&rec)
+	p := packet.New(1, geom.Coord{}, geom.Coord{X: 1}, 0, packet.Ctrl, 5)
+	p.EjectedAt = 9
+	w.Tracer()(stats.EvEjected, p, 0, 9)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.closed != 1 {
+		t.Errorf("underlying Close called %d times, want 1", rec.closed)
+	}
+	if !strings.Contains(rec.String(), "ejected") {
+		t.Errorf("Close did not flush the buffered event: %q", rec.String())
+	}
+}
+
+func TestClosePropagatesError(t *testing.T) {
+	rec := closeRecorder{err: errClose}
+	w := New(&rec)
+	if err := w.Close(); err != errClose {
+		t.Errorf("Close error = %v, want %v", err, errClose)
+	}
+	// A plain non-Closer writer: Close degrades to Flush.
+	var sb strings.Builder
+	if err := New(&sb).Close(); err != nil {
+		t.Errorf("Close on non-Closer = %v", err)
 	}
 }
