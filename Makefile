@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench experiments clean-cache
+.PHONY: ci vet build test race fuzz fuzz-fault bench experiments clean-cache
 
-ci: vet build race
+ci: vet build race fuzz-fault
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,11 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzConfigJSON -fuzztime=10s ./internal/config
 	$(GO) test -fuzz=FuzzFingerprint -fuzztime=10s ./internal/simcache
+	$(GO) test -fuzz=FuzzPlanJSON -fuzztime=10s ./internal/fault
+
+# Short fault-plan fuzz smoke for the CI gate (full budgets above).
+fuzz-fault:
+	$(GO) test -fuzz=FuzzPlanJSON -fuzztime=5s ./internal/fault
 
 # Benchmarks, plus a machine-readable BENCH_<date>.json report
 # (ns/op per fabric model, probe on and off) via cmd/benchjson.

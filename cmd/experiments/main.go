@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	experiments [-scale tiny|quick|full] [-fig all|table1|fig5|fig6|fig7|apps|ablations] [-out DIR]
+//	experiments [-scale tiny|quick|full] [-fig all|table1|fig5|fig6|fig7|apps|ablations|extensions|faults] [-out DIR]
 //	            [-cache] [-cache-dir DIR] [-no-cache]
 //	            [-http ADDR] [-progress] [-probe-dir DIR] [-probe-every N]
 //
 // "apps" runs the §5.2 full-system matrix that produces Figs. 8, 9 and
-// 10 together.  At -scale full expect several minutes.
+// 10 together.  At -scale full expect several minutes.  "faults" runs
+// the robustness extension: the Fig. 5 victim/aggressor setup crossed
+// with fault scenarios (see internal/fault and DESIGN.md §11).
+//
+// Robustness: each experiment is isolated — a failure (or panic) is
+// retried once, then reported and skipped so the rest of the batch
+// still completes; the process exits nonzero if anything failed.
 //
 // Every simulation is a pure function of its options, so results are
 // cached content-addressed under -cache-dir (default
@@ -39,9 +45,11 @@ import (
 	"surfbless/internal/textplot"
 )
 
-func main() {
+func main() { os.Exit(mainExperiments()) }
+
+func mainExperiments() int {
 	scaleName := flag.String("scale", "quick", "simulation scale: tiny, quick or full")
-	fig := flag.String("fig", "all", "which experiment: all, table1, fig3, fig5, fig6, fig7, apps, ablations, extensions")
+	fig := flag.String("fig", "all", "which experiment: all, table1, fig3, fig5, fig6, fig7, apps, ablations, extensions, faults")
 	out := flag.String("out", "", "directory to write .txt and .csv outputs (optional)")
 	useCache := flag.Bool("cache", true, "reuse cached simulation results")
 	cacheDir := flag.String("cache-dir", filepath.Join("results", ".simcache"), "result-cache directory")
@@ -92,15 +100,26 @@ func main() {
 		defer stop()
 	}
 
+	// Per-experiment isolation: one failing figure (error or panic)
+	// must not sink a multi-hour batch.  Each experiment is retried
+	// once, then recorded as failed and skipped; the exit code reports
+	// the damage at the end.
+	var failed []string
 	run := func(name string, f func() ([]*textplot.Table, error)) {
 		if *fig != "all" && *fig != name {
 			return
 		}
 		g.SetStage(name)
 		start := time.Now()
-		tabs, err := f()
+		tabs, err := runIsolated(f)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			fmt.Fprintf(os.Stderr, "experiments: %s failed (%v), retrying once\n", name, err)
+			tabs, err = runIsolated(f)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed twice: %v — skipping\n", name, err)
+			failed = append(failed, name)
+			return
 		}
 		for _, t := range tabs {
 			fmt.Println(t.String())
@@ -179,6 +198,13 @@ func main() {
 		tabs = append(tabs, experiments.MeshTable(ms))
 		return tabs, nil
 	})
+	run("faults", func() ([]*textplot.Table, error) {
+		r, err := experiments.ConfinementUnderFaults(sc)
+		if err != nil {
+			return nil, err
+		}
+		return r.Tables(), nil
+	})
 	run("extensions", func() ([]*textplot.Table, error) {
 		var tabs []*textplot.Table
 		bl, err := experiments.ExtensionBufferless(sc)
@@ -202,6 +228,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[fig5-probe done in %v; series and heatmaps in %s]\n",
 			time.Since(start).Round(time.Millisecond), *probeDir)
 	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed: %s\n",
+			len(failed), strings.Join(failed, ", "))
+		return 1
+	}
+	return 0
+}
+
+// runIsolated runs one experiment behind a recover boundary so a
+// driver panic is reported like any other error.
+func runIsolated(f func() ([]*textplot.Table, error)) (tabs []*textplot.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return f()
 }
 
 func scaleByName(name string) (experiments.Scale, error) {

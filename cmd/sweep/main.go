@@ -6,12 +6,24 @@
 //
 //	sweep [-model SB] [-domains 2] [-from 0.01] [-to 0.3] [-step 0.02]
 //	      [-cycles 10000] [-seed 1] [-cache] [-cache-dir DIR] [-no-cache]
+//	      [-faults FILE] [-checkpoint FILE] [-resume]
 //	      [-http ADDR] [-progress] [-trace FILE]
 //	      [-probe-dir DIR] [-probe-every N]
 //
 // Points are cached content-addressed under -cache-dir (default
 // results/.simcache), shared with cmd/experiments; -no-cache forces
 // fresh simulations.
+//
+// Robustness: -faults FILE arms a deterministic fault plan (JSON; see
+// internal/fault and DESIGN.md §11) for every point, and the CSV gains
+// dropped/retransmits/status columns.  Each point is isolated — a
+// failing simulation is retried once, then emitted as an error row
+// while the sweep continues (exit code 1 at the end); a point that
+// livelocks or trips a router invariant is emitted as a "degraded" row
+// with its partial statistics.  -checkpoint FILE journals every
+// completed point keyed by its cache fingerprint; after an interrupt,
+// rerunning with -resume replays finished rows from the journal and
+// re-simulates only the incomplete points.
 //
 // Observability: -http ADDR serves /progress (JSON point counts and
 // ETA), /debug/vars and /debug/pprof/* while the sweep runs; -progress
@@ -24,6 +36,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +45,7 @@ import (
 	"strings"
 
 	"surfbless/internal/config"
+	"surfbless/internal/fault"
 	"surfbless/internal/packet"
 	"surfbless/internal/probe"
 	"surfbless/internal/sim"
@@ -56,6 +70,9 @@ func main() {
 	traceFile := flag.String("trace", "", "write a packet lifecycle trace per point (suffixed _r<rate>)")
 	probeDir := flag.String("probe-dir", "", "write per-point time series (JSONL) and heatmaps (CSV) into this directory")
 	probeEvery := flag.Int64("probe-every", probe.DefaultEvery, "probe bucket width in cycles for -probe-dir")
+	faultsFile := flag.String("faults", "", "fault plan JSON applied to every point (see internal/fault)")
+	ckptPath := flag.String("checkpoint", "", "journal completed points to this file")
+	resume := flag.Bool("resume", false, "replay completed points from -checkpoint instead of re-simulating them")
 	flag.Parse()
 
 	var cache *simcache.Cache
@@ -88,6 +105,41 @@ func main() {
 		}
 	}
 
+	var plan *fault.Plan
+	if *faultsFile != "" {
+		base := config.Default(m)
+		var err error
+		if plan, err = fault.LoadPlan(*faultsFile, base.Width, base.Height); err != nil {
+			fatal(err)
+		}
+	}
+
+	var ckpt *simcache.Checkpoint
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume needs -checkpoint FILE"))
+	}
+	if *ckptPath != "" {
+		if !*resume {
+			// Without -resume the journal starts fresh; stale entries
+			// from an unrelated sweep must not be replayed.
+			if err := os.Remove(*ckptPath); err != nil && !os.IsNotExist(err) {
+				fatal(err)
+			}
+		}
+		var err error
+		if ckpt, err = simcache.OpenCheckpoint(*ckptPath); err != nil {
+			fatal(err)
+		}
+		defer ckpt.Close()
+		if *resume {
+			fmt.Fprintf(os.Stderr, "resume: %d point(s) already journaled in %s", ckpt.Len(), *ckptPath)
+			if n := ckpt.Skipped(); n > 0 {
+				fmt.Fprintf(os.Stderr, " (%d torn line(s) dropped)", n)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+
 	var rates []float64
 	for rate := *from; rate <= *to+1e-9; rate += *step {
 		rates = append(rates, rate)
@@ -110,10 +162,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "introspection: http://%s/progress\n", addr)
 	}
 
-	fmt.Println("rate,avg_latency,queue_latency,network_latency,throughput,deflections_per_pkt,refused")
+	fmt.Println("rate,avg_latency,queue_latency,network_latency,throughput,deflections_per_pkt,refused,dropped,retransmits,status")
+	failures := 0
 	for _, rate := range rates {
 		cfg := config.Default(m)
 		cfg.Domains = *domains
+		cfg.Faults = plan
 		sources := make([]traffic.Source, *domains)
 		for i := range sources {
 			sources[i] = traffic.Source{Rate: rate / float64(*domains), Class: packet.Ctrl, VNet: -1}
@@ -125,48 +179,41 @@ func main() {
 			Warmup:  *cycles / 10, Measure: *cycles, Drain: 10 * *cycles,
 			Seed: *seed,
 		}
-		var tw *trace.Writer
-		if *traceFile != "" {
-			f, err := os.Create(suffixed(*traceFile, rate))
-			if err != nil {
-				fatal(err)
+		key, keyErr := sim.Fingerprint(o)
+		if ckpt != nil && keyErr == nil && !o.Observed() {
+			if row, ok := ckpt.Lookup(key); ok {
+				fmt.Println(row)
+				g.Add(1)
+				continue
 			}
-			fmt.Fprintln(f, trace.Header())
-			tw = trace.New(f)
-			o.Tracer = tw.Tracer()
 		}
-		var p *probe.Probe
-		if *probeDir != "" {
-			p = &probe.Probe{}
-			o.Probe = p
-			o.ProbeEvery = *probeEvery
+
+		// Per-point isolation: one failing point is retried once, then
+		// reported as an error row; the sweep always reaches the last
+		// rate.  Degraded points (watchdog, recovered invariant) are
+		// data, not failures — their partial stats make the row.
+		var row string
+		var err error
+		for attempt := 0; attempt < 2; attempt++ {
+			row, err = sweepPoint(o, m, rate, *domains, cache, *traceFile, *probeDir, *probeEvery)
+			if err == nil {
+				break
+			}
+			if attempt == 0 {
+				fmt.Fprintf(os.Stderr, "sweep: rate %.3f failed (%v), retrying once\n", rate, err)
+			}
 		}
-		res, err := sim.RunCached(o, cache)
 		if err != nil {
-			fatal(fmt.Errorf("rate %.3f: %w", rate, err))
+			fmt.Fprintf(os.Stderr, "sweep: rate %.3f failed twice: %v — continuing\n", rate, err)
+			row = fmt.Sprintf("%.3f,,,,,,,,,error: %s", rate, csvSafe(err.Error()))
+			failures++
 		}
-		if tw != nil {
-			if err := tw.Close(); err != nil {
-				fatal(fmt.Errorf("rate %.3f: trace: %w", rate, err))
+		fmt.Println(row)
+		if ckpt != nil && keyErr == nil && err == nil && !o.Observed() {
+			if rerr := ckpt.Record(key, row); rerr != nil {
+				fmt.Fprintf(os.Stderr, "sweep: checkpoint: %v\n", rerr)
 			}
 		}
-		if p != nil {
-			base := fmt.Sprintf("%v_r%.3f", m, rate)
-			if err := exportFile(filepath.Join(*probeDir, "sweep_ts_"+base+".jsonl"), p.WriteTimeSeriesJSONL); err != nil {
-				fatal(err)
-			}
-			if err := exportFile(filepath.Join(*probeDir, "sweep_heat_"+base+".csv"), p.WriteHeatmapCSV); err != nil {
-				fatal(err)
-			}
-		}
-		tot := res.Total
-		thr := 0.0
-		for d := 0; d < *domains; d++ {
-			thr += res.Throughput(d)
-		}
-		fmt.Printf("%.3f,%.3f,%.3f,%.3f,%.4f,%.3f,%d\n",
-			rate, tot.AvgTotalLatency(), tot.AvgQueueLatency(), tot.AvgNetworkLatency(),
-			thr, tot.AvgDeflections(), tot.Refused)
 		g.Add(1)
 		if *progress {
 			fmt.Fprintln(os.Stderr, g.Line())
@@ -175,6 +222,78 @@ func main() {
 	if cache != nil {
 		fmt.Fprintf(os.Stderr, "cache (%s): %v\n", *cacheDir, cache.Stats())
 	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d point(s) failed\n", failures)
+		os.Exit(1)
+	}
+}
+
+// sweepPoint simulates one rate and renders its CSV row.  A panic that
+// escapes the simulator's own recover boundary is converted to an
+// error here so the caller's isolation holds.
+func sweepPoint(o sim.Options, m config.Model, rate float64, domains int,
+	cache *simcache.Cache, traceFile, probeDir string, probeEvery int64) (row string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	var tw *trace.Writer
+	if traceFile != "" {
+		f, ferr := os.Create(suffixed(traceFile, rate))
+		if ferr != nil {
+			return "", ferr
+		}
+		fmt.Fprintln(f, trace.Header())
+		tw = trace.New(f)
+		o.Tracer = tw.Tracer()
+	}
+	var p *probe.Probe
+	if probeDir != "" {
+		p = &probe.Probe{}
+		o.Probe = p
+		o.ProbeEvery = probeEvery
+	}
+	res, err := sim.RunCached(o, cache)
+	status := "ok"
+	if err != nil {
+		var de *sim.DegradedError
+		if !errors.As(err, &de) {
+			return "", err
+		}
+		res = de.Partial
+		status = "degraded: " + csvSafe(de.Reason)
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			return "", fmt.Errorf("trace: %w", err)
+		}
+	}
+	if p != nil {
+		base := fmt.Sprintf("%v_r%.3f", m, rate)
+		if err := exportFile(filepath.Join(probeDir, "sweep_ts_"+base+".jsonl"), p.WriteTimeSeriesJSONL); err != nil {
+			return "", err
+		}
+		if err := exportFile(filepath.Join(probeDir, "sweep_heat_"+base+".csv"), p.WriteHeatmapCSV); err != nil {
+			return "", err
+		}
+	}
+	tot := res.Total
+	thr := 0.0
+	for d := 0; d < domains && d < len(res.Domains); d++ {
+		thr += res.Throughput(d)
+	}
+	return fmt.Sprintf("%.3f,%.3f,%.3f,%.3f,%.4f,%.3f,%d,%d,%d,%s",
+		rate, tot.AvgTotalLatency(), tot.AvgQueueLatency(), tot.AvgNetworkLatency(),
+		thr, tot.AvgDeflections(), tot.Refused, tot.Dropped, tot.Retransmits, status), nil
+}
+
+// csvSafe strips the characters that would break the one-line CSV
+// status cell.
+func csvSafe(s string) string {
+	s = strings.ReplaceAll(s, ",", ";")
+	s = strings.ReplaceAll(s, "\n", " ")
+	return s
 }
 
 // suffixed inserts _r<rate> before path's extension, so per-point

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"surfbless/internal/fault"
 	"surfbless/internal/geom"
 )
 
@@ -107,6 +108,13 @@ type Config struct {
 	// (§5.2's multi-class configuration).  When nil, waves are assigned
 	// round-robin: wave w belongs to domain w mod Domains.
 	WaveSets [][]int
+
+	// Faults optionally schedules deterministic fault injection (see
+	// package fault).  It lives in the Config — not beside the probe —
+	// because an armed plan changes simulation results and must be part
+	// of the result-cache fingerprint; nil keeps fault-free
+	// serialization (and therefore fingerprints) unchanged.
+	Faults *fault.Plan `json:",omitempty"`
 }
 
 // Default returns the Table-1 configuration for the given model with a
@@ -226,6 +234,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.validateWaveSets(); err != nil {
 		return err
+	}
+	if err := c.Faults.Validate(c.Width, c.Height); err != nil {
+		return fmt.Errorf("config: %w", err)
 	}
 	return nil
 }

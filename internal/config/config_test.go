@@ -3,6 +3,8 @@ package config
 import (
 	"strings"
 	"testing"
+
+	"surfbless/internal/fault"
 )
 
 // TestTable1Defaults asserts every row of the paper's Table 1 that maps
@@ -94,6 +96,16 @@ func TestValidateDefaults(t *testing.T) {
 	}
 }
 
+func TestValidateAcceptsFaultPlan(t *testing.T) {
+	c := Default(SB)
+	c.Faults = &fault.Plan{Seed: 1, Events: []fault.Event{
+		{Kind: fault.LinkFlap, Node: 27, Dir: 1, At: 100, Repair: 50, Period: 200},
+	}}
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid fault plan rejected: %v", err)
+	}
+}
+
 func TestValidateRejects(t *testing.T) {
 	mutations := []struct {
 		name string
@@ -111,6 +123,19 @@ func TestValidateRejects(t *testing.T) {
 		{"odd link bits", func(c *Config) { c.LinkBits = 100 }, "LinkBits"},
 		{"zero clock", func(c *Config) { c.ClockHz = 0 }, "ClockHz"},
 		{"too many domains", func(c *Config) { c.Model = SB; c.Domains = 1000 }, "Smax"},
+		// Fault plans must be validated against THIS config's mesh.
+		{"fault node out of mesh", func(c *Config) {
+			c.Faults = &fault.Plan{Events: []fault.Event{{Kind: fault.RouterFreeze, Node: 64}}}
+		}, "outside [0,64)"},
+		{"fault border link", func(c *Config) {
+			c.Faults = &fault.Plan{Events: []fault.Event{{Kind: fault.LinkKill, Node: 0, Dir: 3}}}
+		}, "no W link"},
+		{"fault negative repair", func(c *Config) {
+			c.Faults = &fault.Plan{Events: []fault.Event{{Kind: fault.RouterFreeze, Node: 0, Repair: -1}}}
+		}, "negative repair delay"},
+		{"fault bad retries", func(c *Config) {
+			c.Faults = &fault.Plan{MaxRetries: -2, Events: []fault.Event{{Kind: fault.RouterFreeze, Node: 0}}}
+		}, "MaxRetries"},
 	}
 	for _, tc := range mutations {
 		c := Default(WH)

@@ -24,6 +24,10 @@ func FuzzConfigJSON(f *testing.F) {
 	f.Add([]byte(`{"Model":"SB","Domains":3}`))
 	f.Add([]byte(`{"Model":"Surf","WaveSets":[[0,1],[2]],"Domains":2}`))
 	f.Add([]byte(`{"Model":"BLESS","Width":-1}`))
+	f.Add([]byte(`{"Model":"SB","Faults":{"Seed":7,"Events":[{"Kind":"link-flap","Node":27,"Dir":1,"At":100,"Repair":50,"Period":200}]}}`))
+	f.Add([]byte(`{"Model":"WH","Faults":{"MaxRetries":-1,"Events":[{"Kind":"packet-drop","Node":9,"Dir":2,"Prob":0.25}]}}`))
+	f.Add([]byte(`{"Model":"BLESS","Faults":{"Events":[{"Kind":"router-freeze","Node":999}]}}`))
+	f.Add([]byte(`{"Model":"SB","Faults":{"Events":[{"Kind":"link-kill","Node":0,"Repair":-5}]}}`))
 	f.Add([]byte(`{"Model":42}`))
 	f.Add([]byte(`not json`))
 	f.Fuzz(func(t *testing.T, data []byte) {

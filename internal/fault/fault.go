@@ -1,0 +1,223 @@
+// Package fault defines deterministic, seeded fault plans for the
+// network fabrics and the injector that evaluates them on the routers'
+// hot paths.
+//
+// Surf-Bless's no-buffer guarantee rests on exact wave/port balance
+// (paper §3): a broken link or a stuck router destroys deflectability,
+// so the seed reproduction simply panicked when the balance broke.
+// This package turns such failures into a first-class workload: a Plan
+// is a list of timed fault events — permanent link kills, transient
+// link flaps with a repair delay, router freezes and probabilistic
+// single-flit corruption — that every fabric consults through a shared
+// *Injector in its Step path, mirroring how internal/probe is wired
+// (one nil check on the hot path when faults are off).
+//
+// Unlike a probe, an armed fault plan DOES change simulation results,
+// so Plan travels inside config.Config and is therefore covered by the
+// result-cache fingerprint; a nil plan serializes to nothing and keeps
+// fault-free fingerprints unchanged.
+//
+// All fault decisions are pure functions of (plan, seed, packet,
+// cycle): two runs with the same options produce bit-identical
+// results, faulty or not.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"surfbless/internal/geom"
+)
+
+// Kind classifies one fault event.
+type Kind int
+
+// Fault kinds.
+const (
+	// LinkKill removes one unidirectional link permanently from cycle
+	// At on: the owning router can no longer send on it.
+	LinkKill Kind = iota
+	// LinkFlap takes the link down for Repair cycles starting at At;
+	// with a Period it repeats every Period cycles.
+	LinkFlap
+	// RouterFreeze stops a router from cycle At on (forever when
+	// Repair is 0, else for Repair cycles, repeating with Period):
+	// a frozen bufferless router drops every arriving packet into the
+	// retransmit path; a frozen VC router buffers arrivals but grants
+	// nothing.
+	RouterFreeze
+	// PacketDrop corrupts packets crossing one link with probability
+	// Prob per traversal from cycle At on; a corrupted packet is
+	// discarded at the link entry (the CRC failed) and handed to the
+	// drop-with-retransmit path.
+	PacketDrop
+)
+
+var kindNames = map[Kind]string{
+	LinkKill:     "link-kill",
+	LinkFlap:     "link-flap",
+	RouterFreeze: "router-freeze",
+	PacketDrop:   "packet-drop",
+}
+
+// String returns the JSON name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind by name so plan files read naturally.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	s, ok := kindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("fault: cannot encode unknown kind %d", int(k))
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON accepts the kind names (case-sensitive).
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for kind, name := range kindNames {
+		if name == s {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("fault: unknown kind %q (want link-kill, link-flap, router-freeze or packet-drop)", s)
+}
+
+// Event is one timed fault.  Node is the router id; for link faults Dir
+// is the router's OUTPUT direction (0 N, 1 E, 2 S, 3 W), so the event
+// names one unidirectional link.
+type Event struct {
+	Kind Kind
+	Node int
+	Dir  int   `json:",omitempty"` // link faults only
+	At   int64 // first cycle the fault is active
+
+	// Repair is the down/frozen duration in cycles (0 = permanent).
+	// Required ≥ 1 for LinkFlap, which models a transient fault.
+	Repair int64 `json:",omitempty"`
+	// Period repeats the fault every Period cycles (0 = once).
+	Period int64 `json:",omitempty"`
+	// Prob is the per-traversal corruption probability for PacketDrop.
+	Prob float64 `json:",omitempty"`
+}
+
+// Plan is a complete, deterministic fault schedule for one run.
+type Plan struct {
+	// Seed feeds the per-(packet, cycle) hash behind PacketDrop draws;
+	// it is independent of the traffic seed so the same fault plan can
+	// be replayed over different workloads.
+	Seed int64
+
+	// MaxRetries bounds source retransmissions per packet after a
+	// fault drop (0 = DefaultMaxRetries, -1 = drop immediately with no
+	// retry).  Exhausted packets count as Dropped in stats.
+	MaxRetries int `json:",omitempty"`
+	// Backoff is the base retransmission delay in cycles; attempt k
+	// waits Backoff·2^(k−1) (0 = DefaultBackoff).
+	Backoff int64 `json:",omitempty"`
+
+	Events []Event
+}
+
+// Retransmission policy defaults (see Plan.MaxRetries / Plan.Backoff).
+const (
+	DefaultMaxRetries = 3
+	DefaultBackoff    = 64
+)
+
+// Empty reports whether the plan injects no faults at all.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// Validate reports the first problem with the plan on a width×height
+// mesh, or nil.  Every error is wrapped with enough context to locate
+// the offending event.
+func (p *Plan) Validate(width, height int) error {
+	if p == nil {
+		return nil
+	}
+	if p.MaxRetries < -1 {
+		return fmt.Errorf("fault: MaxRetries = %d, need ≥ -1", p.MaxRetries)
+	}
+	if p.Backoff < 0 {
+		return fmt.Errorf("fault: Backoff = %d, need ≥ 0", p.Backoff)
+	}
+	mesh := geom.NewMesh(width, height)
+	for i, e := range p.Events {
+		if err := e.validate(mesh); err != nil {
+			return fmt.Errorf("fault: event %d (%v): %w", i, e.Kind, err)
+		}
+	}
+	return nil
+}
+
+func (e Event) validate(mesh geom.Mesh) error {
+	if _, ok := kindNames[e.Kind]; !ok {
+		return fmt.Errorf("unknown kind %d", int(e.Kind))
+	}
+	if e.Node < 0 || e.Node >= mesh.Nodes() {
+		return fmt.Errorf("node %d outside [0,%d)", e.Node, mesh.Nodes())
+	}
+	if e.At < 0 {
+		return fmt.Errorf("activation cycle %d is negative", e.At)
+	}
+	if e.Repair < 0 {
+		return fmt.Errorf("negative repair delay %d", e.Repair)
+	}
+	if e.Period < 0 {
+		return fmt.Errorf("negative period %d", e.Period)
+	}
+	if e.Period > 0 && e.Period < e.Repair {
+		return fmt.Errorf("period %d shorter than repair delay %d (link would never heal)", e.Period, e.Repair)
+	}
+	switch e.Kind {
+	case LinkKill, LinkFlap, PacketDrop:
+		if e.Dir < 0 || e.Dir >= geom.NumLinkDirs {
+			return fmt.Errorf("direction %d outside [0,%d)", e.Dir, geom.NumLinkDirs)
+		}
+		if !mesh.HasNeighbor(mesh.CoordOf(e.Node), geom.Dir(e.Dir)) {
+			return fmt.Errorf("node %d has no %v link (mesh border)", e.Node, geom.Dir(e.Dir))
+		}
+	}
+	switch e.Kind {
+	case LinkFlap:
+		if e.Repair == 0 {
+			return fmt.Errorf("flap needs a repair delay ≥ 1 (use link-kill for a permanent fault)")
+		}
+	case PacketDrop:
+		if e.Prob <= 0 || e.Prob > 1 {
+			return fmt.Errorf("drop probability %g outside (0,1]", e.Prob)
+		}
+	default:
+		if e.Prob != 0 {
+			return fmt.Errorf("probability is only meaningful for packet-drop events")
+		}
+	}
+	return nil
+}
+
+// LoadPlan reads and validates a fault plan from a JSON file for a
+// width×height mesh.
+func LoadPlan(path string, width, height int) (*Plan, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	var p Plan
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	if err := p.Validate(width, height); err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	return &p, nil
+}

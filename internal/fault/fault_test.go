@@ -1,0 +1,193 @@
+package fault
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"surfbless/internal/geom"
+	"surfbless/internal/packet"
+)
+
+func TestPlanValidate(t *testing.T) {
+	ok := func(e Event) *Plan { return &Plan{Events: []Event{e}} }
+	cases := []struct {
+		name string
+		plan *Plan
+		want string // substring of the error, "" = valid
+	}{
+		{"nil plan", nil, ""},
+		{"empty plan", &Plan{}, ""},
+		{"link kill", ok(Event{Kind: LinkKill, Node: 0, Dir: int(geom.East)}), ""},
+		{"periodic flap", ok(Event{Kind: LinkFlap, Node: 5, Dir: int(geom.North), At: 10, Repair: 3, Period: 8}), ""},
+		{"freeze forever", ok(Event{Kind: RouterFreeze, Node: 15, At: 100}), ""},
+		{"drop", ok(Event{Kind: PacketDrop, Node: 1, Dir: int(geom.West), Prob: 0.5}), ""},
+
+		{"unknown kind", ok(Event{Kind: Kind(99), Node: 0}), "unknown kind"},
+		{"node too big", ok(Event{Kind: RouterFreeze, Node: 16}), "outside [0,16)"},
+		{"node negative", ok(Event{Kind: RouterFreeze, Node: -1}), "outside [0,16)"},
+		{"negative at", ok(Event{Kind: RouterFreeze, Node: 0, At: -1}), "negative"},
+		{"negative repair", ok(Event{Kind: RouterFreeze, Node: 0, Repair: -5}), "negative repair delay"},
+		{"negative period", ok(Event{Kind: RouterFreeze, Node: 0, Period: -5}), "negative period"},
+		{"period < repair", ok(Event{Kind: LinkFlap, Node: 5, Dir: int(geom.North), Repair: 10, Period: 5}), "never heal"},
+		{"bad dir", ok(Event{Kind: LinkKill, Node: 0, Dir: 4}), "direction 4"},
+		{"border link", ok(Event{Kind: LinkKill, Node: 0, Dir: int(geom.North)}), "no N link"},
+		{"flap without repair", ok(Event{Kind: LinkFlap, Node: 5, Dir: int(geom.North)}), "repair delay"},
+		{"drop without prob", ok(Event{Kind: PacketDrop, Node: 1, Dir: int(geom.West)}), "outside (0,1]"},
+		{"drop prob > 1", ok(Event{Kind: PacketDrop, Node: 1, Dir: int(geom.West), Prob: 1.5}), "outside (0,1]"},
+		{"prob on kill", ok(Event{Kind: LinkKill, Node: 1, Dir: int(geom.West), Prob: 0.5}), "only meaningful"},
+		{"bad retries", &Plan{MaxRetries: -2, Events: []Event{{Kind: RouterFreeze, Node: 0}}}, "MaxRetries"},
+		{"bad backoff", &Plan{Backoff: -1, Events: []Event{{Kind: RouterFreeze, Node: 0}}}, "Backoff"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate(4, 4)
+		switch {
+		case tc.want == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.want != "" && err == nil:
+			t.Errorf("%s: validation passed, want error containing %q", tc.name, tc.want)
+		case tc.want != "" && !strings.Contains(err.Error(), tc.want):
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestWindowSemantics(t *testing.T) {
+	cases := []struct {
+		name   string
+		w      window
+		active []int64
+		idle   []int64
+	}{
+		{"permanent", window{at: 10}, []int64{10, 11, 1 << 40}, []int64{0, 9}},
+		{"one-shot", window{at: 10, repair: 5}, []int64{10, 14}, []int64{9, 15, 100}},
+		{"periodic", window{at: 10, repair: 3, period: 8},
+			[]int64{10, 12, 18, 20, 26}, []int64{9, 13, 17, 21, 25}},
+		{"duty-cycle-1", window{at: 0, repair: 1, period: 2}, []int64{0, 2, 4}, []int64{1, 3, 5}},
+	}
+	for _, tc := range cases {
+		for _, now := range tc.active {
+			if !tc.w.active(now) {
+				t.Errorf("%s: inactive at %d, want active", tc.name, now)
+			}
+		}
+		for _, now := range tc.idle {
+			if tc.w.active(now) {
+				t.Errorf("%s: active at %d, want inactive", tc.name, now)
+			}
+		}
+	}
+}
+
+func TestInjectorQueries(t *testing.T) {
+	plan := &Plan{Seed: 1, Events: []Event{
+		{Kind: RouterFreeze, Node: 5, At: 100, Repair: 50},
+		{Kind: LinkKill, Node: 5, Dir: int(geom.East), At: 10},
+		{Kind: PacketDrop, Node: 6, Dir: int(geom.South), At: 0, Prob: 0.5},
+	}}
+	inj := NewInjector(plan, 4, 4)
+	if inj == nil {
+		t.Fatal("non-empty plan compiled to nil")
+	}
+	if NewInjector(&Plan{}, 4, 4) != nil || NewInjector(nil, 4, 4) != nil {
+		t.Error("empty plan must compile to nil")
+	}
+	if inj.Frozen(5, 99) || !inj.Frozen(5, 100) || !inj.Frozen(5, 149) || inj.Frozen(5, 150) {
+		t.Error("freeze window mismatch")
+	}
+	if inj.Frozen(4, 120) {
+		t.Error("freeze leaked to another node")
+	}
+	if inj.LinkDown(5, geom.East, 9) || !inj.LinkDown(5, geom.East, 10) || !inj.LinkDown(5, geom.East, 1<<40) {
+		t.Error("link-kill window mismatch")
+	}
+	if inj.LinkDown(5, geom.West, 50) || inj.LinkDown(6, geom.East, 50) {
+		t.Error("link-kill leaked to another link")
+	}
+	if inj.LinkDown(5, geom.Local, 50) || inj.LinkDown(5, geom.Dir(-1), 50) {
+		t.Error("out-of-range directions must read as healthy")
+	}
+	// Defaults resolve when the plan leaves the policy zeroed.
+	if inj.MaxRetries() != DefaultMaxRetries || inj.Backoff() != DefaultBackoff {
+		t.Errorf("defaults not applied: retries %d backoff %d", inj.MaxRetries(), inj.Backoff())
+	}
+	if n := NewInjector(&Plan{MaxRetries: -1, Backoff: 8, Events: plan.Events}, 4, 4); n.MaxRetries() != 0 || n.Backoff() != 8 {
+		t.Errorf("explicit policy not honored: retries %d backoff %d", n.MaxRetries(), n.Backoff())
+	}
+}
+
+func TestCorruptDeterministicAndCalibrated(t *testing.T) {
+	plan := &Plan{Seed: 99, Events: []Event{
+		{Kind: PacketDrop, Node: 6, Dir: int(geom.South), At: 0, Prob: 0.25},
+	}}
+	a := NewInjector(plan, 4, 4)
+	b := NewInjector(plan, 4, 4)
+	hits := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		p := &packet.Packet{ID: uint64(i)}
+		ca := a.Corrupt(p, 6, geom.South, int64(i%997))
+		if cb := b.Corrupt(p, 6, geom.South, int64(i%997)); ca != cb {
+			t.Fatalf("draw %d not deterministic", i)
+		}
+		if a.Corrupt(p, 6, geom.North, int64(i)) {
+			t.Fatal("corruption leaked to a healthy link")
+		}
+		if ca {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if got < 0.23 || got > 0.27 {
+		t.Errorf("empirical corruption rate %.4f, want ≈0.25", got)
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	plan := &Plan{Seed: 3, MaxRetries: 2, Backoff: 16, Events: []Event{
+		{Kind: LinkFlap, Node: 5, Dir: int(geom.North), At: 10, Repair: 3, Period: 8},
+		{Kind: PacketDrop, Node: 6, Dir: int(geom.South), Prob: 0.125},
+	}}
+	raw, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kinds serialize by name so plan files read naturally.
+	if s := string(raw); !strings.Contains(s, `"link-flap"`) || !strings.Contains(s, `"packet-drop"`) {
+		t.Errorf("kinds not encoded by name: %s", s)
+	}
+	var back Plan
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*plan, back) {
+		t.Errorf("round trip mismatch:\nin:  %+v\nout: %+v", *plan, back)
+	}
+	if err := json.Unmarshal([]byte(`{"Events":[{"Kind":"meteor-strike"}]}`), &back); err == nil {
+		t.Error("unknown kind name decoded without error")
+	}
+}
+
+func TestLoadPlan(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"Seed":4,"Events":[{"Kind":"link-kill","Node":1,"Dir":1}]}`), 0o644)
+	p, err := LoadPlan(good, 4, 4)
+	if err != nil {
+		t.Fatalf("good plan: %v", err)
+	}
+	if len(p.Events) != 1 || p.Events[0].Kind != LinkKill || p.Seed != 4 {
+		t.Errorf("plan decoded wrong: %+v", p)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"Events":[{"Kind":"link-kill","Node":99,"Dir":1}]}`), 0o644)
+	if _, err := LoadPlan(bad, 4, 4); err == nil {
+		t.Error("out-of-mesh plan loaded without error")
+	}
+	if _, err := LoadPlan(filepath.Join(dir, "missing.json"), 4, 4); err == nil {
+		t.Error("missing file loaded without error")
+	}
+}

@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzPlanJSON feeds arbitrary bytes through the plan decode path and
+// asserts three properties: no input may panic decoding, validation or
+// injector compilation; any input that validates must survive a
+// marshal/unmarshal round trip unchanged (plans live inside the cached
+// config fingerprint, so lossy serialization would alias distinct
+// fault runs onto one cache key); and every valid plan must compile.
+func FuzzPlanJSON(f *testing.F) {
+	seedPlans := []Plan{
+		{Seed: 1, Events: []Event{{Kind: LinkKill, Node: 5, Dir: 1, At: 100}}},
+		{MaxRetries: -1, Backoff: 8, Events: []Event{
+			{Kind: LinkFlap, Node: 9, Dir: 0, At: 10, Repair: 3, Period: 8},
+			{Kind: RouterFreeze, Node: 0, At: 50, Repair: 50},
+			{Kind: PacketDrop, Node: 6, Dir: 2, Prob: 0.25},
+		}},
+	}
+	for _, p := range seedPlans {
+		raw, err := json.Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`{"Events":[{"Kind":"meteor-strike"}]}`))
+	f.Add([]byte(`{"Events":[{"Kind":"link-flap","Node":5,"Repair":-1}]}`))
+	f.Add([]byte(`{"MaxRetries":-2}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Plan
+		if json.Unmarshal(data, &p) != nil {
+			return
+		}
+		if p.Validate(4, 4) != nil {
+			return
+		}
+		// A validated plan must compile; the injector must answer
+		// arbitrary in-range queries without panicking.
+		inj := NewInjector(&p, 4, 4)
+		if inj == nil != p.Empty() {
+			t.Fatalf("compiled = %v but Empty = %v", inj != nil, p.Empty())
+		}
+		out, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("valid plan failed to marshal: %v", err)
+		}
+		var back Plan
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed to decode: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("round trip not lossless:\n in: %+v\nout: %+v", p, back)
+		}
+	})
+}

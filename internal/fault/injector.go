@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"surfbless/internal/geom"
+	"surfbless/internal/packet"
+)
+
+// window is one activation interval of a fault: active from at, for
+// repair cycles (0 = forever), repeating every period cycles (0 = once).
+type window struct {
+	at     int64
+	repair int64
+	period int64
+}
+
+func (w window) active(now int64) bool {
+	if now < w.at {
+		return false
+	}
+	if w.repair == 0 {
+		return true
+	}
+	if w.period == 0 {
+		return now < w.at+w.repair
+	}
+	return (now-w.at)%w.period < w.repair
+}
+
+// dropRule is one PacketDrop event compiled onto a link.
+type dropRule struct {
+	window
+	prob float64
+	salt uint64 // mixes plan seed, event index and link id
+}
+
+// Injector is the compiled, query-optimized form of a Plan for one
+// mesh.  Fabrics hold a possibly-nil *Injector and consult it on their
+// Step path; a nil injector means fault-free and costs one pointer
+// comparison per query site.
+//
+// All methods are read-only after NewInjector and therefore safe for
+// the concurrent sweep workers, each of which runs its own fabric.
+type Injector struct {
+	frozen     [][]window   // per node
+	down       [][]window   // per node*NumLinkDirs+dir
+	drops      [][]dropRule // per node*NumLinkDirs+dir
+	maxRetries int
+	backoff    int64
+}
+
+// NewInjector compiles a validated plan for a width×height mesh.  It
+// returns nil for an empty plan, so callers can store the result
+// directly and keep the fault-free hot path untouched.
+func NewInjector(p *Plan, width, height int) *Injector {
+	if p.Empty() {
+		return nil
+	}
+	mesh := geom.NewMesh(width, height)
+	inj := &Injector{
+		frozen:     make([][]window, mesh.Nodes()),
+		down:       make([][]window, mesh.Nodes()*geom.NumLinkDirs),
+		drops:      make([][]dropRule, mesh.Nodes()*geom.NumLinkDirs),
+		maxRetries: p.MaxRetries,
+		backoff:    p.Backoff,
+	}
+	if inj.maxRetries == 0 {
+		inj.maxRetries = DefaultMaxRetries
+	}
+	if inj.backoff == 0 {
+		inj.backoff = DefaultBackoff
+	}
+	for i, e := range p.Events {
+		w := window{at: e.At, repair: e.Repair, period: e.Period}
+		link := e.Node*geom.NumLinkDirs + e.Dir
+		switch e.Kind {
+		case RouterFreeze:
+			inj.frozen[e.Node] = append(inj.frozen[e.Node], w)
+		case LinkKill, LinkFlap:
+			inj.down[link] = append(inj.down[link], w)
+		case PacketDrop:
+			salt := Hash64(uint64(p.Seed), uint64(i)<<32|uint64(link))
+			inj.drops[link] = append(inj.drops[link], dropRule{window: w, prob: e.Prob, salt: salt})
+		}
+	}
+	return inj
+}
+
+// Frozen reports whether the router at node is frozen at cycle now.
+func (inj *Injector) Frozen(node int, now int64) bool {
+	for _, w := range inj.frozen[node] {
+		if w.active(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkDown reports whether the output link of node in direction dir is
+// unusable at cycle now.
+func (inj *Injector) LinkDown(node int, dir geom.Dir, now int64) bool {
+	if dir < 0 || dir >= geom.NumLinkDirs {
+		return false
+	}
+	for _, w := range inj.down[node*geom.NumLinkDirs+int(dir)] {
+		if w.active(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// Corrupt reports whether packet p is corrupted while entering node's
+// output link in direction dir at cycle now.  The draw is a pure hash
+// of (plan seed, event, link, packet id, cycle), so a run is
+// bit-reproducible and one packet's draw never perturbs another's.
+func (inj *Injector) Corrupt(p *packet.Packet, node int, dir geom.Dir, now int64) bool {
+	if dir < 0 || dir >= geom.NumLinkDirs {
+		return false
+	}
+	rules := inj.drops[node*geom.NumLinkDirs+int(dir)]
+	if len(rules) == 0 {
+		return false
+	}
+	for _, r := range rules {
+		if !r.active(now) {
+			continue
+		}
+		h := Hash64(r.salt^uint64(p.ID), uint64(now))
+		if float64(h>>11)/(1<<53) < r.prob {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxRetries returns the resolved retransmission bound (≥ 0; -1 in the
+// plan maps to 0 retries here).
+func (inj *Injector) MaxRetries() int {
+	if inj.maxRetries < 0 {
+		return 0
+	}
+	return inj.maxRetries
+}
+
+// Backoff returns the resolved base retransmission delay in cycles.
+func (inj *Injector) Backoff() int64 { return inj.backoff }
+
+// Hash64 is the splitmix64 finalizer, duplicated from internal/router
+// to keep this package's dependencies to geom and packet only (config
+// imports fault; router imports config-adjacent packages).
+func Hash64(a, b uint64) uint64 {
+	z := a*0x9E3779B97F4A7C15 + b + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -64,6 +64,7 @@ type Packet struct {
 
 	Hops        int // router-to-router traversals
 	Deflections int // unproductive hops forced by contention
+	Retries     int // source retransmissions after a fault drop
 
 	// Msg carries an opaque payload (the coherence engine attaches its
 	// protocol message here); nil for synthetic traffic.

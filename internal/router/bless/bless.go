@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"surfbless/internal/config"
+	"surfbless/internal/fault"
 	"surfbless/internal/geom"
 	"surfbless/internal/link"
 	"surfbless/internal/network"
@@ -41,6 +42,9 @@ type Fabric struct {
 	col   *stats.Collector
 	meter *power.Meter
 	probe *probe.Probe // nil = no spatial observation
+
+	faults *fault.Injector  // nil = fault-free (hot path untouched)
+	recov  *router.Recovery // non-nil iff faults is
 
 	inFlight int
 	lastStep int64
@@ -94,6 +98,19 @@ func New(cfg config.Config, sink network.Sink, col *stats.Collector, meter *powe
 // traversals, deflections and link flits (nil to remove).
 func (f *Fabric) SetProbe(p *probe.Probe) { f.probe = p }
 
+// SetFaults arms a fault injector (nil to disarm).  Faults break the
+// port-count invariant on purpose, so while armed the fabric routes
+// stricken packets through drop-with-retransmit recovery instead of
+// panicking.
+func (f *Fabric) SetFaults(inj *fault.Injector) {
+	f.faults = inj
+	if inj == nil {
+		f.recov = nil
+		return
+	}
+	f.recov = &router.Recovery{MaxRetries: inj.MaxRetries(), Backoff: inj.Backoff()}
+}
+
 // Inject offers p to node's NI.  It panics on multi-flit packets (see
 // the package comment) and returns false under backpressure.
 func (f *Fabric) Inject(nodeID int, p *packet.Packet, now int64) bool {
@@ -117,12 +134,28 @@ func (f *Fabric) Step(now int64) {
 		panic(fmt.Sprintf("bless: Step(%d) after Step(%d)", now, f.lastStep))
 	}
 	f.lastStep = now
-	for _, n := range f.nodes {
-		f.stepNode(n, now)
+	if f.recov != nil {
+		f.relaunchRetries(now)
+	}
+	for id, n := range f.nodes {
+		f.stepNode(id, n, now)
 	}
 }
 
-func (f *Fabric) stepNode(n *node, now int64) {
+// relaunchRetries re-offers packets whose retransmission backoff
+// expired to their source NI; a full NI costs another backoff round
+// without consuming a retry attempt.
+func (f *Fabric) relaunchRetries(now int64) {
+	for p := f.recov.Queue.PopDue(now); p != nil; p = f.recov.Queue.PopDue(now) {
+		if f.nodes[f.mesh.ID(p.Src)].ni.Offer(p) {
+			f.meter.BufferWrite(p.Size)
+		} else {
+			f.recov.Queue.Push(p, now+f.recov.Backoff)
+		}
+	}
+}
+
+func (f *Fabric) stepNode(id int, n *node, now int64) {
 	// Phase 1: collect this cycle's arrivals (at most one per in-link).
 	var arrivals []*packet.Packet
 	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
@@ -130,6 +163,16 @@ func (f *Fabric) stepNode(n *node, now int64) {
 			continue
 		}
 		arrivals = append(arrivals, n.in[d].Recv(now)...)
+	}
+
+	// A frozen router's pipeline is dead: the links above were still
+	// drained (they demand collection), but every arrival is lost at the
+	// input and recovered via source retransmission.
+	if f.faults != nil && f.faults.Frozen(id, now) {
+		for _, p := range arrivals {
+			f.dropOrRetry(p, now)
+		}
+		return
 	}
 
 	// Phase 2: eject the oldest packet that has reached its destination
@@ -149,7 +192,11 @@ func (f *Fabric) stepNode(n *node, now int64) {
 	router.SortOldestFirst(arrivals)
 	var taken [geom.NumLinkDirs]bool
 	for _, p := range arrivals {
-		d := f.pickOutput(n, p, &taken)
+		d := f.pickOutput(id, n, p, now, &taken)
+		if d < 0 { // only possible with faults armed: a link is down
+			f.dropOrRetry(p, now)
+			continue
+		}
 		f.forward(n, p, d, now, &taken)
 	}
 
@@ -163,13 +210,15 @@ func (f *Fabric) stepNode(n *node, now int64) {
 		if p == nil {
 			continue
 		}
-		d := f.freeOutput(n, p, &taken)
+		d := f.freeOutput(id, n, p, now, &taken)
 		if d < 0 {
 			break // no output left this cycle
 		}
 		n.ni.Pop(dom)
-		p.InjectedAt = now
-		f.col.Injected(p)
+		if p.InjectedAt < 0 { // a retransmission keeps its first stamp
+			p.InjectedAt = now
+			f.col.Injected(p)
+		}
 		f.meter.BufferRead(p.Size)
 		f.forward(n, p, d, now, &taken)
 		break // one injection port
@@ -179,10 +228,27 @@ func (f *Fabric) stepNode(n *node, now int64) {
 // pickOutput returns the output direction for p: the X-Y route if free,
 // otherwise another productive direction, otherwise the first free
 // output in fixed port order (a deflection).  The port-count invariant
-// guarantees one exists; running out indicates a simulator bug.
-func (f *Fabric) pickOutput(n *node, p *packet.Packet, taken *[geom.NumLinkDirs]bool) geom.Dir {
+// guarantees one exists fault-free, so running out indicates a
+// simulator bug and panics; with faults armed a down link can
+// legitimately leave no output, reported as -1.
+func (f *Fabric) pickOutput(id int, n *node, p *packet.Packet, now int64, taken *[geom.NumLinkDirs]bool) geom.Dir {
+	if d := f.freeOutput(id, n, p, now, taken); d >= 0 {
+		return d
+	}
+	if f.faults != nil {
+		return -1
+	}
+	panic(fmt.Sprintf("bless: no free output at %v cycle %d for %v (port balance violated)", n.c, f.lastStep, p))
+}
+
+// freeOutput returns the preferred usable output for p, or -1 when
+// every port is busy (legitimate for injection) or down.
+func (f *Fabric) freeOutput(id int, n *node, p *packet.Packet, now int64, taken *[geom.NumLinkDirs]bool) geom.Dir {
 	usable := func(d geom.Dir) bool {
-		return d != geom.Local && n.out[d] != nil && !taken[d]
+		if d == geom.Local || n.out[d] == nil || taken[d] {
+			return false
+		}
+		return f.faults == nil || !f.faults.LinkDown(id, d, now)
 	}
 	if d := geom.XYFirst(n.c, p.Dst); usable(d) {
 		return d
@@ -195,28 +261,18 @@ func (f *Fabric) pickOutput(n *node, p *packet.Packet, taken *[geom.NumLinkDirs]
 			return d
 		}
 	}
-	panic(fmt.Sprintf("bless: no free output at %v cycle %d for %v (port balance violated)", n.c, f.lastStep, p))
-}
-
-// freeOutput is pickOutput for injection: it returns -1 instead of
-// panicking, because injection may legitimately find every port busy.
-func (f *Fabric) freeOutput(n *node, p *packet.Packet, taken *[geom.NumLinkDirs]bool) geom.Dir {
-	if d := geom.XYFirst(n.c, p.Dst); d != geom.Local && n.out[d] != nil && !taken[d] {
-		return d
-	}
-	if d := geom.YXFirst(n.c, p.Dst); d != geom.Local && n.out[d] != nil && !taken[d] {
-		return d
-	}
-	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
-		if n.out[d] != nil && !taken[d] {
-			return d
-		}
-	}
 	return -1
 }
 
 func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool) {
 	taken[d] = true
+	// Corruption is modeled at link entry: the flit burned the wire but
+	// fails its CRC and never reaches the neighbor.
+	if f.faults != nil && f.faults.Corrupt(p, f.mesh.ID(n.c), d, now) {
+		f.meter.LinkTraversal(p.Size)
+		f.dropOrRetry(p, now)
+		return
+	}
 	p.Hops++
 	deflected := !geom.Productive(n.c, p.Dst, d)
 	if deflected {
@@ -241,6 +297,17 @@ func (f *Fabric) eject(n *node, p *packet.Packet, now int64) {
 	}
 }
 
+// dropOrRetry hands a fault-stricken packet to NI-level recovery:
+// bounded source retransmission with backoff, then a counted drop.
+func (f *Fabric) dropOrRetry(p *packet.Packet, now int64) {
+	if f.recov.TryRetry(p, now) {
+		f.col.Retransmitted(p, now)
+		return
+	}
+	f.col.Dropped(p, now)
+	f.inFlight--
+}
+
 // InFlight returns accepted-but-undelivered packets.
 func (f *Fabric) InFlight() int { return f.inFlight }
 
@@ -255,6 +322,9 @@ func (f *Fabric) Audit() error {
 				n += l.InFlight()
 			}
 		}
+	}
+	if f.recov != nil {
+		n += f.recov.Queue.Len()
 	}
 	if n != f.inFlight {
 		return fmt.Errorf("bless: %d packets in queues+links, %d in flight", n, f.inFlight)

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"surfbless/internal/config"
+	"surfbless/internal/fault"
 	"surfbless/internal/geom"
 	"surfbless/internal/link"
 	"surfbless/internal/network"
@@ -56,6 +57,9 @@ type Fabric struct {
 	meter *power.Meter
 	probe *probe.Probe // nil = no spatial observation
 
+	faults *fault.Injector  // nil = fault-free (hot path untouched)
+	recov  *router.Recovery // non-nil iff faults is
+
 	inFlight int
 	lastStep int64
 }
@@ -70,6 +74,19 @@ type node struct {
 // SetProbe attaches a hot-path observer recording per-router
 // traversals, deflections and link flits (nil to remove).
 func (f *Fabric) SetProbe(p *probe.Probe) { f.probe = p }
+
+// SetFaults arms a fault injector (nil to disarm).  A down link is
+// treated exactly like a missing border port — the fix-up pass
+// reassigns its packets — and packets that still find no output enter
+// drop-with-retransmit recovery instead of panicking.
+func (f *Fabric) SetFaults(inj *fault.Injector) {
+	f.faults = inj
+	if inj == nil {
+		f.recov = nil
+		return
+	}
+	f.recov = &router.Recovery{MaxRetries: inj.MaxRetries(), Backoff: inj.Backoff()}
+}
 
 // New builds a CHIPPER mesh for cfg.
 func New(cfg config.Config, sink network.Sink, col *stats.Collector, meter *power.Meter) (*Fabric, error) {
@@ -131,9 +148,34 @@ func (f *Fabric) Step(now int64) {
 		panic(fmt.Sprintf("chipper: Step(%d) after Step(%d)", now, f.lastStep))
 	}
 	f.lastStep = now
-	for _, n := range f.nodes {
-		f.stepNode(n, now)
+	if f.recov != nil {
+		f.relaunchRetries(now)
 	}
+	for id, n := range f.nodes {
+		f.stepNode(id, n, now)
+	}
+}
+
+// relaunchRetries re-offers packets whose retransmission backoff
+// expired to their source NI; a full NI costs another backoff round
+// without consuming a retry attempt.
+func (f *Fabric) relaunchRetries(now int64) {
+	for p := f.recov.Queue.PopDue(now); p != nil; p = f.recov.Queue.PopDue(now) {
+		if f.nodes[f.mesh.ID(p.Src)].ni.Offer(p) {
+			f.meter.BufferWrite(p.Size)
+		} else {
+			f.recov.Queue.Push(p, now+f.recov.Backoff)
+		}
+	}
+}
+
+// outUsable reports whether node id's output d exists and is not
+// currently killed by a fault.
+func (f *Fabric) outUsable(id int, n *node, d geom.Dir, now int64) bool {
+	if n.out[d] == nil {
+		return false
+	}
+	return f.faults == nil || !f.faults.LinkDown(id, d, now)
 }
 
 // prio orders two packets inside an arbiter block: golden class first,
@@ -146,7 +188,7 @@ func prio(a, b *packet.Packet, now int64) bool {
 	return router.Hash64(a.ID, uint64(now)) >= router.Hash64(b.ID, uint64(now))
 }
 
-func (f *Fabric) stepNode(n *node, now int64) {
+func (f *Fabric) stepNode(id int, n *node, now int64) {
 	// Receive into the four input slots.
 	var slots [geom.NumLinkDirs]*packet.Packet
 	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
@@ -156,6 +198,18 @@ func (f *Fabric) stepNode(n *node, now int64) {
 		for _, p := range n.in[d].Recv(now) {
 			slots[d] = p
 		}
+	}
+
+	// A frozen router's pipeline is dead: the links above were still
+	// drained (they demand collection), but every arrival is lost at
+	// the input and recovered via source retransmission.
+	if f.faults != nil && f.faults.Frozen(id, now) {
+		for _, p := range slots {
+			if p != nil {
+				f.dropOrRetry(p, now)
+			}
+		}
+		return
 	}
 
 	// Eject one packet per cycle, golden class first.
@@ -175,14 +229,14 @@ func (f *Fabric) stepNode(n *node, now int64) {
 
 	// Inject into one empty slot (injection is lowest priority by
 	// construction: it only uses a slot no in-flight packet holds).
-	f.tryInject(n, &slots, now)
+	f.tryInject(id, n, &slots, now)
 
 	// Two-stage permutation deflection network.
 	outs := permute(n.c, &slots, now)
 
 	// Border fix-up: reassign packets steered at missing ports, golden
 	// class first so its delivery guarantee survives the mesh edge.
-	f.fixup(n, &outs, now)
+	f.fixup(id, n, &outs, now)
 
 	for d, p := range outs {
 		if p == nil {
@@ -258,11 +312,12 @@ func up(p *packet.Packet, wantsUp func(*packet.Packet) bool) bool {
 	return p != nil && wantsUp(p)
 }
 
-// fixup moves packets off missing border ports onto free existing ones.
-func (f *Fabric) fixup(n *node, outs *[geom.NumLinkDirs]*packet.Packet, now int64) {
+// fixup moves packets off missing border ports — and, with faults
+// armed, off killed links — onto free usable ones.
+func (f *Fabric) fixup(id int, n *node, outs *[geom.NumLinkDirs]*packet.Packet, now int64) {
 	var homeless []*packet.Packet
 	for d := range outs {
-		if outs[d] != nil && n.out[d] == nil {
+		if outs[d] != nil && !f.outUsable(id, n, geom.Dir(d), now) {
 			homeless = append(homeless, outs[d])
 			outs[d] = nil
 		}
@@ -281,13 +336,13 @@ func (f *Fabric) fixup(n *node, outs *[geom.NumLinkDirs]*packet.Packet, now int6
 	for _, p := range homeless {
 		placed := false
 		// Preferred productive port first.
-		if d := geom.XYFirst(n.c, p.Dst); d != geom.Local && n.out[d] != nil && outs[d] == nil {
+		if d := geom.XYFirst(n.c, p.Dst); d != geom.Local && f.outUsable(id, n, d, now) && outs[d] == nil {
 			outs[d] = p
 			placed = true
 		}
 		if !placed {
 			for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
-				if n.out[d] != nil && outs[d] == nil {
+				if f.outUsable(id, n, d, now) && outs[d] == nil {
 					outs[d] = p
 					placed = true
 					break
@@ -295,20 +350,28 @@ func (f *Fabric) fixup(n *node, outs *[geom.NumLinkDirs]*packet.Packet, now int6
 			}
 		}
 		if !placed {
+			// Fault-free this is unreachable (injection leaves room for
+			// every existing port); with links down it is the expected
+			// degradation path.
+			if f.faults != nil {
+				f.dropOrRetry(p, now)
+				continue
+			}
 			panic(fmt.Sprintf("chipper: no output left at %v cycle %d for %v", n.c, now, p))
 		}
 	}
 }
 
-func (f *Fabric) tryInject(n *node, slots *[geom.NumLinkDirs]*packet.Packet, now int64) {
-	// The router can emit at most one packet per existing output port;
-	// borders have fewer than four, so injection must leave room or the
-	// fix-up pass would strand a packet.
-	existingOut, occupied := 0, 0
+func (f *Fabric) tryInject(id int, n *node, slots *[geom.NumLinkDirs]*packet.Packet, now int64) {
+	// The router can emit at most one packet per usable output port;
+	// borders have fewer than four (and faults may kill more), so
+	// injection must leave room or the fix-up pass would strand a
+	// packet.
+	usableOut, occupied := 0, 0
 	free := -1
 	for d := range slots {
-		if n.out[d] != nil {
-			existingOut++
+		if f.outUsable(id, n, geom.Dir(d), now) {
+			usableOut++
 		}
 		if slots[d] != nil {
 			occupied++
@@ -316,7 +379,7 @@ func (f *Fabric) tryInject(n *node, slots *[geom.NumLinkDirs]*packet.Packet, now
 			free = d
 		}
 	}
-	if free < 0 || occupied >= existingOut {
+	if free < 0 || occupied >= usableOut {
 		return
 	}
 	for off := 0; off < n.ni.Domains(); off++ {
@@ -326,8 +389,10 @@ func (f *Fabric) tryInject(n *node, slots *[geom.NumLinkDirs]*packet.Packet, now
 			continue
 		}
 		n.ni.Pop(dom)
-		p.InjectedAt = now
-		f.col.Injected(p)
+		if p.InjectedAt < 0 { // a retransmission keeps its first stamp
+			p.InjectedAt = now
+			f.col.Injected(p)
+		}
 		f.meter.BufferRead(p.Size)
 		slots[free] = p
 		return
@@ -335,6 +400,13 @@ func (f *Fabric) tryInject(n *node, slots *[geom.NumLinkDirs]*packet.Packet, now
 }
 
 func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64) {
+	// Corruption is modeled at link entry: the flit burned the wire but
+	// fails its CRC and never reaches the neighbor.
+	if f.faults != nil && f.faults.Corrupt(p, f.mesh.ID(n.c), d, now) {
+		f.meter.LinkTraversal(p.Size)
+		f.dropOrRetry(p, now)
+		return
+	}
 	p.Hops++
 	deflected := !geom.Productive(n.c, p.Dst, d)
 	if deflected {
@@ -359,6 +431,17 @@ func (f *Fabric) eject(n *node, p *packet.Packet, now int64) {
 	}
 }
 
+// dropOrRetry hands a fault-stricken packet to NI-level recovery:
+// bounded source retransmission with backoff, then a counted drop.
+func (f *Fabric) dropOrRetry(p *packet.Packet, now int64) {
+	if f.recov.TryRetry(p, now) {
+		f.col.Retransmitted(p, now)
+		return
+	}
+	f.col.Dropped(p, now)
+	f.inFlight--
+}
+
 // InFlight returns accepted-but-undelivered packets.
 func (f *Fabric) InFlight() int { return f.inFlight }
 
@@ -373,6 +456,9 @@ func (f *Fabric) Audit() error {
 				n += l.InFlight()
 			}
 		}
+	}
+	if f.recov != nil {
+		n += f.recov.Queue.Len()
 	}
 	if n != f.inFlight {
 		return fmt.Errorf("chipper: %d packets in queues+links, %d in flight", n, f.inFlight)

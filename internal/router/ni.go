@@ -1,10 +1,12 @@
 // Package router holds the plumbing shared by every router model: the
 // network-interface queues feeding injection ports, priority ordering
-// helpers, and a deterministic hash used where the paper calls for a
-// random choice.
+// helpers, the drop-with-retransmit recovery machinery used under
+// fault injection, and a deterministic hash used where the paper calls
+// for a random choice.
 package router
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -78,6 +80,92 @@ func (ni *NI) Backlog() int {
 
 // DomainBacklog returns the number of queued packets for one domain.
 func (ni *NI) DomainBacklog(domain int) int { return len(ni.queues[domain]) }
+
+// retryItem is one packet awaiting source retransmission.
+type retryItem struct {
+	due int64
+	seq uint64 // insertion order breaks due-cycle ties deterministically
+	p   *packet.Packet
+}
+
+type retryItems []retryItem
+
+func (h retryItems) Len() int { return len(h) }
+func (h retryItems) Less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h retryItems) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *retryItems) Push(x any)   { *h = append(*h, x.(retryItem)) }
+func (h *retryItems) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// RetryQueue holds packets that a fault knocked out of the network
+// until their retransmission backoff expires.  Ordering is (due cycle,
+// insertion sequence), so draining is deterministic.  The zero value
+// is ready to use.
+type RetryQueue struct {
+	items retryItems
+	seq   uint64
+}
+
+// Push schedules p for retransmission at cycle due.
+func (q *RetryQueue) Push(p *packet.Packet, due int64) {
+	heap.Push(&q.items, retryItem{due: due, seq: q.seq, p: p})
+	q.seq++
+}
+
+// PopDue removes and returns the next packet whose backoff has expired
+// by cycle now, or nil when none is due.
+func (q *RetryQueue) PopDue(now int64) *packet.Packet {
+	if len(q.items) == 0 || q.items[0].due > now {
+		return nil
+	}
+	return heap.Pop(&q.items).(retryItem).p
+}
+
+// Len returns the number of packets awaiting retransmission.
+func (q *RetryQueue) Len() int { return len(q.items) }
+
+// Recovery is the NI-level drop-with-retransmit policy shared by the
+// fault-aware fabrics: a packet knocked out by a fault gets up to
+// MaxRetries source retransmissions with exponential backoff
+// (Backoff·2^(attempt−1) cycles) before it is dropped for good.  A nil
+// *Recovery (faults off) makes TryRetry refuse, restoring the
+// fault-free behavior.
+type Recovery struct {
+	Queue      RetryQueue
+	MaxRetries int
+	Backoff    int64
+}
+
+// TryRetry consumes one retransmission attempt for p at cycle now and
+// queues it, or reports false when the budget is exhausted (the caller
+// must then account a drop).
+func (r *Recovery) TryRetry(p *packet.Packet, now int64) bool {
+	if r == nil || p.Retries >= r.MaxRetries {
+		return false
+	}
+	p.Retries++
+	back := r.Backoff
+	// Shift-capped exponential backoff; attempts beyond 2^20 backoffs
+	// would outlive any simulation anyway.
+	if shift := p.Retries - 1; shift > 0 {
+		if shift > 20 {
+			shift = 20
+		}
+		back <<= uint(shift)
+	}
+	r.Queue.Push(p, now+back)
+	return true
+}
 
 // SortOldestFirst orders packets by the old-first arbitration policy
 // [12]: longest time in network first, ties broken by packet ID.

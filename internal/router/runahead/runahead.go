@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"surfbless/internal/config"
+	"surfbless/internal/fault"
 	"surfbless/internal/geom"
 	"surfbless/internal/link"
 	"surfbless/internal/network"
@@ -50,6 +51,13 @@ type Fabric struct {
 	col   *stats.Collector
 	meter *power.Meter
 	probe *probe.Probe // nil = no spatial observation
+
+	// faults plugs the shared injector into runahead's native recovery:
+	// fault-stricken copies go through the same drop-and-retransmit
+	// machinery as congestion losses (source timers are unbounded, so a
+	// permanent fault on a packet's only route shows up as livelock for
+	// the watchdog, not as a silent loss).
+	faults *fault.Injector
 
 	retries  retryHeap
 	retrySeq int64
@@ -132,6 +140,9 @@ func New(cfg config.Config, sink network.Sink, col *stats.Collector, meter *powe
 // its deflection heatmap stays zero; nil to remove).
 func (f *Fabric) SetProbe(p *probe.Probe) { f.probe = p }
 
+// SetFaults arms a fault injector (nil to disarm).
+func (f *Fabric) SetFaults(inj *fault.Injector) { f.faults = inj }
+
 // Inject offers p (single-flit) to node's NI.
 func (f *Fabric) Inject(nodeID int, p *packet.Packet, now int64) bool {
 	if p.Size != 1 {
@@ -166,16 +177,17 @@ func (f *Fabric) Step(now int64) {
 			continue // delivered in the meantime
 		}
 		f.Retransmissions++
+		f.col.Retransmitted(e.p, now)
 		f.meter.BufferRead(1)
 		f.launch(f.nodes[f.mesh.ID(e.p.Src)], e.p, now)
 	}
 
-	for _, n := range f.nodes {
-		f.stepNode(n, now)
+	for id, n := range f.nodes {
+		f.stepNode(id, n, now)
 	}
 }
 
-func (f *Fabric) stepNode(n *node, now int64) {
+func (f *Fabric) stepNode(id int, n *node, now int64) {
 	var arrivals []*packet.Packet
 	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
 		if n.in[d] == nil {
@@ -184,6 +196,15 @@ func (f *Fabric) stepNode(n *node, now int64) {
 		arrivals = append(arrivals, n.in[d].Recv(now)...)
 	}
 	f.traveling -= len(arrivals)
+
+	// A frozen router loses every arriving copy; the source timers
+	// retransmit them like any congestion drop.
+	if f.faults != nil && f.faults.Frozen(id, now) {
+		for _, p := range arrivals {
+			f.drop(p)
+		}
+		return
+	}
 
 	// Eject one arrival per cycle; extra local arrivals are dropped (the
 	// source will retransmit if this was the only copy in flight).
@@ -200,9 +221,10 @@ func (f *Fabric) stepNode(n *node, now int64) {
 			continue
 		}
 		// Forward on the X-Y output or drop: closest-to-destination wins
-		// the port (deterministic tie-break on ID).
+		// the port (deterministic tie-break on ID); a killed link drops
+		// the copy like contention would.
 		d := geom.XYFirst(n.c, p.Dst)
-		if taken[d] {
+		if taken[d] || (f.faults != nil && f.faults.LinkDown(id, d, now)) {
 			f.drop(p)
 			continue
 		}
@@ -220,6 +242,9 @@ func (f *Fabric) stepNode(n *node, now int64) {
 		d := geom.XYFirst(n.c, p.Dst)
 		if d == geom.Local || taken[d] || n.out[d] == nil {
 			continue
+		}
+		if f.faults != nil && f.faults.LinkDown(id, d, now) {
+			continue // wait in the NI until the link heals
 		}
 		n.ni.Pop(dom)
 		if p.InjectedAt < 0 {
@@ -250,6 +275,12 @@ func (f *Fabric) launch(n *node, p *packet.Packet, now int64) {
 }
 
 func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64) {
+	// Corruption at link entry: the copy is lost, the timer recovers it.
+	if f.faults != nil && f.faults.Corrupt(p, f.mesh.ID(n.c), d, now) {
+		f.meter.LinkTraversal(1)
+		f.drop(p)
+		return
+	}
 	p.Hops++
 	f.traveling++
 	f.meter.Allocation(1)

@@ -22,6 +22,13 @@
 // Observability: the returned engine is the shared wormhole.Engine, so
 // SetProbe (per-router/per-link flit heatmaps; see internal/probe)
 // works on Surf exactly as on WH.
+//
+// Fault injection: likewise inherited from wormhole.Engine via
+// SetFaults — router freezes and link kills manifest as credit-flow
+// blocking (no flit is ever lost), so a permanent fault on a used
+// route wedges the network and surfaces as a sim.DegradedError through
+// the livelock watchdog; packet-drop events are not modeled for the
+// buffered comparators (see wormhole.Engine.SetFaults).
 package surf
 
 import (

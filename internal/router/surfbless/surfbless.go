@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"surfbless/internal/config"
+	"surfbless/internal/fault"
 	"surfbless/internal/geom"
 	"surfbless/internal/link"
 	"surfbless/internal/network"
@@ -69,6 +70,9 @@ type Fabric struct {
 	col   *stats.Collector
 	meter *power.Meter
 	probe *probe.Probe // nil = no spatial observation
+
+	faults *fault.Injector  // nil = fault-free (hot path untouched)
+	recov  *router.Recovery // non-nil iff faults is
 
 	inFlight int
 	lastStep int64
@@ -161,6 +165,19 @@ func NewWithPolicy(cfg config.Config, slotWidths []int, pol Policy, sink network
 // traversals, deflections and link flits (nil to remove).
 func (f *Fabric) SetProbe(p *probe.Probe) { f.probe = p }
 
+// SetFaults arms a fault injector (nil to disarm).  Faults break the
+// wave-balance invariant on purpose, so while armed the fabric routes
+// stricken packets through drop-with-retransmit recovery instead of
+// panicking.
+func (f *Fabric) SetFaults(inj *fault.Injector) {
+	f.faults = inj
+	if inj == nil {
+		f.recov = nil
+		return
+	}
+	f.recov = &router.Recovery{MaxRetries: inj.MaxRetries(), Backoff: inj.Backoff()}
+}
+
 // Decoder exposes the wave→domain decoder (read-only use).
 func (f *Fabric) Decoder() *wave.Decoder { return f.dec }
 
@@ -195,12 +212,28 @@ func (f *Fabric) Step(now int64) {
 		panic(fmt.Sprintf("surfbless: Step(%d) after Step(%d)", now, f.lastStep))
 	}
 	f.lastStep = now
-	for _, n := range f.nodes {
-		f.stepNode(n, now)
+	if f.recov != nil {
+		f.relaunchRetries(now)
+	}
+	for id, n := range f.nodes {
+		f.stepNode(id, n, now)
 	}
 }
 
-func (f *Fabric) stepNode(n *node, now int64) {
+// relaunchRetries re-offers packets whose retransmission backoff
+// expired to their source NI; a full NI costs another backoff round
+// without consuming a retry attempt.
+func (f *Fabric) relaunchRetries(now int64) {
+	for p := f.recov.Queue.PopDue(now); p != nil; p = f.recov.Queue.PopDue(now) {
+		if f.nodes[f.mesh.ID(p.Src)].ni.Offer(p) {
+			f.meter.BufferWrite(p.Size)
+		} else {
+			f.recov.Queue.Push(p, now+f.recov.Backoff)
+		}
+	}
+}
+
+func (f *Fabric) stepNode(id int, n *node, now int64) {
 	// Collect arrivals and check the confinement invariant: a packet
 	// must arrive on a wave owned by its own domain, at a window start.
 	var arrivals []*packet.Packet
@@ -222,6 +255,17 @@ func (f *Fabric) stepNode(n *node, now int64) {
 			arrivals = append(arrivals, p)
 			arrivalDir[p] = d
 		}
+	}
+
+	// A frozen router's pipeline is dead: the links above were still
+	// drained (they demand collection), but every arrival is lost at the
+	// input and recovered via source retransmission.  Nothing ejects,
+	// forwards or injects here until the freeze repairs.
+	if f.faults != nil && f.faults.Frozen(id, now) {
+		for _, p := range arrivals {
+			f.dropOrRetry(p, now)
+		}
+		return
 	}
 
 	// Ejection happens only on the south-east sub-wave (§4.2): the
@@ -252,6 +296,14 @@ func (f *Fabric) stepNode(n *node, now int64) {
 	for _, p := range arrivals {
 		d := f.pickOutput(n, p, now, &taken)
 		if d < 0 {
+			// Fault-free, a missing output falsifies the paper's central
+			// claim and must panic.  With faults armed the wave balance is
+			// broken by design (a down link removes its port from the
+			// schedule), so the stranded packet enters recovery instead.
+			if f.faults != nil {
+				f.dropOrRetry(p, now)
+				continue
+			}
 			panic(fmt.Sprintf("surfbless: no same-domain output at %v cycle %d for %v (arrived %v) — wave balance violated",
 				n.c, now, p, arrivalDir[p]))
 		}
@@ -265,8 +317,10 @@ func (f *Fabric) stepNode(n *node, now int64) {
 		if p := n.ni.Head(seDom); p != nil {
 			if d := f.pickOutput(n, p, now, &taken); d >= 0 {
 				n.ni.Pop(seDom)
-				p.InjectedAt = now
-				f.col.Injected(p)
+				if p.InjectedAt < 0 { // a retransmission keeps its first stamp
+					p.InjectedAt = now
+					f.col.Injected(p)
+				}
 				f.meter.BufferRead(p.Size)
 				f.forward(n, p, d, now, &taken)
 			}
@@ -277,6 +331,9 @@ func (f *Fabric) stepNode(n *node, now int64) {
 // eligible reports whether output d may carry p's head this cycle.
 func (f *Fabric) eligible(n *node, p *packet.Packet, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool) bool {
 	if d == geom.Local || n.out[d] == nil || taken[d] {
+		return false
+	}
+	if f.faults != nil && f.faults.LinkDown(f.mesh.ID(n.c), d, now) {
 		return false
 	}
 	w := f.sched.OutputWave(n.c, d, now)
@@ -314,6 +371,14 @@ func (f *Fabric) pickOutput(n *node, p *packet.Packet, now int64, taken *[geom.N
 
 func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool) {
 	taken[d] = true
+	// Single-flit corruption is modeled at link entry: the worm burned
+	// the wire but fails its CRC, so it never reaches the neighbor and
+	// the wave invariant at the receiver stays intact.
+	if f.faults != nil && f.faults.Corrupt(p, f.mesh.ID(n.c), d, now) {
+		f.meter.LinkTraversal(p.Size)
+		f.dropOrRetry(p, now)
+		return
+	}
 	p.Hops++
 	deflected := !geom.Productive(n.c, p.Dst, d)
 	if deflected {
@@ -338,6 +403,17 @@ func (f *Fabric) eject(n *node, p *packet.Packet, now int64) {
 	}
 }
 
+// dropOrRetry hands a fault-stricken packet to NI-level recovery:
+// bounded source retransmission with backoff, then a counted drop.
+func (f *Fabric) dropOrRetry(p *packet.Packet, now int64) {
+	if f.recov.TryRetry(p, now) {
+		f.col.Retransmitted(p, now)
+		return
+	}
+	f.col.Dropped(p, now)
+	f.inFlight--
+}
+
 // InFlight returns accepted-but-undelivered packets.
 func (f *Fabric) InFlight() int { return f.inFlight }
 
@@ -352,6 +428,9 @@ func (f *Fabric) Audit() error {
 				n += l.InFlight()
 			}
 		}
+	}
+	if f.recov != nil {
+		n += f.recov.Queue.Len()
 	}
 	if n != f.inFlight {
 		return fmt.Errorf("surfbless: %d packets in queues+links, %d in flight", n, f.inFlight)

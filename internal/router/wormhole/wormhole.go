@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"surfbless/internal/config"
+	"surfbless/internal/fault"
 	"surfbless/internal/geom"
 	"surfbless/internal/link"
 	"surfbless/internal/network"
@@ -167,6 +168,8 @@ type Engine struct {
 	meter *power.Meter
 	probe *probe.Probe // nil = no spatial observation
 
+	faults *fault.Injector // nil = fault-free (hot path untouched)
+
 	lanes    int // input-port bandwidth lanes (1, or #domains when wave-gated)
 	inFlight int
 	flitsIn  int64 // flits injected into the network
@@ -254,6 +257,18 @@ func New(opt Options, sink network.Sink, col *stats.Collector, meter *power.Mete
 // so the probe's deflection heatmap stays zero for WH and Surf.
 func (e *Engine) SetProbe(p *probe.Probe) { e.probe = p }
 
+// SetFaults arms a fault injector (nil to disarm).  A buffered
+// credit-flow network cannot lose flits, so faults manifest as
+// blocking, not drops: a frozen router holds its buffers and grants
+// nothing (credit starvation then stalls its neighbors), and a down
+// link simply wins no switch allocation.  Packet-drop (corruption)
+// events are not modeled for WH/Surf — retransmitting part of a worm
+// would need an end-to-end protocol the paper's comparators don't
+// have; a permanent fault on a used route therefore wedges the network
+// by design, which the sim-level watchdog converts into a
+// DegradedError.
+func (e *Engine) SetFaults(inj *fault.Injector) { e.faults = inj }
+
 // key returns the packet field VC groups match against.
 func (e *Engine) key(p *packet.Packet) int {
 	switch e.opt.Key {
@@ -319,9 +334,14 @@ func (e *Engine) Step(now int64) {
 	for _, n := range e.nodes {
 		e.receive(n, now)
 	}
-	for _, n := range e.nodes {
+	for id, n := range e.nodes {
+		// A frozen router still receives (upstream credits bound what can
+		// arrive) but allocates and grants nothing until it thaws.
+		if e.faults != nil && e.faults.Frozen(id, now) {
+			continue
+		}
 		e.allocate(n, now)
-		e.switchTraversal(n, now)
+		e.switchTraversal(id, n, now)
 	}
 }
 
@@ -416,7 +436,7 @@ func (e *Engine) tryAllocate(n *node, p *packet.Packet, active *bool, outDir *ge
 }
 
 // switchTraversal arbitrates each output port and moves winning flits.
-func (e *Engine) switchTraversal(n *node, now int64) {
+func (e *Engine) switchTraversal(id int, n *node, now int64) {
 	for d := geom.Dir(0); d < geom.NumDirs; d++ {
 		for l := range n.inUsed[d] {
 			n.inUsed[d][l] = false
@@ -428,6 +448,11 @@ func (e *Engine) switchTraversal(n *node, now int64) {
 
 	for _, o := range []geom.Dir{geom.North, geom.East, geom.South, geom.West, geom.Local} {
 		if o != geom.Local && n.out[o].flitsOut == nil {
+			continue
+		}
+		// A killed output link wins no allocation: flits wait in their
+		// VCs and credit backpressure spreads the stall upstream.
+		if o != geom.Local && e.faults != nil && e.faults.LinkDown(id, o, now) {
 			continue
 		}
 		e.arbitrateOutput(n, o, now)

@@ -12,7 +12,8 @@ import (
 // a new Options field, a router/traffic/energy change that alters
 // results for unchanged options — so stale cache entries become
 // unreachable instead of wrong.
-const FingerprintVersion = "surfbless-sim-v1"
+// v2: fault plans, retransmission accounting, degradation watchdog.
+const FingerprintVersion = "surfbless-sim-v2"
 
 // Fingerprint derives the content-addressed cache key of a run: a
 // SHA-256 of FingerprintVersion plus the canonical JSON serialization

@@ -1,0 +1,39 @@
+package sim
+
+import "fmt"
+
+// InvariantViolation is a router invariant panic caught at the sim
+// boundary.  Fault plans can push fabrics into states the fault-free
+// correctness proofs exclude; when that happens the panic is converted
+// into this typed error (wrapped in a DegradedError) instead of
+// killing the whole sweep process.
+type InvariantViolation struct {
+	Cycle int64 // cycle being stepped when the fabric panicked
+	Msg   string
+}
+
+func (e *InvariantViolation) Error() string {
+	return fmt.Sprintf("sim: invariant violation at cycle %d: %s", e.Cycle, e.Msg)
+}
+
+// DegradedError reports a run that did not complete healthily — the
+// livelock/starvation watchdog tripped, or a fabric invariant panic
+// was recovered — but still produced meaningful partial statistics.
+// Run returns the same partial Result alongside the error, so callers
+// that only look at the error lose nothing, while sweep harnesses can
+// record the partial row and move on to the next point.
+type DegradedError struct {
+	Reason  string
+	Cycle   int64  // cycle at which degradation was detected
+	Partial Result // statistics up to Cycle (energy, latency, counts)
+	Cause   error  // underlying *InvariantViolation, if any
+}
+
+func (e *DegradedError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("sim: degraded at cycle %d: %s: %v", e.Cycle, e.Reason, e.Cause)
+	}
+	return fmt.Sprintf("sim: degraded at cycle %d: %s", e.Cycle, e.Reason)
+}
+
+func (e *DegradedError) Unwrap() error { return e.Cause }

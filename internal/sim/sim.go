@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"surfbless/internal/config"
+	"surfbless/internal/fault"
 	"surfbless/internal/network"
 	"surfbless/internal/power"
 	"surfbless/internal/probe"
@@ -41,6 +42,18 @@ type Options struct {
 	// AuditEvery runs the fabric's conservation audit every N cycles
 	// (0 disables).  Tests use it; experiment harnesses leave it off.
 	AuditEvery int64
+
+	// WatchdogNoProgress and WatchdogMaxAge configure the graceful-
+	// degradation watchdog (see watchdog.go): the run is cut short with
+	// a DegradedError when no packet resolves for WatchdogNoProgress
+	// cycles while traffic is in flight, or when some packet stays
+	// unresolved for WatchdogMaxAge cycles.  0 = auto: the defaults
+	// when a fault plan is armed, disabled otherwise (fault-free
+	// fabrics are livelock-free by construction).  Negative = always
+	// disabled.  Deliberately fingerprinted — a tripping watchdog
+	// changes the run's outcome.
+	WatchdogNoProgress int64 `json:",omitempty"`
+	WatchdogMaxAge     int64 `json:",omitempty"`
 
 	// Coefficients overrides the energy model (nil = Default45nm).
 	Coefficients *power.Coefficients
@@ -98,6 +111,12 @@ func (r Result) Throughput(d int) float64 {
 // hot-path events (traversals, deflections, link flits) to a probe.
 type probeSetter interface {
 	SetProbe(*probe.Probe)
+}
+
+// faultSetter is implemented by every fabric that accepts a fault
+// injector on its hot path (mirroring probeSetter).
+type faultSetter interface {
+	SetFaults(*fault.Injector)
 }
 
 // BuildFabric constructs the fabric for cfg.Model.  slotWidths applies
@@ -169,35 +188,52 @@ func Run(o Options) (Result, error) {
 			ps.SetProbe(o.Probe)
 		}
 	}
+	if inj := fault.NewInjector(o.Cfg.Faults, o.Cfg.Width, o.Cfg.Height); inj != nil {
+		fs, ok := fab.(faultSetter)
+		if !ok {
+			return Result{}, fmt.Errorf("sim: %v fabric does not support fault injection", o.Cfg.Model)
+		}
+		fs.SetFaults(inj)
+	}
 	gen := traffic.New(o.Cfg.Mesh(), o.Pattern, o.Sources, o.Seed)
 
 	now := int64(0)
-	genEnd := o.Warmup + o.Measure
-	for ; now < genEnd; now++ {
-		gen.Tick(fab, now)
-		fab.Step(now)
-		if o.Probe != nil {
-			o.Probe.Tick(now, fab.InFlight())
+	loopErr := runLoop(o, fab, gen, col, &now)
+
+	snapshot := func() Result {
+		res := Result{
+			Domains:        make([]stats.Domain, o.Cfg.Domains),
+			LatencyP50:     make([]int64, o.Cfg.Domains),
+			LatencyP99:     make([]int64, o.Cfg.Domains),
+			Total:          col.Total(),
+			Energy:         meter.Report(now),
+			Cycles:         now,
+			MeasuredCycles: o.Measure,
+			Nodes:          o.Cfg.Nodes(),
+			LeftInFlight:   fab.InFlight(),
 		}
-		if o.AuditEvery > 0 && now%o.AuditEvery == 0 {
-			if err := fab.Audit(); err != nil {
-				return Result{}, err
-			}
+		for d := 0; d < o.Cfg.Domains; d++ {
+			res.Domains[d] = col.Domain(d)
+			res.LatencyP50[d] = col.Latency(d).Percentile(0.5)
+			res.LatencyP99[d] = col.Latency(d).Percentile(0.99)
 		}
+		return res
 	}
-	// Drain: no new traffic; stop early once the network is empty.
-	// The conservation audit keeps its cadence here too — drain-phase
-	// invariant violations must not go unnoticed.
-	drainEnd := genEnd + o.Drain
-	for ; now < drainEnd && fab.InFlight() > 0; now++ {
-		fab.Step(now)
-		if o.Probe != nil {
-			o.Probe.Tick(now, fab.InFlight())
-		}
-		if o.AuditEvery > 0 && now%o.AuditEvery == 0 {
-			if err := fab.Audit(); err != nil {
-				return Result{}, err
-			}
+
+	if loopErr != nil {
+		// Degradation paths carry partial statistics so sweep harnesses
+		// can record the point and continue; everything else (audit
+		// failures, collector misuse) stays a plain error.
+		switch e := loopErr.(type) {
+		case *DegradedError:
+			e.Partial = snapshot()
+			return e.Partial, e
+		case *InvariantViolation:
+			de := &DegradedError{Reason: "recovered fabric panic", Cycle: e.Cycle, Cause: e}
+			de.Partial = snapshot()
+			return de.Partial, de
+		default:
+			return Result{}, loopErr
 		}
 	}
 	if o.AuditEvery > 0 {
@@ -208,22 +244,57 @@ func Run(o Options) (Result, error) {
 			return Result{}, err
 		}
 	}
+	if err := col.Err(); err != nil {
+		return Result{}, err
+	}
+	return snapshot(), nil
+}
 
-	res := Result{
-		Domains:        make([]stats.Domain, o.Cfg.Domains),
-		LatencyP50:     make([]int64, o.Cfg.Domains),
-		LatencyP99:     make([]int64, o.Cfg.Domains),
-		Total:          col.Total(),
-		Energy:         meter.Report(now),
-		Cycles:         now,
-		MeasuredCycles: o.Measure,
-		Nodes:          o.Cfg.Nodes(),
-		LeftInFlight:   fab.InFlight(),
+// runLoop drives the warm-up/measure/drain cycle loop.  It is split
+// from Run so that one recover boundary wraps exactly the stepping
+// code: a fabric invariant panic becomes a typed *InvariantViolation
+// carrying the cycle it happened in, which Run converts into a
+// DegradedError with partial statistics.
+func runLoop(o Options, fab network.Fabric, gen *traffic.Generator,
+	col *stats.Collector, now *int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &InvariantViolation{Cycle: *now, Msg: fmt.Sprint(r)}
+		}
+	}()
+	wd := newWatchdog(o)
+	step := func() error {
+		fab.Step(*now)
+		if o.Probe != nil {
+			o.Probe.Tick(*now, fab.InFlight())
+		}
+		if o.AuditEvery > 0 && *now%o.AuditEvery == 0 {
+			if err := fab.Audit(); err != nil {
+				return err
+			}
+		}
+		if wd != nil {
+			if err := wd.check(col, fab.InFlight(), *now); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	for d := 0; d < o.Cfg.Domains; d++ {
-		res.Domains[d] = col.Domain(d)
-		res.LatencyP50[d] = col.Latency(d).Percentile(0.5)
-		res.LatencyP99[d] = col.Latency(d).Percentile(0.99)
+	genEnd := o.Warmup + o.Measure
+	for ; *now < genEnd; *now++ {
+		gen.Tick(fab, *now)
+		if err := step(); err != nil {
+			return err
+		}
 	}
-	return res, nil
+	// Drain: no new traffic; stop early once the network is empty.
+	// The conservation audit keeps its cadence here too — drain-phase
+	// invariant violations must not go unnoticed.
+	drainEnd := genEnd + o.Drain
+	for ; *now < drainEnd && fab.InFlight() > 0; *now++ {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+
+	"surfbless/internal/stats"
+)
+
+// Watchdog thresholds applied when a fault plan is armed and the
+// corresponding Options field is zero.  Fault-free runs default to no
+// watchdog at all: every shipped fabric is livelock-free without
+// faults (deflection priority, golden packet, retransmission timers),
+// so the checks would only cost cycles.
+const (
+	// DefaultWatchdogNoProgress is the auto no-progress ceiling: if no
+	// packet resolves (ejects or drops) for this many cycles while the
+	// network holds traffic, the run is declared degraded.
+	DefaultWatchdogNoProgress = 20000
+	// DefaultWatchdogMaxAge is the auto per-packet age ceiling: some
+	// packet staying unresolved this long (even while others progress)
+	// declares starvation.
+	DefaultWatchdogMaxAge = 100000
+
+	// watchdogCheckMask gates the real work to every 1024th cycle so
+	// the per-cycle cost is a mask test and a branch.
+	watchdogCheckMask = 1<<10 - 1
+)
+
+// ageSample records the created-packet count at a checkpoint cycle;
+// the watchdog keeps a FIFO of them to bound packet age without
+// tracking individual packets.
+type ageSample struct {
+	cycle   int64
+	created int64
+}
+
+// watchdog detects livelock (global no-progress) and starvation (one
+// packet left behind) during a run.  Both checks read only collector
+// counters, never fabric internals, so one implementation covers every
+// model.
+type watchdog struct {
+	noProgress int64 // 0 = check disabled
+	maxAge     int64 // 0 = check disabled
+
+	lastResolved int64 // ejected+dropped at the last change
+	lastChange   int64 // cycle of the last resolution-count change
+
+	samples    []ageSample // pending checkpoints, oldest first
+	oldCreated int64       // lower bound on packets created ≥ maxAge ago
+}
+
+// newWatchdog resolves the Options thresholds: 0 means auto (defaults
+// when a fault plan is armed, disabled otherwise), negative means
+// always disabled.  Returns nil when both checks end up disabled.
+func newWatchdog(o Options) *watchdog {
+	armed := !o.Cfg.Faults.Empty()
+	resolve := func(v, def int64) int64 {
+		switch {
+		case v < 0:
+			return 0
+		case v == 0 && !armed:
+			return 0
+		case v == 0:
+			return def
+		}
+		return v
+	}
+	np := resolve(o.WatchdogNoProgress, DefaultWatchdogNoProgress)
+	ma := resolve(o.WatchdogMaxAge, DefaultWatchdogMaxAge)
+	if np == 0 && ma == 0 {
+		return nil
+	}
+	return &watchdog{noProgress: np, maxAge: ma}
+}
+
+// check inspects progress at cycle now and returns a DegradedError
+// (without Partial — Run fills that in) once the network is wedged or
+// starving a packet.  Called every cycle; does real work every 1024th.
+func (w *watchdog) check(col *stats.Collector, inFlight int, now int64) error {
+	if now&watchdogCheckMask != 0 {
+		return nil
+	}
+	resolved := col.AllEjected + col.AllDropped
+	if w.noProgress > 0 {
+		if resolved != w.lastResolved {
+			w.lastResolved = resolved
+			w.lastChange = now
+		} else if inFlight > 0 && now-w.lastChange >= w.noProgress {
+			return &DegradedError{
+				Reason: fmt.Sprintf("livelock: no packet resolved for %d cycles with %d in flight",
+					now-w.lastChange, inFlight),
+				Cycle: now,
+			}
+		}
+	}
+	if w.maxAge > 0 {
+		w.samples = append(w.samples, ageSample{cycle: now, created: col.AllCreated})
+		for len(w.samples) > 0 && w.samples[0].cycle <= now-w.maxAge {
+			w.oldCreated = w.samples[0].created
+			w.samples = w.samples[1:]
+		}
+		// Pigeonhole: fewer packets resolved overall than were created
+		// maxAge ago ⇒ at least one of those old packets is still
+		// unresolved.  (The converse does not hold — young resolutions
+		// can mask one old straggler — so this is a conservative check.)
+		if resolved < w.oldCreated {
+			return &DegradedError{
+				Reason: fmt.Sprintf("starvation: a packet created over %d cycles ago is still unresolved", w.maxAge),
+				Cycle:  now,
+			}
+		}
+	}
+	return nil
+}

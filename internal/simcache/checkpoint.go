@@ -1,0 +1,148 @@
+package simcache
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Checkpoint is an append-only journal of completed sweep points,
+// keyed by the same content-addressed fingerprints the result cache
+// uses.  A sweep records each finished point's output row as it goes;
+// after a crash or an interrupt, reopening the same file tells the
+// sweep which points are already done so `-resume` re-simulates only
+// the incomplete ones.
+//
+// The format is JSON Lines — one {"key": "<hex>", "row": "..."} object
+// per line — chosen so a process killed mid-write damages at most the
+// final line.  OpenCheckpoint therefore tolerates (and counts) a
+// corrupt trailing line instead of refusing the whole journal; the
+// damaged point is simply re-simulated and re-recorded.
+//
+// A Checkpoint is safe for concurrent use by parallel sweep workers.
+type Checkpoint struct {
+	mu      sync.Mutex
+	f       *os.File
+	done    map[Key]string // key → recorded output row
+	skipped int            // undecodable journal lines
+}
+
+// checkpointLine is the JSON shape of one journal entry.
+type checkpointLine struct {
+	Key string `json:"key"`
+	Row string `json:"row"`
+}
+
+// OpenCheckpoint opens (creating if absent) the journal at path and
+// loads every decodable entry.  Undecodable lines — a torn final write,
+// an editing accident — are skipped and counted, never fatal.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("simcache: checkpoint: %w", err)
+	}
+	c := &Checkpoint{f: f, done: make(map[Key]string)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e checkpointLine
+		if json.Unmarshal(line, &e) != nil {
+			c.skipped++
+			continue
+		}
+		raw, err := hex.DecodeString(e.Key)
+		if err != nil || len(raw) != len(Key{}) {
+			c.skipped++
+			continue
+		}
+		var k Key
+		copy(k[:], raw)
+		c.done[k] = e.Row
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("simcache: checkpoint %s: %w", path, err)
+	}
+	// Future appends go to the end; if the file ends in a torn line
+	// (no trailing newline), terminate it first so the next Record
+	// starts a fresh line instead of extending the corrupt one.
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("simcache: checkpoint %s: %w", path, err)
+	}
+	if end > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], end-1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("simcache: checkpoint %s: %w", path, err)
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("simcache: checkpoint %s: %w", path, err)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Lookup returns the recorded output row for key and whether the point
+// is already done.
+func (c *Checkpoint) Lookup(key Key) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	row, ok := c.done[key]
+	return row, ok
+}
+
+// Record journals one completed point.  The row is the caller's output
+// line for the point (e.g. a CSV record) so resuming can replay it
+// verbatim.  The write is flushed before Record returns: once a sweep
+// prints a point, a crash must not lose it.
+func (c *Checkpoint) Record(key Key, row string) error {
+	line, err := json.Marshal(checkpointLine{Key: key.String(), Row: row})
+	if err != nil {
+		return fmt.Errorf("simcache: checkpoint: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("simcache: checkpoint: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("simcache: checkpoint: %w", err)
+	}
+	c.done[key] = row
+	return nil
+}
+
+// Len returns the number of completed points loaded or recorded.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Skipped returns the number of journal lines that failed to decode at
+// open time (normally 0, or 1 after a torn final write).
+func (c *Checkpoint) Skipped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.skipped
+}
+
+// Close releases the journal file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
+}

@@ -1,0 +1,122 @@
+package simcache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func ckKey(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("fresh checkpoint has %d entries", c.Len())
+	}
+	if err := c.Record(ckKey(1), "row one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record(ckKey(2), "row two"); err != nil {
+		t.Fatal(err)
+	}
+	if row, ok := c.Lookup(ckKey(1)); !ok || row != "row one" {
+		t.Errorf("Lookup(1) = %q, %v", row, ok)
+	}
+	if _, ok := c.Lookup(ckKey(3)); ok {
+		t.Error("Lookup invented a point")
+	}
+	c.Close()
+
+	// Reopen: both points survive the restart.
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != 2 || c2.Skipped() != 0 {
+		t.Fatalf("reopened: %d entries, %d skipped", c2.Len(), c2.Skipped())
+	}
+	if row, ok := c2.Lookup(ckKey(2)); !ok || row != "row two" {
+		t.Errorf("Lookup(2) after reopen = %q, %v", row, ok)
+	}
+}
+
+// A process killed mid-write tears the final line; the journal must
+// still open, losing only that point.
+func TestCheckpointToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(ckKey(1), "kept")
+	c.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"00ab","row":"torn`)
+	f.Close()
+
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("torn tail made the journal unopenable: %v", err)
+	}
+	defer c2.Close()
+	if c2.Len() != 1 || c2.Skipped() != 1 {
+		t.Errorf("torn journal: %d entries, %d skipped; want 1, 1", c2.Len(), c2.Skipped())
+	}
+	// A short-but-valid JSON line whose key is not a digest is skipped too.
+	if _, ok := c2.Lookup(ckKey(1)); !ok {
+		t.Error("intact entry lost")
+	}
+	// Recording after a torn tail appends a fresh valid line.
+	if err := c2.Record(ckKey(2), "after"); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if c3.Len() != 2 {
+		t.Errorf("recovery append lost: %d entries", c3.Len())
+	}
+}
+
+func TestCheckpointConcurrentRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i byte) {
+			defer wg.Done()
+			if err := c.Record(ckKey(i), "r"); err != nil {
+				t.Error(err)
+			}
+		}(byte(i))
+	}
+	wg.Wait()
+	c.Close()
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != 32 || c2.Skipped() != 0 {
+		t.Errorf("concurrent journal: %d entries, %d skipped; want 32, 0", c2.Len(), c2.Skipped())
+	}
+}

@@ -15,13 +15,18 @@ type Histogram struct {
 	count   int64
 	sum     int64
 	max     int64
+	invalid int64 // negative samples seen and excluded
 }
 
-// Add records one sample; negative samples panic (latencies are
-// non-negative by construction).
+// Add records one sample.  Latencies are non-negative by construction
+// on healthy runs, but a degraded fabric (fault injection, recovered
+// invariant violation) can surface a packet with inconsistent stamps;
+// such samples are counted in Invalid() and excluded from the
+// distribution instead of crashing mid-sweep.
 func (h *Histogram) Add(v int64) {
 	if v < 0 {
-		panic(fmt.Sprintf("stats: negative histogram sample %d", v))
+		h.invalid++
+		return
 	}
 	h.buckets[bits.Len64(uint64(v))]++
 	h.count++
@@ -30,6 +35,9 @@ func (h *Histogram) Add(v int64) {
 		h.max = v
 	}
 }
+
+// Invalid returns the number of negative samples rejected by Add.
+func (h *Histogram) Invalid() int64 { return h.invalid }
 
 // Count returns the number of samples.
 func (h *Histogram) Count() int64 { return h.count }

@@ -30,12 +30,24 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+func TestHistogramInvalidSamples(t *testing.T) {
+	var h Histogram
+	h.Add(5)
+	h.Add(-1) // a degraded run may surface inconsistent stamps
+	h.Add(-7)
+	if h.Invalid() != 2 {
+		t.Errorf("Invalid = %d, want 2", h.Invalid())
+	}
+	if h.Count() != 1 || h.Max() != 5 {
+		t.Errorf("negative samples leaked into the distribution: n=%d max=%d", h.Count(), h.Max())
+	}
+}
+
 func TestHistogramPanics(t *testing.T) {
 	var h Histogram
 	for name, f := range map[string]func(){
-		"negative sample": func() { h.Add(-1) },
-		"bad percentile":  func() { h.Percentile(0) },
-		"p>1":             func() { h.Percentile(1.5) },
+		"bad percentile": func() { h.Percentile(0) },
+		"p>1":            func() { h.Percentile(1.5) },
 	} {
 		func() {
 			defer func() {

@@ -31,6 +31,12 @@ type Domain struct {
 	Hops        int64
 	Deflections int64
 	FlitsMoved  int64 // ejected packets × size, for throughput in flits
+
+	// Fault accounting (zero on fault-free runs).  Dropped counts
+	// in-window packets discarded after exhausting their retransmission
+	// budget; Retransmits counts every source retransmission attempt.
+	Dropped     int64
+	Retransmits int64
 }
 
 // AvgTotalLatency returns the mean creation-to-ejection latency in
@@ -65,6 +71,8 @@ const (
 	EvRefused
 	EvInjected
 	EvEjected
+	EvDropped    // packet discarded after exhausting its retry budget
+	EvRetransmit // packet re-queued at its source after a fault drop
 )
 
 // String names the event kind.
@@ -78,6 +86,10 @@ func (k EventKind) String() string {
 		return "injected"
 	case EvEjected:
 		return "ejected"
+	case EvDropped:
+		return "dropped"
+	case EvRetransmit:
+		return "retransmit"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -101,6 +113,18 @@ type Collector struct {
 	AllCreated  int64
 	AllInjected int64
 	AllEjected  int64
+	AllDropped  int64
+
+	// Per-domain whole-run totals backing the per-domain conservation
+	// audit (created = ejected + dropped + in-flight must hold for each
+	// domain separately, or a fault leaked packets across domains).
+	allByDomain []domainTotals
+
+	err error // first out-of-range domain seen (degraded, not fatal)
+}
+
+type domainTotals struct {
+	created, injected, ejected, dropped int64
 }
 
 // NewCollector returns a collector for the given number of domains and
@@ -113,10 +137,11 @@ func NewCollector(domains int, warmupEnd, measureEnd int64) *Collector {
 		panic(fmt.Sprintf("stats: window [%d,%d) inverted", warmupEnd, measureEnd))
 	}
 	return &Collector{
-		warmupEnd:  warmupEnd,
-		measureEnd: measureEnd,
-		domains:    make([]Domain, domains),
-		histos:     make([]Histogram, domains),
+		warmupEnd:   warmupEnd,
+		measureEnd:  measureEnd,
+		domains:     make([]Domain, domains),
+		histos:      make([]Histogram, domains),
+		allByDomain: make([]domainTotals, domains),
 	}
 }
 
@@ -138,9 +163,31 @@ func (c *Collector) domain(i int) *Domain {
 	return &c.domains[i]
 }
 
+// domainOK guards the domain index.  A bad domain used to crash the
+// whole run with an index panic; a domain number ultimately comes from
+// user-supplied config (traffic matrices, fault plans), so the first
+// violation is recorded as an error — visible via Err() — and the
+// sample is attributed to nothing rather than killing the sweep.
+func (c *Collector) domainOK(i int) bool {
+	if i >= 0 && i < len(c.domains) {
+		return true
+	}
+	if c.err == nil {
+		c.err = fmt.Errorf("stats: domain %d outside [0,%d)", i, len(c.domains))
+	}
+	return false
+}
+
+// Err returns the first accounting violation seen (nil when clean).
+func (c *Collector) Err() error { return c.err }
+
 // Created records a generator offer that was accepted by the NI.
 func (c *Collector) Created(p *packet.Packet) {
+	if !c.domainOK(p.Domain) {
+		return
+	}
 	c.AllCreated++
+	c.allByDomain[p.Domain].created++
 	if c.tracer != nil {
 		c.tracer(EvCreated, p, p.Domain, p.CreatedAt)
 	}
@@ -154,6 +201,9 @@ func (c *Collector) Created(p *packet.Packet) {
 
 // Refused records a generator offer rejected by a full NI queue.
 func (c *Collector) Refused(domain int, now int64) {
+	if !c.domainOK(domain) {
+		return
+	}
 	if c.tracer != nil {
 		c.tracer(EvRefused, nil, domain, now)
 	}
@@ -167,7 +217,11 @@ func (c *Collector) Refused(domain int, now int64) {
 
 // Injected records a packet entering the network.
 func (c *Collector) Injected(p *packet.Packet) {
+	if !c.domainOK(p.Domain) {
+		return
+	}
 	c.AllInjected++
+	c.allByDomain[p.Domain].injected++
 	if c.tracer != nil {
 		c.tracer(EvInjected, p, p.Domain, p.InjectedAt)
 	}
@@ -181,7 +235,11 @@ func (c *Collector) Injected(p *packet.Packet) {
 
 // Ejected records a delivered packet and accumulates its latencies.
 func (c *Collector) Ejected(p *packet.Packet) {
+	if !c.domainOK(p.Domain) {
+		return
+	}
 	c.AllEjected++
+	c.allByDomain[p.Domain].ejected++
 	if c.tracer != nil {
 		c.tracer(EvEjected, p, p.Domain, p.EjectedAt)
 	}
@@ -204,6 +262,39 @@ func (c *Collector) Ejected(p *packet.Packet) {
 	d.Hops += int64(p.Hops)
 	d.Deflections += int64(p.Deflections)
 	d.FlitsMoved += int64(p.Size)
+}
+
+// Dropped records a packet discarded by the fault machinery after
+// exhausting its retransmission budget.  A dropped packet leaves the
+// network for good, so it participates in conservation like an
+// ejection.
+func (c *Collector) Dropped(p *packet.Packet, now int64) {
+	if !c.domainOK(p.Domain) {
+		return
+	}
+	c.AllDropped++
+	c.allByDomain[p.Domain].dropped++
+	if c.tracer != nil {
+		c.tracer(EvDropped, p, p.Domain, now)
+	}
+	if c.InWindow(p.CreatedAt) {
+		c.domain(p.Domain).Dropped++
+	}
+}
+
+// Retransmitted records one source retransmission attempt after a
+// fault drop.  The packet stays in flight (it is queued for
+// re-injection), so conservation totals are untouched.
+func (c *Collector) Retransmitted(p *packet.Packet, now int64) {
+	if !c.domainOK(p.Domain) {
+		return
+	}
+	if c.tracer != nil {
+		c.tracer(EvRetransmit, p, p.Domain, now)
+	}
+	if c.InWindow(now) {
+		c.domain(p.Domain).Retransmits++
+	}
 }
 
 // Latency returns the in-window total-latency histogram of domain i.
@@ -233,6 +324,8 @@ func (c *Collector) Total() Domain {
 		t.Hops += d.Hops
 		t.Deflections += d.Deflections
 		t.FlitsMoved += d.FlitsMoved
+		t.Dropped += d.Dropped
+		t.Retransmits += d.Retransmits
 	}
 	return t
 }
@@ -246,17 +339,33 @@ func (c *Collector) Throughput(i, nodes int, cycles int64) float64 {
 	return float64(c.domain(i).Ejected) / float64(nodes) / float64(cycles)
 }
 
-// CheckConservation verifies created ≥ injected ≥ ejected and that
-// exactly inFlight packets remain unaccounted (buffered or on links).
+// CheckConservation verifies created ≥ injected ≥ ejected + dropped
+// and that exactly inFlight packets remain unaccounted (buffered, on
+// links, or awaiting retransmission) — in aggregate AND per domain, so
+// a fault can never silently move a packet across an interference
+// boundary.
 func (c *Collector) CheckConservation(inFlight int) error {
 	if c.AllInjected > c.AllCreated {
 		return fmt.Errorf("stats: injected %d > created %d", c.AllInjected, c.AllCreated)
 	}
-	if c.AllEjected > c.AllInjected {
-		return fmt.Errorf("stats: ejected %d > injected %d", c.AllEjected, c.AllInjected)
+	if c.AllEjected+c.AllDropped > c.AllInjected {
+		return fmt.Errorf("stats: ejected %d + dropped %d > injected %d", c.AllEjected, c.AllDropped, c.AllInjected)
 	}
-	if got := c.AllCreated - c.AllEjected; got != int64(inFlight) {
+	if got := c.AllCreated - c.AllEjected - c.AllDropped; got != int64(inFlight) {
 		return fmt.Errorf("stats: %d packets unaccounted, fabric reports %d in flight", got, inFlight)
+	}
+	var sumLeft int64
+	for i, d := range c.allByDomain {
+		if d.injected > d.created {
+			return fmt.Errorf("stats: domain %d: injected %d > created %d", i, d.injected, d.created)
+		}
+		if d.ejected+d.dropped > d.injected {
+			return fmt.Errorf("stats: domain %d: ejected %d + dropped %d > injected %d", i, d.ejected, d.dropped, d.injected)
+		}
+		sumLeft += d.created - d.ejected - d.dropped
+	}
+	if sumLeft != int64(inFlight) {
+		return fmt.Errorf("stats: per-domain residue %d ≠ %d in flight", sumLeft, inFlight)
 	}
 	return nil
 }
