@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz fuzz-fault bench experiments clean-cache
+.PHONY: ci vet build test race fuzz fuzz-fault bench bench-smoke experiments clean-cache
 
-ci: vet build race fuzz-fault
+ci: vet build race bench-smoke fuzz-fault
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,14 @@ fuzz:
 # Short fault-plan fuzz smoke for the CI gate (full budgets above).
 fuzz-fault:
 	$(GO) test -fuzz=FuzzPlanJSON -fuzztime=5s ./internal/fault
+
+# Performance gate: the exact zero-alloc steady-state guard for every
+# fabric (needs an instrumentation-free build, so no -race here — the
+# guard skips itself under the race detector), then a short parallel
+# sweep under -race to shake out worker/emitter races.
+bench-smoke:
+	$(GO) test -run='TestStepNoAlloc|TestRecvIntoReusesBuffer|TestRecvZeroesVacatedTail' -count=1 . ./internal/link
+	$(GO) test -race -run='TestParallelSweep' -count=1 ./cmd/sweep
 
 # Benchmarks, plus a machine-readable BENCH_<date>.json report
 # (ns/op per fabric model, probe on and off) via cmd/benchjson.

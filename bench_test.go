@@ -19,6 +19,7 @@ import (
 	"surfbless"
 	"surfbless/internal/config"
 	"surfbless/internal/experiments"
+	"surfbless/internal/network"
 	"surfbless/internal/packet"
 	"surfbless/internal/power"
 	"surfbless/internal/probe"
@@ -218,23 +219,36 @@ func benchFabricCycles(b *testing.B, model config.Model) {
 	benchFabric(b, model, false)
 }
 
-// benchFabric drives one fabric for b.N cycles; with probed set it
-// arms an interval probe first, so the *Probed variants measure the
-// observability layer's hot-path overhead against their plain twins
-// (the probe-off path must stay within noise of the seed timings).
+// benchWarmup is the unmeasured lead-in that grows every scratch
+// buffer, link queue and free-list slot to working capacity, so the
+// timed loop measures pure steady-state stepping (DESIGN.md §12).
+const benchWarmup = 3000
+
+// benchFabric drives one fabric for b.N cycles after a warm-up, with
+// the packet free list armed (except RUNAHEAD, which cannot recycle);
+// allocs/op is reported and expected to be 0 — TestStepNoAlloc asserts
+// the same property exactly.  With probed set it arms an interval
+// probe first, so the *Probed variants measure the observability
+// layer's hot-path overhead against their plain twins (the probe-off
+// path must stay within noise of the seed timings).
 func benchFabric(b *testing.B, model config.Model, probed bool) {
 	cfg := config.Default(model)
 	cfg.Domains = 2
 	col := stats.NewCollector(2, 0, 0)
 	meter := power.NewMeter(cfg, power.Default45nm())
-	fab, err := sim.BuildFabric(cfg, nil, nil, col, meter)
+	fl := &packet.FreeList{}
+	var sink network.Sink
+	if model != config.RUNAHEAD {
+		sink = func(_ int, p *packet.Packet, _ int64) { fl.Put(p) }
+	}
+	fab, err := sim.BuildFabric(cfg, nil, sink, col, meter)
 	if err != nil {
 		b.Fatal(err)
 	}
 	var p *probe.Probe
 	if probed {
 		p = &probe.Probe{}
-		p.Arm(probe.Config{Mesh: cfg.Mesh(), Domains: 2, Every: 100, WarmupEnd: 0, MeasureEnd: int64(b.N)})
+		p.Arm(probe.Config{Mesh: cfg.Mesh(), Domains: 2, Every: 100, WarmupEnd: 0, MeasureEnd: benchWarmup + int64(b.N)})
 		col.SetProbe(p)
 		if ps, ok := fab.(interface{ SetProbe(*probe.Probe) }); ok {
 			ps.SetProbe(p)
@@ -244,8 +258,20 @@ func benchFabric(b *testing.B, model config.Model, probed bool) {
 		{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
 		{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
 	}, 1)
+	if sink != nil {
+		gen.SetFreeList(fl)
+	}
+	now := int64(0)
+	for ; now < benchWarmup; now++ {
+		gen.Tick(fab, now)
+		fab.Step(now)
+		if probed {
+			p.Tick(now, fab.InFlight())
+		}
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
-	for now := int64(0); now < int64(b.N); now++ {
+	for end := now + int64(b.N); now < end; now++ {
 		gen.Tick(fab, now)
 		fab.Step(now)
 		if probed {
@@ -329,19 +355,38 @@ func BenchmarkExtensionPatterns(b *testing.B) {
 }
 
 // BenchmarkStepCHIPPER measures simulated CHIPPER cycles per second.
-func BenchmarkStepCHIPPER(b *testing.B) {
-	cfg := config.Default(config.CHIPPER)
-	col := stats.NewCollector(1, 0, 0)
+func BenchmarkStepCHIPPER(b *testing.B) { benchFabricCycles(b, config.CHIPPER) }
+
+// BenchmarkStepRUNAHEAD measures simulated Runahead cycles per second.
+// Packet construction is excluded from the timed region (StopTimer
+// brackets gen.Tick): RUNAHEAD cannot recycle packets — its retry
+// timers hold pointers past ejection — so Tick allocates by design,
+// while Step itself stays allocation-free.
+func BenchmarkStepRUNAHEAD(b *testing.B) {
+	cfg := config.Default(config.RUNAHEAD)
+	cfg.Domains = 2
+	col := stats.NewCollector(2, 0, 0)
 	meter := power.NewMeter(cfg, power.Default45nm())
 	fab, err := sim.BuildFabric(cfg, nil, nil, col, meter)
 	if err != nil {
 		b.Fatal(err)
 	}
-	gen := traffic.New(cfg.Mesh(), traffic.UniformRandom,
-		[]traffic.Source{{Rate: 0.05, Class: packet.Ctrl, VNet: -1}}, 1)
-	b.ResetTimer()
-	for now := int64(0); now < int64(b.N); now++ {
+	gen := traffic.New(cfg.Mesh(), traffic.UniformRandom, []traffic.Source{
+		{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
+		{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
+	}, 1)
+	now := int64(0)
+	for ; now < benchWarmup; now++ {
 		gen.Tick(fab, now)
 		fab.Step(now)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for end := now + int64(b.N); now < end; now++ {
+		b.StopTimer()
+		gen.Tick(fab, now)
+		b.StartTimer()
+		fab.Step(now)
+	}
+	b.ReportMetric(float64(cfg.Nodes()), "routers/cycle")
 }

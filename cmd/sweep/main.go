@@ -5,10 +5,16 @@
 // Usage:
 //
 //	sweep [-model SB] [-domains 2] [-from 0.01] [-to 0.3] [-step 0.02]
-//	      [-cycles 10000] [-seed 1] [-cache] [-cache-dir DIR] [-no-cache]
+//	      [-cycles 10000] [-seed 1] [-workers 1]
+//	      [-cache] [-cache-dir DIR] [-no-cache]
 //	      [-faults FILE] [-checkpoint FILE] [-resume]
 //	      [-http ADDR] [-progress] [-trace FILE]
 //	      [-probe-dir DIR] [-probe-every N]
+//
+// -workers N simulates up to N points concurrently.  Every point is an
+// isolated deterministic simulation and rows are emitted in rate order
+// regardless of completion order, so the CSV is byte-identical to a
+// serial (-workers 1) sweep.
 //
 // Points are cached content-addressed under -cache-dir (default
 // results/.simcache), shared with cmd/experiments; -no-cache forces
@@ -47,6 +53,7 @@ import (
 	"surfbless/internal/config"
 	"surfbless/internal/fault"
 	"surfbless/internal/packet"
+	"surfbless/internal/parmap"
 	"surfbless/internal/probe"
 	"surfbless/internal/sim"
 	"surfbless/internal/simcache"
@@ -55,31 +62,47 @@ import (
 )
 
 func main() {
-	model := flag.String("model", "SB", "network model: WH, BLESS, Surf or SB")
-	domains := flag.Int("domains", 2, "number of interference domains")
-	from := flag.Float64("from", 0.01, "first total injection rate")
-	to := flag.Float64("to", 0.30, "last total injection rate")
-	step := flag.Float64("step", 0.02, "rate increment")
-	cycles := flag.Int64("cycles", 10000, "measured cycles per point")
-	seed := flag.Int64("seed", 1, "random seed")
-	useCache := flag.Bool("cache", true, "reuse cached simulation results")
-	cacheDir := flag.String("cache-dir", filepath.Join("results", ".simcache"), "result-cache directory")
-	noCache := flag.Bool("no-cache", false, "run every simulation fresh (overrides -cache)")
-	httpAddr := flag.String("http", "", "serve /progress, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
-	progress := flag.Bool("progress", false, "print a structured progress line to stderr after every point")
-	traceFile := flag.String("trace", "", "write a packet lifecycle trace per point (suffixed _r<rate>)")
-	probeDir := flag.String("probe-dir", "", "write per-point time series (JSONL) and heatmaps (CSV) into this directory")
-	probeEvery := flag.Int64("probe-every", probe.DefaultEvery, "probe bucket width in cycles for -probe-dir")
-	faultsFile := flag.String("faults", "", "fault plan JSON applied to every point (see internal/fault)")
-	ckptPath := flag.String("checkpoint", "", "journal completed points to this file")
-	resume := flag.Bool("resume", false, "replay completed points from -checkpoint instead of re-simulating them")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable seam: flags in, CSV out,
+// exit code back.  The parity test drives it directly with -workers 1
+// and -workers N and compares stdout byte for byte.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "SB", "network model: WH, BLESS, Surf or SB")
+	domains := fs.Int("domains", 2, "number of interference domains")
+	from := fs.Float64("from", 0.01, "first total injection rate")
+	to := fs.Float64("to", 0.30, "last total injection rate")
+	step := fs.Float64("step", 0.02, "rate increment")
+	cycles := fs.Int64("cycles", 10000, "measured cycles per point")
+	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 1, "points simulated concurrently (rows stay in rate order)")
+	useCache := fs.Bool("cache", true, "reuse cached simulation results")
+	cacheDir := fs.String("cache-dir", filepath.Join("results", ".simcache"), "result-cache directory")
+	noCache := fs.Bool("no-cache", false, "run every simulation fresh (overrides -cache)")
+	httpAddr := fs.String("http", "", "serve /progress, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
+	progress := fs.Bool("progress", false, "print a structured progress line to stderr after every point")
+	traceFile := fs.String("trace", "", "write a packet lifecycle trace per point (suffixed _r<rate>)")
+	probeDir := fs.String("probe-dir", "", "write per-point time series (JSONL) and heatmaps (CSV) into this directory")
+	probeEvery := fs.Int64("probe-every", probe.DefaultEvery, "probe bucket width in cycles for -probe-dir")
+	faultsFile := fs.String("faults", "", "fault plan JSON applied to every point (see internal/fault)")
+	ckptPath := fs.String("checkpoint", "", "journal completed points to this file")
+	resume := fs.Bool("resume", false, "replay completed points from -checkpoint instead of re-simulating them")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "sweep:", err)
+		return 1
+	}
 
 	var cache *simcache.Cache
 	if *useCache && !*noCache {
 		var err error
 		if cache, err = simcache.New(simcache.Options{Dir: *cacheDir}); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
 
@@ -94,14 +117,17 @@ func main() {
 	case "SB", "sb":
 		m = config.SB
 	default:
-		fatal(fmt.Errorf("unknown model %q", *model))
+		return fatal(fmt.Errorf("unknown model %q", *model))
 	}
 	if *step <= 0 || *from <= 0 || *to < *from {
-		fatal(fmt.Errorf("invalid rate range"))
+		return fatal(fmt.Errorf("invalid rate range"))
+	}
+	if *workers < 1 {
+		return fatal(fmt.Errorf("-workers %d, need ≥ 1", *workers))
 	}
 	if *probeDir != "" {
 		if err := os.MkdirAll(*probeDir, 0o755); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
 
@@ -110,33 +136,33 @@ func main() {
 		base := config.Default(m)
 		var err error
 		if plan, err = fault.LoadPlan(*faultsFile, base.Width, base.Height); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
 
 	var ckpt *simcache.Checkpoint
 	if *resume && *ckptPath == "" {
-		fatal(fmt.Errorf("-resume needs -checkpoint FILE"))
+		return fatal(fmt.Errorf("-resume needs -checkpoint FILE"))
 	}
 	if *ckptPath != "" {
 		if !*resume {
 			// Without -resume the journal starts fresh; stale entries
 			// from an unrelated sweep must not be replayed.
 			if err := os.Remove(*ckptPath); err != nil && !os.IsNotExist(err) {
-				fatal(err)
+				return fatal(err)
 			}
 		}
 		var err error
 		if ckpt, err = simcache.OpenCheckpoint(*ckptPath); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		defer ckpt.Close()
 		if *resume {
-			fmt.Fprintf(os.Stderr, "resume: %d point(s) already journaled in %s", ckpt.Len(), *ckptPath)
+			fmt.Fprintf(stderr, "resume: %d point(s) already journaled in %s", ckpt.Len(), *ckptPath)
 			if n := ckpt.Skipped(); n > 0 {
-				fmt.Fprintf(os.Stderr, " (%d torn line(s) dropped)", n)
+				fmt.Fprintf(stderr, " (%d torn line(s) dropped)", n)
 			}
-			fmt.Fprintln(os.Stderr)
+			fmt.Fprintln(stderr)
 		}
 	}
 
@@ -157,14 +183,22 @@ func main() {
 	if *httpAddr != "" {
 		addr, err := probe.Serve(*httpAddr, g)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "introspection: http://%s/progress\n", addr)
+		fmt.Fprintf(stderr, "introspection: http://%s/progress\n", addr)
 	}
 
-	fmt.Println("rate,avg_latency,queue_latency,network_latency,throughput,deflections_per_pkt,refused,dropped,retransmits,status")
-	failures := 0
-	for _, rate := range rates {
+	// outcome is one point's finished state, produced on a worker and
+	// emitted on this goroutine in rate order.
+	type outcome struct {
+		row    string
+		err    error        // non-nil after both attempts failed
+		key    simcache.Key // cache fingerprint (valid iff keyOK)
+		keyOK  bool
+		replay bool // row came from the -resume journal
+	}
+
+	compute := func(_ int, rate float64) (outcome, error) {
 		cfg := config.Default(m)
 		cfg.Domains = *domains
 		cfg.Faults = plan
@@ -179,12 +213,15 @@ func main() {
 			Warmup:  *cycles / 10, Measure: *cycles, Drain: 10 * *cycles,
 			Seed: *seed,
 		}
+		out := outcome{}
 		key, keyErr := sim.Fingerprint(o)
-		if ckpt != nil && keyErr == nil && !o.Observed() {
+		if keyErr == nil {
+			out.key, out.keyOK = key, true
+		}
+		if ckpt != nil && out.keyOK && !o.Observed() {
 			if row, ok := ckpt.Lookup(key); ok {
-				fmt.Println(row)
-				g.Add(1)
-				continue
+				out.row, out.replay = row, true
+				return out, nil
 			}
 		}
 
@@ -192,40 +229,48 @@ func main() {
 		// reported as an error row; the sweep always reaches the last
 		// rate.  Degraded points (watchdog, recovered invariant) are
 		// data, not failures — their partial stats make the row.
-		var row string
 		var err error
 		for attempt := 0; attempt < 2; attempt++ {
-			row, err = sweepPoint(o, m, rate, *domains, cache, *traceFile, *probeDir, *probeEvery)
+			out.row, err = sweepPoint(o, m, rate, *domains, cache, *traceFile, *probeDir, *probeEvery)
 			if err == nil {
-				break
+				return out, nil
 			}
 			if attempt == 0 {
-				fmt.Fprintf(os.Stderr, "sweep: rate %.3f failed (%v), retrying once\n", rate, err)
+				fmt.Fprintf(stderr, "sweep: rate %.3f failed (%v), retrying once\n", rate, err)
 			}
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: rate %.3f failed twice: %v — continuing\n", rate, err)
-			row = fmt.Sprintf("%.3f,,,,,,,,,error: %s", rate, csvSafe(err.Error()))
+		fmt.Fprintf(stderr, "sweep: rate %.3f failed twice: %v — continuing\n", rate, err)
+		out.row = fmt.Sprintf("%.3f,,,,,,,,,error: %s", rate, csvSafe(err.Error()))
+		out.err = err
+		return out, nil
+	}
+
+	fmt.Fprintln(stdout, "rate,avg_latency,queue_latency,network_latency,throughput,deflections_per_pkt,refused,dropped,retransmits,status")
+	failures := 0
+	observed := *traceFile != "" || *probeDir != ""
+	parmap.Stream(rates, *workers, compute, func(_ int, out outcome, _ error) {
+		fmt.Fprintln(stdout, out.row)
+		if out.err != nil {
 			failures++
 		}
-		fmt.Println(row)
-		if ckpt != nil && keyErr == nil && err == nil && !o.Observed() {
-			if rerr := ckpt.Record(key, row); rerr != nil {
-				fmt.Fprintf(os.Stderr, "sweep: checkpoint: %v\n", rerr)
+		if ckpt != nil && out.keyOK && out.err == nil && !out.replay && !observed {
+			if rerr := ckpt.Record(out.key, out.row); rerr != nil {
+				fmt.Fprintf(stderr, "sweep: checkpoint: %v\n", rerr)
 			}
 		}
 		g.Add(1)
 		if *progress {
-			fmt.Fprintln(os.Stderr, g.Line())
+			fmt.Fprintln(stderr, g.Line())
 		}
-	}
+	})
 	if cache != nil {
-		fmt.Fprintf(os.Stderr, "cache (%s): %v\n", *cacheDir, cache.Stats())
+		fmt.Fprintf(stderr, "cache (%s): %v\n", *cacheDir, cache.Stats())
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "sweep: %d point(s) failed\n", failures)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sweep: %d point(s) failed\n", failures)
+		return 1
 	}
+	return 0
 }
 
 // sweepPoint simulates one rate and renders its CSV row.  A panic that
@@ -318,9 +363,4 @@ func exportFile(path string, write func(w io.Writer) error) error {
 		return fmt.Errorf("%s: %w", path, cerr)
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
 }

@@ -5,6 +5,7 @@ import (
 
 	"surfbless/internal/config"
 	"surfbless/internal/cpu"
+	"surfbless/internal/parmap"
 	"surfbless/internal/system"
 	"surfbless/internal/textplot"
 )
@@ -46,7 +47,7 @@ func Apps(sc Scale) (AppsResult, error) {
 		}
 	}
 	addTotal(len(jobs))
-	outs, err := parmap(jobs, func(j job) (system.Result, error) {
+	outs, err := parmap.Map(jobs, 0, func(j job) (system.Result, error) {
 		out, err := runSystem(system.Options{
 			Model:        j.model,
 			App:          j.prof,

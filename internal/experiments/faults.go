@@ -7,6 +7,7 @@ import (
 	"surfbless/internal/config"
 	"surfbless/internal/fault"
 	"surfbless/internal/packet"
+	"surfbless/internal/parmap"
 	"surfbless/internal/sim"
 	"surfbless/internal/textplot"
 	"surfbless/internal/traffic"
@@ -99,7 +100,7 @@ func ConfinementUnderFaults(sc Scale) (FaultsResult, error) {
 		}
 	}
 	addTotal(len(jobs))
-	rows, err := parmap(jobs, func(j job) (FaultsRow, error) {
+	rows, err := parmap.Map(jobs, 0, func(j job) (FaultsRow, error) {
 		cfg := config.Default(j.model)
 		cfg.Domains = 2
 		cfg.Faults = j.scenario.Plan

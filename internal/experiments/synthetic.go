@@ -5,6 +5,7 @@ import (
 
 	"surfbless/internal/config"
 	"surfbless/internal/packet"
+	"surfbless/internal/parmap"
 	"surfbless/internal/power"
 	"surfbless/internal/sim"
 	"surfbless/internal/stats"
@@ -242,7 +243,7 @@ func Fig7Domains(sc Scale, domainCounts []int) (Fig7Result, error) {
 		latency, throughput float64
 	}
 	addTotal(len(jobs))
-	points, err := parmap(jobs, func(j job) (point, error) {
+	points, err := parmap.Map(jobs, 0, func(j job) (point, error) {
 		lat, thr, err := fig7Point(sc, j.model, j.domains, j.rate)
 		return point{lat, thr}, err
 	})

@@ -48,20 +48,39 @@ func (l *Line[T]) Send(item T, now int64) {
 // Recv removes and returns all items due at exactly cycle now.  It
 // panics if an item's delivery time has already passed undelivered,
 // which means the network skipped a cycle.
+//
+// Recv allocates a fresh slice per call; hot paths should use RecvInto
+// with a reused scratch buffer instead.
 func (l *Line[T]) Recv(now int64) []T {
-	var out []T
+	return l.RecvInto(now, nil)
+}
+
+// RecvInto is Recv with caller-owned memory: items due at exactly
+// cycle now are appended to buf and the extended slice is returned.
+// Passing the previous cycle's buffer re-sliced to [:0] makes the
+// steady-state receive path allocation-free.  The returned memory
+// belongs to the caller; the line keeps no reference to it.
+func (l *Line[T]) RecvInto(now int64, buf []T) []T {
 	i := 0
 	for ; i < len(l.queue) && l.queue[i].at <= now; i++ {
 		if l.queue[i].at < now {
 			panic(fmt.Sprintf("link: item due at %d not collected until %d", l.queue[i].at, now))
 		}
-		out = append(out, l.queue[i].item)
+		buf = append(buf, l.queue[i].item)
 	}
 	if i > 0 {
-		// Shift remaining entries down, keeping the backing array.
-		l.queue = append(l.queue[:0], l.queue[i:]...)
+		// Shift remaining entries down, keeping the backing array, and
+		// zero the vacated tail: the stale copies beyond the new length
+		// would otherwise pin delivered items (packet pointers) in the
+		// backing array, invisible to the GC until overwritten.
+		n := copy(l.queue, l.queue[i:])
+		var zero entry[T]
+		for j := n; j < len(l.queue); j++ {
+			l.queue[j] = zero
+		}
+		l.queue = l.queue[:n]
 	}
-	return out
+	return buf
 }
 
 // InFlight returns the number of items currently traversing the line.

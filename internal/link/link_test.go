@@ -86,6 +86,54 @@ func TestMissedCyclePanics(t *testing.T) {
 	l.Recv(2) // item was due at 1
 }
 
+// RecvInto must append to the caller's buffer and reuse its capacity:
+// the steady-state receive path may not allocate.
+func TestRecvIntoReusesBuffer(t *testing.T) {
+	l := New[int](1)
+	buf := make([]int, 0, 4)
+	for now := int64(0); now < 100; now++ {
+		l.Send(int(now), now)
+		buf = l.RecvInto(now+1, buf[:0])
+		// Drain the previous send before the next; steady state is one
+		// item per cycle.
+		if len(buf) != 1 || buf[0] != int(now) {
+			t.Fatalf("cycle %d: RecvInto = %v, want [%d]", now, buf, now)
+		}
+		if cap(buf) != 4 {
+			t.Fatalf("cycle %d: buffer reallocated (cap %d)", now, cap(buf))
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		l.Send(1, 1<<20)
+		buf = l.RecvInto(1<<20+1, buf[:0])
+	}); avg != 0 {
+		t.Errorf("RecvInto allocates %.2f times per steady-state cycle, want 0", avg)
+	}
+}
+
+// After a partial delivery the vacated tail of the internal queue must
+// be zeroed: stale entries would pin delivered items (in real use,
+// *packet.Packet) in the backing array beyond the slice length,
+// hiding them from the GC.
+func TestRecvZeroesVacatedTail(t *testing.T) {
+	l := New[*int](1)
+	a, b := new(int), new(int)
+	l.Send(a, 0) // due at 1
+	l.Send(b, 1) // due at 2
+	got := l.Recv(1)
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("Recv(1) = %v, want [a]", got)
+	}
+	// One entry remains live; the vacated second slot must hold no
+	// stale pointer.
+	q := l.queue[:cap(l.queue)]
+	for i := l.InFlight(); i < len(q); i++ {
+		if q[i].item != nil {
+			t.Errorf("queue slot %d retains %p after delivery", i, q[i].item)
+		}
+	}
+}
+
 // Property: with per-cycle Recv, every item arrives exactly delay
 // cycles after it was sent, in send order.
 func TestDelayProperty(t *testing.T) {

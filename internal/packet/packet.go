@@ -153,6 +153,50 @@ func Explode(p *Packet) []Flit {
 	return fs
 }
 
+// FreeList recycles ejected packets so that steady-state simulation
+// needs no heap allocation: the sink returns each delivered packet via
+// Put and the traffic generator draws replacements via New.  Recycling
+// is observably equivalent to fresh allocation — New resets every
+// field — but a recycled pointer MUST NOT be retained past ejection by
+// any fabric (the runahead retry timers do exactly that, which is why
+// sim.Run never arms a free list for RUNAHEAD).  The zero value is an
+// empty list, ready to use.  Not safe for concurrent use.
+type FreeList struct {
+	free []*Packet
+}
+
+// New returns a packet of the given class created at cycle now, reusing
+// a recycled one when available.  All fields are reset; the result is
+// indistinguishable from packet.New's.
+func (fl *FreeList) New(id uint64, src, dst geom.Coord, domain int, class Class, now int64) *Packet {
+	n := len(fl.free)
+	if n == 0 {
+		return New(id, src, dst, domain, class, now)
+	}
+	p := fl.free[n-1]
+	fl.free[n-1] = nil
+	fl.free = fl.free[:n-1]
+	*p = Packet{
+		ID:         id,
+		Src:        src,
+		Dst:        dst,
+		Domain:     domain,
+		VNet:       -1,
+		Class:      class,
+		Size:       class.Flits(),
+		CreatedAt:  now,
+		InjectedAt: -1,
+		EjectedAt:  -1,
+	}
+	return p
+}
+
+// Put recycles p.  The caller must guarantee no live references remain.
+func (fl *FreeList) Put(p *Packet) { fl.free = append(fl.free, p) }
+
+// Len returns the number of packets currently available for reuse.
+func (fl *FreeList) Len() int { return len(fl.free) }
+
 // IDSource hands out unique packet IDs.  The zero value is ready to use.
 // It is not safe for concurrent use; the simulator is single-goroutine.
 type IDSource struct{ next uint64 }

@@ -1,0 +1,90 @@
+package parmap
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 3, 128} {
+		got, err := Map(items, workers, func(v int) (int, error) { return v * v, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+// Map must complete every item and join every error, not just the
+// first: a sweep where points 3 and 7 fail must report both.
+func TestMapJoinsAllErrors(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4}
+	var ran atomic.Int64
+	_, err := Map(items, 2, func(v int) (int, error) {
+		ran.Add(1)
+		if v%2 == 1 {
+			return 0, fmt.Errorf("item %d failed", v)
+		}
+		return v, nil
+	})
+	if ran.Load() != int64(len(items)) {
+		t.Errorf("ran %d of %d items; failures must not cancel the rest", ran.Load(), len(items))
+	}
+	if err == nil {
+		t.Fatal("expected joined error")
+	}
+	for _, want := range []string{"item 1 failed", "item 3 failed"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q lost %q", err, want)
+		}
+	}
+}
+
+// Stream must emit in input order on the caller's goroutine even when
+// items complete wildly out of order.
+func TestStreamEmitsInOrder(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	gate := make(chan struct{})
+	var emitted []int
+	go func() { close(gate) }()
+	Stream(items, 8,
+		func(i int, v int) (int, error) {
+			<-gate
+			// Later items finish first more often than not; order must
+			// still hold on the emit side.
+			return v, nil
+		},
+		func(i int, r int, err error) {
+			if err != nil {
+				t.Errorf("item %d: %v", i, err)
+			}
+			emitted = append(emitted, r) // no lock: emit runs on one goroutine
+		})
+	if len(emitted) != len(items) {
+		t.Fatalf("emitted %d of %d items", len(emitted), len(items))
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("emit order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestStreamEmptyInput(t *testing.T) {
+	Stream(nil, 4,
+		func(i int, v int) (int, error) { return v, nil },
+		func(i int, r int, err error) { t.Error("emit called on empty input") })
+}

@@ -55,6 +55,11 @@ type node struct {
 	ni  *router.NI
 	in  [geom.NumLinkDirs]*link.Line[*packet.Packet] // nil on borders
 	out [geom.NumLinkDirs]*link.Line[*packet.Packet]
+
+	// arrivals is per-cycle scratch owned by this node and reused
+	// across cycles (see DESIGN.md §12): at most one packet per input
+	// port, so it stops growing after the first busy cycle.
+	arrivals []*packet.Packet
 }
 
 // New builds a BLESS mesh for cfg.  The collector and meter must be
@@ -156,14 +161,16 @@ func (f *Fabric) relaunchRetries(now int64) {
 }
 
 func (f *Fabric) stepNode(id int, n *node, now int64) {
-	// Phase 1: collect this cycle's arrivals (at most one per in-link).
-	var arrivals []*packet.Packet
+	// Phase 1: collect this cycle's arrivals (at most one per in-link)
+	// into the node's reused scratch buffer.
+	arrivals := n.arrivals[:0]
 	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
 		if n.in[d] == nil {
 			continue
 		}
-		arrivals = append(arrivals, n.in[d].Recv(now)...)
+		arrivals = n.in[d].RecvInto(now, arrivals)
 	}
+	n.arrivals = arrivals
 
 	// A frozen router's pipeline is dead: the links above were still
 	// drained (they demand collection), but every arrival is lost at the

@@ -60,6 +60,8 @@ type Fabric struct {
 	faults *fault.Injector  // nil = fault-free (hot path untouched)
 	recov  *router.Recovery // non-nil iff faults is
 
+	rbuf []*packet.Packet // per-link receive scratch, reused every cycle
+
 	inFlight int
 	lastStep int64
 }
@@ -189,13 +191,15 @@ func prio(a, b *packet.Packet, now int64) bool {
 }
 
 func (f *Fabric) stepNode(id int, n *node, now int64) {
-	// Receive into the four input slots.
+	// Receive into the four input slots (at most one packet per link
+	// per cycle; the scratch buffer is fabric-owned and reused).
 	var slots [geom.NumLinkDirs]*packet.Packet
 	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
 		if n.in[d] == nil {
 			continue
 		}
-		for _, p := range n.in[d].Recv(now) {
+		f.rbuf = n.in[d].RecvInto(now, f.rbuf[:0])
+		for _, p := range f.rbuf {
 			slots[d] = p
 		}
 	}
@@ -315,25 +319,30 @@ func up(p *packet.Packet, wantsUp func(*packet.Packet) bool) bool {
 // fixup moves packets off missing border ports — and, with faults
 // armed, off killed links — onto free usable ones.
 func (f *Fabric) fixup(id int, n *node, outs *[geom.NumLinkDirs]*packet.Packet, now int64) {
-	var homeless []*packet.Packet
+	// Fixed-size candidate array: at most one packet per port needs
+	// re-homing, and a heap slice here would allocate every border
+	// cycle.
+	var homeless [geom.NumLinkDirs]*packet.Packet
+	nh := 0
 	for d := range outs {
 		if outs[d] != nil && !f.outUsable(id, n, geom.Dir(d), now) {
-			homeless = append(homeless, outs[d])
+			homeless[nh] = outs[d]
+			nh++
 			outs[d] = nil
 		}
 	}
-	if len(homeless) == 0 {
+	if nh == 0 {
 		return
 	}
 	// Golden class first, then hash order, deterministically.
-	for i := 0; i < len(homeless); i++ {
-		for j := i + 1; j < len(homeless); j++ {
+	for i := 0; i < nh; i++ {
+		for j := i + 1; j < nh; j++ {
 			if prio(homeless[j], homeless[i], now) {
 				homeless[i], homeless[j] = homeless[j], homeless[i]
 			}
 		}
 	}
-	for _, p := range homeless {
+	for _, p := range homeless[:nh] {
 		placed := false
 		// Preferred productive port first.
 		if d := geom.XYFirst(n.c, p.Dst); d != geom.Local && f.outUsable(id, n, d, now) && outs[d] == nil {

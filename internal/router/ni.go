@@ -8,7 +8,6 @@ package router
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 
 	"surfbless/internal/packet"
 )
@@ -62,7 +61,9 @@ func (ni *NI) Pop(domain int) *packet.Packet {
 		panic(fmt.Sprintf("router: Pop on empty domain %d queue", domain))
 	}
 	p := q[0]
-	ni.queues[domain] = append(q[:0], q[1:]...)
+	n := copy(q, q[1:])
+	q[n] = nil // drop the stale tail reference so the GC can reclaim it
+	ni.queues[domain] = q[:n]
 	return p
 }
 
@@ -169,8 +170,20 @@ func (r *Recovery) TryRetry(p *packet.Packet, now int64) bool {
 
 // SortOldestFirst orders packets by the old-first arbitration policy
 // [12]: longest time in network first, ties broken by packet ID.
+// Insertion sort, not sort.Slice: the input is at most one packet per
+// router port (≤4) and sort.Slice heap-allocates its interface header
+// on every call, which would put an allocation in every router's
+// per-cycle path.  Older is a total order, so any correct sort yields
+// the identical sequence.
 func SortOldestFirst(ps []*packet.Packet) {
-	sort.Slice(ps, func(i, j int) bool { return ps[i].Older(ps[j]) })
+	for i := 1; i < len(ps); i++ {
+		p := ps[i]
+		j := i - 1
+		for ; j >= 0 && p.Older(ps[j]); j-- {
+			ps[j+1] = ps[j]
+		}
+		ps[j+1] = p
+	}
 }
 
 // Hash64 mixes its inputs with the splitmix64 finalizer.  Router models

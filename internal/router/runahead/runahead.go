@@ -21,7 +21,6 @@
 package runahead
 
 import (
-	"container/heap"
 	"fmt"
 
 	"surfbless/internal/config"
@@ -74,6 +73,10 @@ type node struct {
 	ni  *router.NI
 	in  [geom.NumLinkDirs]*link.Line[*packet.Packet]
 	out [geom.NumLinkDirs]*link.Line[*packet.Packet]
+
+	// arrivals is per-cycle scratch owned by this node and reused
+	// across cycles (DESIGN.md §12): at most one packet per input port.
+	arrivals []*packet.Packet
 }
 
 // retryEntry tracks one undelivered packet awaiting its timeout.
@@ -83,22 +86,57 @@ type retryEntry struct {
 	p   *packet.Packet
 }
 
+// retryHeap is a binary min-heap on (at, seq), maintained by the
+// pushRetry/popRetry sift functions below rather than container/heap:
+// heap.Push/Pop box every retryEntry into an interface value, which
+// would heap-allocate on every single injection (timers are armed on
+// the hot path).
 type retryHeap []retryEntry
 
-func (h retryHeap) Len() int { return len(h) }
-func (h retryHeap) Less(i, j int) bool {
+func (h retryHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h retryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *retryHeap) Push(x any)   { *h = append(*h, x.(retryEntry)) }
-func (h *retryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+
+// pushRetry arms a retransmission timer, sifting it into heap position.
+func (f *Fabric) pushRetry(e retryEntry) {
+	h := append(f.retries, e)
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	f.retries = h
+}
+
+// popRetry removes and returns the earliest-due timer.
+func (f *Fabric) popRetry() retryEntry {
+	h := f.retries
+	n := len(h) - 1
+	e := h[0]
+	h[0] = h[n]
+	h[n] = retryEntry{} // unpin the packet from the vacated slot
+	h = h[:n]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h.less(r, c) {
+			c = r
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	f.retries = h
 	return e
 }
 
@@ -172,7 +210,7 @@ func (f *Fabric) Step(now int64) {
 	// Retransmit timed-out packets by re-queueing them at their source
 	// NI ahead of fresh traffic (a retried packet is older).
 	for len(f.retries) > 0 && f.retries[0].at <= now {
-		e := heap.Pop(&f.retries).(retryEntry)
+		e := f.popRetry()
 		if e.p.EjectedAt >= 0 {
 			continue // delivered in the meantime
 		}
@@ -188,13 +226,14 @@ func (f *Fabric) Step(now int64) {
 }
 
 func (f *Fabric) stepNode(id int, n *node, now int64) {
-	var arrivals []*packet.Packet
+	arrivals := n.arrivals[:0]
 	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
 		if n.in[d] == nil {
 			continue
 		}
-		arrivals = append(arrivals, n.in[d].Recv(now)...)
+		arrivals = n.in[d].RecvInto(now, arrivals)
 	}
+	n.arrivals = arrivals
 	f.traveling -= len(arrivals)
 
 	// A frozen router loses every arriving copy; the source timers
@@ -257,7 +296,7 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 		// within the timeout, the source sends a fresh copy.  A copy
 		// lives at most 2(N−1) < retryTimeout cycles (X-Y only, single
 		// cycle hops), so two copies never coexist in the mesh.
-		heap.Push(&f.retries, retryEntry{at: now + retryTimeout, seq: f.retrySeq, p: p})
+		f.pushRetry(retryEntry{at: now + retryTimeout, seq: f.retrySeq, p: p})
 		f.retrySeq++
 		break
 	}
@@ -269,7 +308,7 @@ func (f *Fabric) launch(n *node, p *packet.Packet, now int64) {
 	// Re-offer at the front is approximated by a plain offer; a full NI
 	// queue forces another timeout round instead of losing the packet.
 	if !n.ni.Offer(p) {
-		heap.Push(&f.retries, retryEntry{at: now + retryTimeout, seq: f.retrySeq, p: p})
+		f.pushRetry(retryEntry{at: now + retryTimeout, seq: f.retrySeq, p: p})
 		f.retrySeq++
 	}
 }

@@ -74,6 +74,8 @@ type Fabric struct {
 	faults *fault.Injector  // nil = fault-free (hot path untouched)
 	recov  *router.Recovery // non-nil iff faults is
 
+	rbuf []*packet.Packet // per-link receive scratch, reused every cycle
+
 	inFlight int
 	lastStep int64
 }
@@ -83,6 +85,20 @@ type node struct {
 	ni  *router.NI
 	in  [geom.NumLinkDirs]*link.Line[*packet.Packet]
 	out [geom.NumLinkDirs]*link.Line[*packet.Packet]
+
+	// Per-cycle scratch reused across cycles (DESIGN.md §12).  A dense
+	// array of (packet, arrival direction) pairs replaces the former
+	// per-cycle map[*packet.Packet]geom.Dir — at most one arrival per
+	// input port, so four slots cover every cycle with zero heap work.
+	arrivals [geom.NumLinkDirs]arrival
+	nArr     int
+}
+
+// arrival is one packet collected from an input link this cycle,
+// remembering the port it came in on (used in invariant diagnostics).
+type arrival struct {
+	p    *packet.Packet
+	from geom.Dir
 }
 
 // New builds a Surf-Bless mesh for cfg with the paper's routing
@@ -234,15 +250,16 @@ func (f *Fabric) relaunchRetries(now int64) {
 }
 
 func (f *Fabric) stepNode(id int, n *node, now int64) {
-	// Collect arrivals and check the confinement invariant: a packet
-	// must arrive on a wave owned by its own domain, at a window start.
-	var arrivals []*packet.Packet
-	arrivalDir := make(map[*packet.Packet]geom.Dir, geom.NumLinkDirs)
+	// Collect arrivals into the node's dense scratch array and check
+	// the confinement invariant: a packet must arrive on a wave owned
+	// by its own domain, at a window start.
+	n.nArr = 0
 	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
 		if n.in[d] == nil {
 			continue
 		}
-		for _, p := range n.in[d].Recv(now) {
+		f.rbuf = n.in[d].RecvInto(now, f.rbuf[:0])
+		for _, p := range f.rbuf {
 			w := f.sched.InputWave(n.c, d, now)
 			if dom := f.dec.Domain(w); dom != p.Domain {
 				panic(fmt.Sprintf("surfbless: %v arrived at %v/%v cycle %d on wave %d of domain %d",
@@ -252,18 +269,19 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 				panic(fmt.Sprintf("surfbless: %v arrived at %v/%v cycle %d mid-window (wave %d)",
 					p, n.c, d, now, w))
 			}
-			arrivals = append(arrivals, p)
-			arrivalDir[p] = d
+			n.arrivals[n.nArr] = arrival{p: p, from: d}
+			n.nArr++
 		}
 	}
+	arrivals := n.arrivals[:n.nArr]
 
 	// A frozen router's pipeline is dead: the links above were still
 	// drained (they demand collection), but every arrival is lost at the
 	// input and recovered via source retransmission.  Nothing ejects,
 	// forwards or injects here until the freeze repairs.
 	if f.faults != nil && f.faults.Frozen(id, now) {
-		for _, p := range arrivals {
-			f.dropOrRetry(p, now)
+		for _, a := range arrivals {
+			f.dropOrRetry(a.p, now)
 		}
 		return
 	}
@@ -277,37 +295,38 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 	seStart := seDom >= 0 && f.dec.CanStart(seWave, f.slot[seDom])
 	ejected := -1
 	if seStart {
-		for i, p := range arrivals {
-			if p.Dst == n.c && p.Domain == seDom && (ejected < 0 || p.Older(arrivals[ejected])) {
+		for i, a := range arrivals {
+			if a.p.Dst == n.c && a.p.Domain == seDom && (ejected < 0 || a.p.Older(arrivals[ejected].p)) {
 				ejected = i
 			}
 		}
 	}
 	if ejected >= 0 {
-		f.eject(n, arrivals[ejected], now)
+		f.eject(n, arrivals[ejected].p, now)
 		arrivals = append(arrivals[:ejected], arrivals[ejected+1:]...)
 	}
 
-	// Step 1 of the routing algorithm: old-first packet order.
-	router.SortOldestFirst(arrivals)
+	// Step 1 of the routing algorithm: old-first packet order
+	// (allocation-free insertion sort; Older is a total order).
+	sortArrivalsOldestFirst(arrivals)
 
 	// Step 2: X-Y, then Y-X, then random same-domain deflection.
 	var taken [geom.NumLinkDirs]bool
-	for _, p := range arrivals {
-		d := f.pickOutput(n, p, now, &taken)
+	for _, a := range arrivals {
+		d := f.pickOutput(n, a.p, now, &taken)
 		if d < 0 {
 			// Fault-free, a missing output falsifies the paper's central
 			// claim and must panic.  With faults armed the wave balance is
 			// broken by design (a down link removes its port from the
 			// schedule), so the stranded packet enters recovery instead.
 			if f.faults != nil {
-				f.dropOrRetry(p, now)
+				f.dropOrRetry(a.p, now)
 				continue
 			}
 			panic(fmt.Sprintf("surfbless: no same-domain output at %v cycle %d for %v (arrived %v) — wave balance violated",
-				n.c, now, p, arrivalDir[p]))
+				n.c, now, a.p, a.from))
 		}
-		f.forward(n, p, d, now, &taken)
+		f.forward(n, a.p, d, now, &taken)
 	}
 
 	// Injection: only on the SE sub-wave, only for the domain owning it,
@@ -325,6 +344,20 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 				f.forward(n, p, d, now, &taken)
 			}
 		}
+	}
+}
+
+// sortArrivalsOldestFirst is router.SortOldestFirst over (packet,
+// direction) pairs: old-first arbitration order, ≤4 elements,
+// allocation-free insertion sort.
+func sortArrivalsOldestFirst(as []arrival) {
+	for i := 1; i < len(as); i++ {
+		a := as[i]
+		j := i - 1
+		for ; j >= 0 && a.p.Older(as[j].p); j-- {
+			as[j+1] = as[j]
+		}
+		as[j+1] = a
 	}
 }
 
@@ -354,19 +387,22 @@ func (f *Fabric) pickOutput(n *node, p *packet.Packet, now int64, taken *[geom.N
 	// Random deflection among the remaining same-domain outputs.  The
 	// choice is a pure hash of (packet, cycle): no shared RNG state, so
 	// one domain's traffic can never perturb another domain's draws.
-	var free []geom.Dir
+	// A fixed-size candidate array keeps this off the heap.
+	var free [geom.NumLinkDirs]geom.Dir
+	nf := 0
 	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
 		if f.eligible(n, p, d, now, taken) {
-			free = append(free, d)
+			free[nf] = d
+			nf++
 		}
 	}
-	if len(free) == 0 {
+	if nf == 0 {
 		return -1
 	}
 	if f.pol.DisableRandom {
 		return free[0]
 	}
-	return free[router.Hash64(p.ID, uint64(now))%uint64(len(free))]
+	return free[router.Hash64(p.ID, uint64(now))%uint64(nf)]
 }
 
 func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool) {

@@ -175,6 +175,14 @@ type Engine struct {
 	flitsIn  int64 // flits injected into the network
 	flitsOut int64 // flits ejected
 	lastStep int64
+
+	// Per-cycle scratch buffers, engine-owned and reused across cycles
+	// (DESIGN.md §12).  Nodes step sequentially, so one set suffices.
+	credBuf []creditMsg
+	flitBuf []flitMsg
+	reqs    []request
+	domReqs [][]request // per-domain ejection candidates (lanes > 1 only)
+	domList []int       // domains present this arbitration, in arrival order
 }
 
 // New builds the engine.  The caller provides the VC layout and gating;
@@ -209,6 +217,9 @@ func New(opt Options, sink network.Sink, col *stats.Collector, meter *power.Mete
 		// input ports; output TDM already bounds aggregate switch use.
 		// See DESIGN.md §2 (modelling conventions for Surf).
 		e.lanes = cfg.Domains
+	}
+	if e.lanes > 1 {
+		e.domReqs = make([][]request, cfg.Domains)
 	}
 	e.nodes = make([]*node, e.mesh.Nodes())
 	for id := range e.nodes {
@@ -349,7 +360,8 @@ func (e *Engine) Step(now int64) {
 func (e *Engine) receive(n *node, now int64) {
 	for d := geom.Dir(0); d < geom.NumDirs; d++ {
 		if cl := n.out[d].creditIn; cl != nil {
-			for _, m := range cl.Recv(now) {
+			e.credBuf = cl.RecvInto(now, e.credBuf[:0])
+			for _, m := range e.credBuf {
 				n.out[d].credits[m.vc]++
 				if n.out[d].credits[m.vc] > e.opt.VCs[m.vc].Depth {
 					panic(fmt.Sprintf("wormhole: credit overflow at %v/%v vc %d", n.c, d, m.vc))
@@ -357,7 +369,8 @@ func (e *Engine) receive(n *node, now int64) {
 			}
 		}
 		if fl := n.in[d].flitsIn; fl != nil {
-			for _, m := range fl.Recv(now) {
+			e.flitBuf = fl.RecvInto(now, e.flitBuf[:0])
+			for _, m := range e.flitBuf {
 				vc := &n.in[d].vcs[m.vc]
 				if len(vc.fifo) >= vc.spec.Depth {
 					panic(fmt.Sprintf("wormhole: buffer overflow at %v/%v vc %d", n.c, d, m.vc))
@@ -467,7 +480,7 @@ type request struct {
 }
 
 func (e *Engine) arbitrateOutput(n *node, o geom.Dir, now int64) {
-	var reqs []request
+	reqs := e.reqs[:0]
 	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
 		for v := range n.in[d].vcs {
 			vc := &n.in[d].vcs[v]
@@ -505,25 +518,29 @@ func (e *Engine) arbitrateOutput(n *node, o geom.Dir, now int64) {
 			reqs = append(reqs, request{fromInj: true, vc: dom})
 		}
 	}
+	e.reqs = reqs // hand the (possibly grown) scratch back to the engine
 	if len(reqs) == 0 {
 		return
 	}
 	if o == geom.Local && e.lanes > 1 {
 		// Ungated ejection with one grant lane per domain: pick at most
 		// one flit per domain, rotating within each domain's candidates
-		// so the choice never depends on other domains' presence.
-		byDom := make(map[int][]request)
-		var doms []int
+		// so the choice never depends on other domains' presence.  The
+		// per-domain buckets are pre-sized engine scratch (a map here
+		// would allocate on every ejection-contended cycle).
+		doms := e.domList[:0]
 		for _, r := range reqs {
 			d := e.reqPacket(n, r).Domain
-			if len(byDom[d]) == 0 {
+			if len(e.domReqs[d]) == 0 {
 				doms = append(doms, d)
 			}
-			byDom[d] = append(byDom[d], r)
+			e.domReqs[d] = append(e.domReqs[d], r)
 		}
+		e.domList = doms
 		for _, d := range doms {
-			cand := byDom[d]
+			cand := e.domReqs[d]
 			e.grant(n, o, cand[int(now%int64(len(cand)))], now)
+			e.domReqs[d] = cand[:0]
 		}
 		return
 	}
@@ -567,7 +584,9 @@ func (e *Engine) grant(n *node, o geom.Dir, r request, now int64) {
 		vc := &in.vcs[r.vc]
 		f = vc.fifo[0]
 		outVC = vc.outVC
-		vc.fifo = append(vc.fifo[:0], vc.fifo[1:]...)
+		nf := copy(vc.fifo, vc.fifo[1:])
+		vc.fifo[nf] = packet.Flit{} // unpin the forwarded flit's packet
+		vc.fifo = vc.fifo[:nf]
 		e.meter.BufferRead(1)
 		in.creditOut.Send(creditMsg{vc: r.vc}, now)
 		n.inUsed[r.port][e.lane(f.Pkt)] = true

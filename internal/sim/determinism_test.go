@@ -59,6 +59,42 @@ func TestRunDeterminism(t *testing.T) {
 	}
 }
 
+// Recycling ejected packets through the free list must be observably
+// equivalent to fresh allocation on every model: bit-identical results
+// and an unchanged cache fingerprint (Recycle is fingerprint-exempt).
+// RUNAHEAD is included deliberately — there Recycle must be a no-op.
+func TestRecycleMatchesFresh(t *testing.T) {
+	for _, model := range []config.Model{
+		config.WH, config.BLESS, config.Surf, config.SB, config.CHIPPER, config.RUNAHEAD,
+	} {
+		fresh := determinismOptions(model, 7)
+		recycled := fresh
+		recycled.Recycle = true
+		rf, err := Run(fresh)
+		if err != nil {
+			t.Fatalf("%v fresh: %v", model, err)
+		}
+		rr, err := Run(recycled)
+		if err != nil {
+			t.Fatalf("%v recycled: %v", model, err)
+		}
+		if !reflect.DeepEqual(rf, rr) {
+			t.Errorf("%v: recycling changed the result:\n%+v\n%+v", model, rf, rr)
+		}
+		kf, err := Fingerprint(fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kr, err := Fingerprint(recycled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kf != kr {
+			t.Errorf("%v: Recycle leaked into the cache fingerprint", model)
+		}
+	}
+}
+
 // TestRunDeterminismAcrossOrderings executes the same batch of runs
 // serially, concurrently in submission order, and concurrently in
 // reverse order; every ordering must produce the identical result set.

@@ -140,6 +140,58 @@ func TestWatchdogConvertsWedgeToDegradedError(t *testing.T) {
 		de.Partial.Total.Ejected, de.Partial.Total.Created, de.Partial.LeftInFlight)
 }
 
+// A degraded run that ends mid-measurement must report the cycles it
+// actually measured, not the full configured window: Throughput divides
+// ejections by MeasuredCycles, so the configured o.Measure would
+// silently under-report the accepted rate of every degraded point in a
+// fault sweep.
+func TestDegradedRunClampsMeasuredCycles(t *testing.T) {
+	cfg := config.Default(config.WH)
+	cfg.Width, cfg.Height = 4, 4
+	// Freeze the whole mesh shortly after warmup: with every router
+	// granting nothing, progress stops completely and the no-progress
+	// check must fire well inside the measurement window.
+	events := make([]fault.Event, cfg.Nodes())
+	for i := range events {
+		events[i] = fault.Event{Kind: fault.RouterFreeze, Node: i, At: 1000}
+	}
+	cfg.Faults = &fault.Plan{Events: events}
+	const warmup, measure = 200, 50000
+	res, err := Run(Options{
+		Cfg:                cfg,
+		Pattern:            traffic.UniformRandom,
+		Sources:            ctrlSources(1, 0.05),
+		Warmup:             warmup,
+		Measure:            measure, // far longer than the watchdog allows
+		Drain:              50000,
+		Seed:               3,
+		WatchdogNoProgress: 3000,
+		WatchdogMaxAge:     -1,
+	})
+	var de *DegradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("expected DegradedError, got %v", err)
+	}
+	if res.MeasuredCycles >= measure {
+		t.Fatalf("MeasuredCycles = %d, want < %d (run was cut short)", res.MeasuredCycles, measure)
+	}
+	if want := res.Cycles - warmup; res.MeasuredCycles != want {
+		t.Errorf("MeasuredCycles = %d, want %d (Cycles %d − Warmup %d)",
+			res.MeasuredCycles, want, res.Cycles, warmup)
+	}
+	if res.MeasuredCycles <= 0 {
+		t.Fatalf("MeasuredCycles = %d, want > 0 (watchdog tripped after warmup)", res.MeasuredCycles)
+	}
+	// Throughput must use the clamped denominator.
+	want := float64(res.Domains[0].Ejected) / float64(res.Nodes) / float64(res.MeasuredCycles)
+	if got := res.Throughput(0); got != want {
+		t.Errorf("Throughput(0) = %g, want %g", got, want)
+	}
+	if res.Throughput(0) == 0 {
+		t.Error("degraded run reports zero throughput despite ejections")
+	}
+}
+
 // The starvation (age-ceiling) check must fire even while unrelated
 // traffic keeps the no-progress detector happy.
 func TestWatchdogAgeCeiling(t *testing.T) {

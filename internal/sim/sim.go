@@ -11,6 +11,7 @@ import (
 	"surfbless/internal/config"
 	"surfbless/internal/fault"
 	"surfbless/internal/network"
+	"surfbless/internal/packet"
 	"surfbless/internal/power"
 	"surfbless/internal/probe"
 	"surfbless/internal/router/bless"
@@ -74,6 +75,14 @@ type Options struct {
 	// Probe, it is observation-only and fingerprint-exempt; RunCached
 	// bypasses the cache for traced runs.
 	Tracer stats.Tracer `json:"-"`
+
+	// Recycle arms a packet free list: ejected packets are returned to
+	// the traffic generator and reused, making steady-state stepping
+	// allocation-free (DESIGN.md §12).  Results are bit-identical with
+	// or without recycling — FreeList.New resets every field — so the
+	// option is fingerprint-exempt.  Ignored for RUNAHEAD, whose retry
+	// timers legitimately hold packet pointers past ejection.
+	Recycle bool `json:"-"`
 }
 
 // Observed reports whether the run carries an observer that requires a
@@ -179,7 +188,16 @@ func Run(o Options) (Result, error) {
 		col.SetProbe(o.Probe)
 	}
 	meter := power.NewMeter(o.Cfg, co)
-	fab, err := BuildFabric(o.Cfg, o.SlotWidths, nil, col, meter)
+	var sink network.Sink
+	var fl *packet.FreeList
+	if o.Recycle && o.Cfg.Model != config.RUNAHEAD {
+		// RUNAHEAD is excluded: its retransmission timers keep packet
+		// pointers armed after ejection and later read EjectedAt, so a
+		// recycled (reset) packet would trigger a spurious retransmit.
+		fl = &packet.FreeList{}
+		sink = func(_ int, p *packet.Packet, _ int64) { fl.Put(p) }
+	}
+	fab, err := BuildFabric(o.Cfg, o.SlotWidths, sink, col, meter)
 	if err != nil {
 		return Result{}, err
 	}
@@ -196,19 +214,26 @@ func Run(o Options) (Result, error) {
 		fs.SetFaults(inj)
 	}
 	gen := traffic.New(o.Cfg.Mesh(), o.Pattern, o.Sources, o.Seed)
+	if fl != nil {
+		gen.SetFreeList(fl)
+	}
 
 	now := int64(0)
 	loopErr := runLoop(o, fab, gen, col, &now)
 
 	snapshot := func() Result {
 		res := Result{
-			Domains:        make([]stats.Domain, o.Cfg.Domains),
-			LatencyP50:     make([]int64, o.Cfg.Domains),
-			LatencyP99:     make([]int64, o.Cfg.Domains),
-			Total:          col.Total(),
-			Energy:         meter.Report(now),
-			Cycles:         now,
-			MeasuredCycles: o.Measure,
+			Domains:    make([]stats.Domain, o.Cfg.Domains),
+			LatencyP50: make([]int64, o.Cfg.Domains),
+			LatencyP99: make([]int64, o.Cfg.Domains),
+			Total:      col.Total(),
+			Energy:     meter.Report(now),
+			Cycles:     now,
+			// A degraded run can end mid-measurement (or even mid-warmup),
+			// so the measured-cycle count is clamped to the window the run
+			// actually covered; Throughput would otherwise divide by the
+			// full o.Measure and under-report accepted rate.
+			MeasuredCycles: max(0, min(now, o.Warmup+o.Measure)-o.Warmup),
 			Nodes:          o.Cfg.Nodes(),
 			LeftInFlight:   fab.InFlight(),
 		}

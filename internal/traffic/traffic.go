@@ -68,6 +68,7 @@ type Generator struct {
 	sources []Source
 	rngs    [][]*rand.Rand // [node][domain]
 	seqs    [][]uint64     // [node][domain] per-stream packet sequence
+	fl      *packet.FreeList
 }
 
 // New returns a generator for the given mesh and per-domain sources.
@@ -131,7 +132,12 @@ func (g *Generator) Tick(f network.Fabric, now int64) {
 			if !ok {
 				continue
 			}
-			p := packet.New(PacketID(n, d, g.seqs[n][d]), src, dst, d, s.Class, now)
+			var p *packet.Packet
+			if g.fl != nil {
+				p = g.fl.New(PacketID(n, d, g.seqs[n][d]), src, dst, d, s.Class, now)
+			} else {
+				p = packet.New(PacketID(n, d, g.seqs[n][d]), src, dst, d, s.Class, now)
+			}
 			g.seqs[n][d]++
 			p.VNet = s.VNet
 			f.Inject(n, p, now)
@@ -172,6 +178,12 @@ func (g *Generator) destination(src geom.Coord, rng *rand.Rand) (geom.Coord, boo
 		return g.mesh.CoordOf(d), true
 	}
 }
+
+// SetFreeList makes Tick draw packets from fl instead of the heap (nil
+// restores plain allocation).  Recycling is observably equivalent to
+// fresh allocation — FreeList.New resets every field — so the packet
+// population is bit-identical either way.
+func (g *Generator) SetFreeList(fl *packet.FreeList) { g.fl = fl }
 
 // Offered returns how many packets the (node, domain) stream has
 // generated so far.
