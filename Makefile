@@ -6,12 +6,37 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz fuzz-fault bench bench-smoke experiments clean-cache
+.PHONY: ci vet lint staticcheck govulncheck build test race race-faults fuzz fuzz-fault bench bench-smoke experiments clean-cache
 
-ci: vet build race bench-smoke fuzz-fault
+ci: vet lint build race race-faults bench-smoke fuzz-fault staticcheck govulncheck
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific invariants: hot-path allocations, determinism hazards,
+# fingerprint completeness, unguarded hook calls (DESIGN.md §13).
+# Exits nonzero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/nocvet ./...
+
+# External analyzers run when the host has them; the hermetic CI image
+# is offline (no module proxy), so a missing binary is a loud skip, not
+# a failure.  Install locally with:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+#   go install golang.org/x/vuln/cmd/govulncheck@latest
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed; skipping (offline image)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck: not installed; skipping (offline image)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -21,6 +46,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused -race gate over the failure-handling machinery: fault
+# injection, watchdog/degraded runs, checkpoint/resume, and the
+# resumable parallel sweep.  Redundant with `race` on a full run, but
+# cheap enough to iterate on alone while touching recovery code.
+race-faults:
+	$(GO) test -race -count=1 \
+		-run 'TestFault|TestInactiveFaults|TestWatchdog|TestDegraded|TestConservation|TestRunLoopRecovers|TestPlan|TestWindow|TestInjector|TestCorrupt|TestLoadPlan|TestCheckpoint|TestParallelSweep' \
+		./internal/sim ./internal/fault ./internal/simcache ./cmd/sweep
 
 fuzz:
 	$(GO) test -fuzz=FuzzConfigJSON -fuzztime=10s ./internal/config

@@ -1,0 +1,86 @@
+// Command nocvet is the multichecker driver for this repository's
+// custom static analyzers (see internal/analysis and DESIGN.md §13):
+//
+//	hotalloc          no heap allocation reachable from any fabric's Step
+//	determinism       no wall clock, global RNG, or unordered map range
+//	                  in replay-critical packages
+//	fingerprintcheck  every options field feeds the simcache fingerprint
+//	                  or carries an explicit json:"-" exemption
+//	nilhook           probe/fault/tracer/sink hook calls are nil-guarded
+//
+// Usage:
+//
+//	nocvet [-list] [packages...]
+//
+// With no package patterns it analyzes ./... of the module in the
+// current directory.  Findings print as file:line:col: [analyzer]
+// message; the exit status is 1 when any unsuppressed finding exists
+// (including unknown //nocvet: directives), 2 on driver errors.
+// Intentional exceptions are waived in source with
+// `//nocvet:<category> <why>` — see internal/analysis/directive.go
+// for the policy.
+//
+// Run it over the whole module: hotalloc follows the Step call graph
+// across packages and only sees what is loaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"surfbless/internal/analysis"
+	"surfbless/internal/analysis/determinism"
+	"surfbless/internal/analysis/fingerprintcheck"
+	"surfbless/internal/analysis/hotalloc"
+	"surfbless/internal/analysis/nilhook"
+)
+
+// analyzers is the suite `make lint` enforces.
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	fingerprintcheck.Analyzer,
+	hotalloc.Analyzer,
+	nilhook.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: nocvet [-list] [packages...]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		printAnalyzers(flag.CommandLine.Output())
+	}
+	flag.Parse()
+	if *list {
+		printAnalyzers(os.Stdout)
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset, units, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nocvet: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.RunAnalyzers(fset, units, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nocvet: %v\n", err)
+		os.Exit(2)
+	}
+	if n := analysis.Print(os.Stdout, findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "nocvet: %d finding(s) in %d package(s)\n", n, len(units))
+		os.Exit(1)
+	}
+}
+
+func printAnalyzers(w io.Writer) {
+	for _, a := range analyzers {
+		fmt.Fprintf(w, "  %-17s %s\n", a.Name, a.Doc)
+	}
+}

@@ -1,0 +1,128 @@
+// Package analysistest is the golden-file harness for the nocvet
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the in-module framework: testdata packages carry `// want "regexp"`
+// comments naming the findings an analyzer must report there, and the
+// harness fails on any mismatch in either direction.
+//
+// Each analyzer's testdata directory is its own Go module (it has a
+// go.mod), so the loader's `go list -export` pipeline treats it
+// exactly like the real module; package paths inside it mirror the
+// repository layout (e.g. nocvet.example/internal/sim) so the
+// analyzers' path-based scoping applies unchanged.
+//
+// Suppression is part of the contract under test: a construct with a
+// //nocvet: directive and no want comment asserts the directive
+// silences the finding.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"surfbless/internal/analysis"
+)
+
+// wantMarker introduces an expectation comment.
+const wantMarker = "// want "
+
+// expectation is one parsed want clause.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads the testdata module rooted at dir, analyzes the packages
+// matched by patterns (explicit paths like "./internal/sim" — testdata
+// directories are invisible to ./... wildcards by design), runs the
+// analyzer through the real checker, and diffs active findings against
+// the want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	fset, units, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, err := analysis.RunAnalyzers(fset, units, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, u := range units {
+		for _, f := range u.Files {
+			ws, err := parseWants(fset, f)
+			if err != nil {
+				t.Fatalf("parsing want comments: %v", err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, f := range analysis.Active(findings) {
+		if !matchWant(wants, f) {
+			t.Errorf("unexpected finding at %s:%d: [%s] %s",
+				f.Position.Filename, f.Position.Line, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("missing finding at %s:%d: want match for %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// matchWant consumes the first unmet expectation on the finding's line
+// whose regexp matches its message.
+func matchWant(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.met || w.file != f.Position.Filename || w.line != f.Position.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts every `// want "re" ["re" ...]` clause of one
+// file.  An expectation anchors to the line its comment starts on.
+func parseWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			i := strings.Index(c.Text, wantMarker)
+			if i < 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(c.Text[i+len(wantMarker):])
+			for rest != "" {
+				quoted, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: malformed want clause %q", pos.Filename, pos.Line, rest)
+				}
+				pattern, err := strconv.Unquote(quoted)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: unquoting %s: %w", pos.Filename, pos.Line, quoted, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: compiling want %q: %w", pos.Filename, pos.Line, pattern, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: quoted})
+				rest = strings.TrimSpace(rest[len(quoted):])
+			}
+		}
+	}
+	return wants, nil
+}

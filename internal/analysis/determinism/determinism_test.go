@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"surfbless/internal/analysis/analysistest"
+	"surfbless/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer,
+		"./internal/sim", "./outofscope")
+}

@@ -1,0 +1,18 @@
+// Package outofscope proves the analyzer's package scoping: the same
+// constructs that are findings under internal/sim are silent here
+// (experiment drivers may read the clock for progress lines).
+package outofscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Allowed uses every forbidden construct outside the scope.
+func Allowed(m map[int]int) int64 {
+	sum := int64(rand.Intn(8))
+	for k := range m {
+		sum += int64(k)
+	}
+	return sum + time.Now().UnixNano()
+}

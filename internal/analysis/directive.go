@@ -1,0 +1,142 @@
+// Suppression directives.  A finding is intentional sometimes — a map
+// range whose results are sorted before use, an allocation on a
+// panic-only cold path — and the policy for blessing one is a source
+// comment the reviewer can see and grep for:
+//
+//	//nocvet:<category> <reason>
+//
+// The comment must start exactly with "//nocvet:" (no space before the
+// colon, mirroring //go: directive convention so gofmt leaves it
+// alone).  <category> names the finding category being waived;
+// <reason> is free text and strongly encouraged.  The directive
+// silences matching findings reported on its own line or on the line
+// immediately following its comment group, so both styles work, and a
+// stack of directives above one statement all apply to it:
+//
+//	//nocvet:ordered keys are sorted two lines down
+//	for k := range m { ... }
+//
+//	for k := range m { //nocvet:ordered keys are sorted below
+//
+// Unknown categories are themselves findings (category "directive"):
+// a typo must fail the build, not silently suppress nothing.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//nocvet:"
+
+// KnownDirectives is the registry of suppression categories.  Every
+// Diagnostic.Category an analyzer reports must be listed here, or no
+// directive could ever waive it.
+var KnownDirectives = map[string]string{
+	"ordered":     "map iteration whose observable effect is order-independent (determinism)",
+	"determinism": "wall-clock or global-RNG use proven not to affect results (determinism)",
+	"alloc":       "allocation on a proven cold path reachable from Step (hotalloc)",
+	"hook":        "hook invocation whose guard the analyzer cannot see (nilhook)",
+	"fingerprint": "fingerprint payload field audited by hand (fingerprintcheck)",
+}
+
+// Directive is one parsed //nocvet: comment.
+type Directive struct {
+	// Name is the waived category, e.g. "ordered".
+	Name string
+	// Reason is the free text after the category, possibly empty.
+	Reason string
+	// Pos is the comment's position.
+	Pos token.Pos
+}
+
+// ParseDirective parses a single comment.  ok reports whether the
+// comment is a nocvet directive at all; a directive with an empty or
+// malformed category still returns ok=true with Name=="" so the
+// checker can flag it.
+func ParseDirective(c *ast.Comment) (d Directive, ok bool) {
+	text, found := strings.CutPrefix(c.Text, directivePrefix)
+	if !found {
+		return Directive{}, false
+	}
+	name, reason, _ := strings.Cut(text, " ")
+	if !validDirectiveName(name) {
+		name = ""
+	}
+	return Directive{Name: name, Reason: strings.TrimSpace(reason), Pos: c.Pos()}, true
+}
+
+// validDirectiveName reports whether s is a well-formed category name:
+// nonempty lowercase letters with optional interior dashes.
+func validDirectiveName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "-") || strings.HasSuffix(s, "-") {
+		return false
+	}
+	for _, r := range s {
+		if (r < 'a' || r > 'z') && r != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// DirectiveIndex maps file → line → the directives written there, and
+// answers the only question the checker asks: is the finding at this
+// position waived?
+type DirectiveIndex struct {
+	fset  *token.FileSet
+	lines map[string]map[int][]Directive
+	// Bad collects malformed or unknown-category directives, in file
+	// order; the checker reports each as a finding.
+	Bad []Directive
+}
+
+// NewDirectiveIndex scans every comment of every file and builds the
+// suppression index for one package.
+func NewDirectiveIndex(fset *token.FileSet, files []*ast.File) *DirectiveIndex {
+	idx := &DirectiveIndex{fset: fset, lines: make(map[string]map[int][]Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			groupEnd := fset.Position(cg.End()).Line
+			for _, c := range cg.List {
+				d, ok := ParseDirective(c)
+				if !ok {
+					continue
+				}
+				if _, known := KnownDirectives[d.Name]; !known {
+					idx.Bad = append(idx.Bad, d)
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]Directive)
+					idx.lines[pos.Filename] = byLine
+				}
+				// A directive covers its own line and the line right
+				// after its comment group, so a stack of directives
+				// above one statement all reach it.
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+				if next := groupEnd + 1; next != pos.Line {
+					byLine[next] = append(byLine[next], d)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Suppressed reports whether a finding of the given category at pos is
+// waived by a directive covering that line, returning the waiving
+// directive when so.
+func (idx *DirectiveIndex) Suppressed(pos token.Pos, category string) (Directive, bool) {
+	p := idx.fset.Position(pos)
+	for _, d := range idx.lines[p.Filename][p.Line] {
+		if d.Name == category {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func comment(text string) *ast.Comment { return &ast.Comment{Text: text} }
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text   string
+		ok     bool
+		name   string
+		reason string
+	}{
+		{"// ordinary comment", false, "", ""},
+		{"//go:noinline", false, "", ""},
+		{"//nocvet:ordered", true, "ordered", ""},
+		{"//nocvet:ordered keys sorted before use", true, "ordered", "keys sorted before use"},
+		{"//nocvet:alloc panic-only cold path", true, "alloc", "panic-only cold path"},
+		{"//nocvet:fingerprint audited 2026-08", true, "fingerprint", "audited 2026-08"},
+		// Malformed or unknown names parse as directives with an empty
+		// or unknown Name so the checker can flag them.
+		{"//nocvet:", true, "", ""},
+		{"//nocvet: ordered", true, "", "ordered"}, // space before name: malformed
+		{"//nocvet:Ordered", true, "", ""},
+		{"//nocvet:-bad-", true, "", ""},
+		{"//nocvet:bogus reason", true, "bogus", "reason"},
+	}
+	for _, c := range cases {
+		d, ok := ParseDirective(comment(c.text))
+		if ok != c.ok {
+			t.Errorf("ParseDirective(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.Name != c.name || d.Reason != c.reason {
+			t.Errorf("ParseDirective(%q) = {Name:%q Reason:%q}, want {Name:%q Reason:%q}",
+				c.text, d.Name, d.Reason, c.name, c.reason)
+		}
+	}
+}
+
+const directiveSrc = `package p
+
+//nocvet:ordered reason on the line above the loop
+var a = 1
+
+var b = 2 //nocvet:alloc same-line waiver
+
+//nocvet:bogus unknown category must be collected as Bad
+var c = 3
+
+//nocvet:hook
+//nocvet:ordered stacked directives both apply to the next line
+var d = 4
+`
+
+func parseFile(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// posAtLine fabricates a Pos on the given 1-based line of the file.
+func posAtLine(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	tf := fset.File(f.Pos())
+	return tf.LineStart(line)
+}
+
+func TestDirectiveIndexSuppression(t *testing.T) {
+	fset, f := parseFile(t, directiveSrc)
+	idx := NewDirectiveIndex(fset, []*ast.File{f})
+
+	if len(idx.Bad) != 1 || idx.Bad[0].Name != "bogus" {
+		t.Fatalf("Bad = %+v, want exactly the bogus directive", idx.Bad)
+	}
+
+	check := func(line int, category string, want bool) {
+		t.Helper()
+		_, got := idx.Suppressed(posAtLine(fset, f, line), category)
+		if got != want {
+			t.Errorf("Suppressed(line %d, %q) = %v, want %v", line, category, got, want)
+		}
+	}
+	check(4, "ordered", true)  // directive on line 3 covers line 4
+	check(3, "ordered", true)  // ...and its own line
+	check(5, "ordered", false) // ...but not two lines down
+	check(4, "alloc", false)   // category must match
+	check(6, "alloc", true)    // same-line waiver
+	check(9, "determinism", false)
+	check(13, "hook", true)    // stacked directives: the first one reaches
+	check(13, "ordered", true) // past the second to the statement line
+	check(12, "hook", false)   // interior group lines get only their own directive
+}
+
+// TestKnownDirectivesCoverReportedCategories pins the registry: every
+// category the analyzers report must be waivable, and the registry
+// must not accumulate dead entries without a description.
+func TestKnownDirectivesCoverReportedCategories(t *testing.T) {
+	for name, doc := range KnownDirectives {
+		if !validDirectiveName(name) {
+			t.Errorf("registered directive %q is not a valid name", name)
+		}
+		if doc == "" {
+			t.Errorf("registered directive %q has no description", name)
+		}
+	}
+	for _, want := range []string{"ordered", "determinism", "alloc", "hook", "fingerprint"} {
+		if _, ok := KnownDirectives[want]; !ok {
+			t.Errorf("directive %q missing from registry", want)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package config is fingerprintcheck testdata: a synthetic config
+// struct reached from another package's fingerprint payload.
+package config
+
+// Config mixes serialized, silently-missing and exempted fields.
+type Config struct {
+	Width int
+	Waves [][]int
+
+	// run influences results but never reaches the payload: the
+	// deliberately missing field of the golden test.
+	run int // want `field config\.Config\.run is unexported, so encoding/json silently omits it`
+
+	// note carries the explicit exemption tag: the passing case.
+	note string `json:"-"`
+}
+
+// Coefficients is a plain nested struct, fully serialized.
+type Coefficients struct{ Link float64 }
+
+// Coord is used as a map key below; json.Marshal rejects struct keys.
+type Coord struct{ X, Y int }
+
+// Stamp controls its own serialization via MarshalText and is trusted
+// as opaque.
+type Stamp struct{ v int }
+
+// MarshalText serializes the stamp.
+func (s Stamp) MarshalText() ([]byte, error) { return []byte{byte(s.v)}, nil }

@@ -1,0 +1,13 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"surfbless/internal/analysis/analysistest"
+	"surfbless/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer,
+		"./internal/router/fab", "./internal/link")
+}

@@ -1,0 +1,18 @@
+// Package link is hotalloc testdata for the cross-package walk: its
+// methods are only hot because a fabric's Step reaches them.
+package link
+
+// Line mirrors the real link package's receive buffer.
+type Line struct{ buf []int }
+
+// Recv reuses its own backing array: the append stays silent.
+func (l *Line) Recv(in []int) {
+	l.buf = append(l.buf[:0], in...)
+	l.grow()
+}
+
+// grow allocates two packages away from the Step root; the finding
+// must carry the full call chain.
+func (l *Line) grow() {
+	l.buf = make([]int, 8) // want `make allocates on the Step hot path \(reachable via fab\.\(\*Fabric\)\.Step → link\.\(\*Line\)\.Recv → link\.\(\*Line\)\.grow\)`
+}

@@ -1,0 +1,155 @@
+// Package loading.  The x/tools drivers shell out to `go list` for
+// package metadata and read gc export data for dependency types; this
+// loader does the same with nothing but the standard library:
+//
+//  1. `go list -export -deps -json <patterns>` enumerates the target
+//     packages and every dependency (standard library included) and, by
+//     virtue of -export, compiles each dependency's export data into
+//     the build cache, reporting the file path in .Export.  This works
+//     fully offline: the module has no external requirements.
+//  2. Each target package is parsed from source (comments kept — the
+//     suppression directives live there) and type-checked with
+//     go/importer's gc importer in lookup mode, which resolves every
+//     import — stdlib or intra-module — from those export files.
+//
+// Analyzers therefore see complete types for all packages while only
+// the packages under analysis pay for syntax.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matched by patterns, resolved relative
+// to dir (a directory inside the module to analyze).  It returns one
+// Unit per matched package, sorted by import path, all sharing the
+// returned FileSet.
+func Load(dir string, patterns ...string) (*token.FileSet, []*Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data listed for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	units := make([]*Unit, 0, len(targets))
+	for _, p := range targets {
+		u, err := typeCheck(fset, imp, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		units = append(units, u)
+	}
+	return fset, units, nil
+}
+
+// goList runs `go list -export -deps -json` and decodes its output
+// stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Standard,DepOnly,Export,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		listed = append(listed, p)
+	}
+	return listed, nil
+}
+
+// typeCheck parses and type-checks one listed package from source.
+func typeCheck(fset *token.FileSet, imp types.Importer, p *listedPackage) (*Unit, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+	}
+	modPath := ""
+	if p.Module != nil {
+		modPath = p.Module.Path
+	}
+	return &Unit{Path: p.ImportPath, ModulePath: modPath, Files: files, Pkg: pkg, Info: info}, nil
+}

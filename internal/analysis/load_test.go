@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestLoadTypeChecksModulePackages proves the offline loading pipeline
+// end to end: go list -export supplies export data, the gc importer
+// consumes it, and the target package type-checks from source with
+// full cross-package type information.
+func TestLoadTypeChecksModulePackages(t *testing.T) {
+	fset, units, err := Load("../..", "surfbless/internal/config")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("got %d units, want 1", len(units))
+	}
+	u := units[0]
+	if u.Path != "surfbless/internal/config" {
+		t.Fatalf("unit path = %q", u.Path)
+	}
+	if u.ModulePath != "surfbless" {
+		t.Fatalf("module path = %q", u.ModulePath)
+	}
+	if len(u.Files) == 0 || fset.Position(u.Files[0].Pos()).Filename == "" {
+		t.Fatal("no parsed files with positions")
+	}
+
+	// Cross-package types must be resolvable: Config.Faults comes from
+	// the imported fault package via export data, and its struct
+	// fields (needed by fingerprintcheck) must be visible.
+	obj := u.Pkg.Scope().Lookup("Config")
+	if obj == nil {
+		t.Fatal("config.Config not found")
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		t.Fatalf("Config underlying is %T, want struct", obj.Type().Underlying())
+	}
+	var faults *types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Faults" {
+			faults = st.Field(i)
+		}
+	}
+	if faults == nil {
+		t.Fatal("Config.Faults not found")
+	}
+	ptr, ok := faults.Type().(*types.Pointer)
+	if !ok {
+		t.Fatalf("Faults type = %v, want pointer", faults.Type())
+	}
+	plan, ok := ptr.Elem().(*types.Named)
+	if !ok || plan.Obj().Name() != "Plan" {
+		t.Fatalf("Faults elem = %v, want fault.Plan", ptr.Elem())
+	}
+	if _, ok := plan.Underlying().(*types.Struct); !ok {
+		t.Fatalf("fault.Plan underlying = %T, want struct (export data incomplete?)", plan.Underlying())
+	}
+}
+
+// TestLoadRejectsBrokenPatterns ensures load failures surface as
+// errors instead of half-built units.
+func TestLoadRejectsBrokenPatterns(t *testing.T) {
+	if _, _, err := Load("../..", "surfbless/internal/does-not-exist"); err == nil {
+		t.Fatal("Load of a nonexistent package succeeded")
+	}
+}

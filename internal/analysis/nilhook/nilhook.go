@@ -1,0 +1,262 @@
+// Package nilhook implements the nocvet analyzer that verifies every
+// probe / fault / tracer / sink hook invocation on the simulator's
+// hot paths is nil-guarded.
+//
+// The observability and fault layers are wired as optional hook
+// fields (`probe *probe.Probe`, `faults *fault.Injector`,
+// `tracer stats.Tracer`, `sink network.Sink`) with the contract
+// "nil = disabled, hot path untouched".  Every fabric touches these
+// fields millions of times per run, and an unguarded call on a
+// disabled hook is a nil-pointer panic that only fires in the exact
+// configuration that leaves the hook unarmed — the configuration the
+// benchmarks and most tests run.  This analyzer makes the guard a
+// compile-time obligation.
+//
+// A call through a hook-typed struct field is accepted when the
+// analyzer can see the guard in the enclosing function:
+//
+//	if f.probe != nil { f.probe.Traverse(...) }     // guarded body
+//	if f.faults != nil && f.faults.Frozen(...)      // && short-circuit
+//	if c.tracer == nil { return }; c.tracer(...)    // early return
+//	if f.probe == nil || f.probe.Enabled(...)       // || short-circuit
+//
+// Guards established in a caller are invisible here; helpers that are
+// only invoked with an armed hook carry a `//nocvet:hook <why>`
+// waiver naming the caller holding the guard.
+package nilhook
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"surfbless/internal/analysis"
+)
+
+// Analyzer is the nil-guard checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilhook",
+	Doc:  "require nil guards on probe/fault/tracer/sink hook-field calls in hot-path packages",
+	Run:  run,
+}
+
+// Scope limits the analyzer to the packages holding router hot paths
+// and their stat/observability plumbing.
+var Scope = regexp.MustCompile(`internal/(router(/[^/]+)?|sim|link|stats|network|traffic|system)$`)
+
+// HookTypes matches the type (pointers stripped) of fields whose nil
+// state means "hook disabled".  Matched against the fully qualified
+// type string so the testdata module's probe/fault packages match the
+// same way the real ones do.
+var HookTypes = regexp.MustCompile(`(^|/)(probe\.Probe|fault\.Injector|stats\.Tracer|network\.Sink)$`)
+
+func run(pass *analysis.Pass) error {
+	if !Scope.MatchString(pass.Unit.Path) {
+		return nil
+	}
+	for _, file := range pass.Unit.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkCall(pass, call, stack)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags an unguarded invocation through a hook field: either
+// a method call whose receiver is a hook-typed field selection, or a
+// direct call of a func-typed hook field.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	var hook ast.Expr // the expression that must be nil-checked
+	if sel := pass.Unit.Info.Selections[fun]; sel != nil && sel.Kind() == types.FieldVal {
+		// c.tracer(...): the callee itself is a func-typed field.
+		if !hookType(sel.Obj().Type()) {
+			return
+		}
+		hook = fun
+	} else {
+		// f.probe.Traverse(...): method on a hook-typed field chain.
+		recv, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		rsel := pass.Unit.Info.Selections[recv]
+		if rsel == nil || rsel.Kind() != types.FieldVal || !hookType(rsel.Obj().Type()) {
+			return
+		}
+		hook = recv
+	}
+	target := types.ExprString(hook)
+	if guarded(call, stack, target) {
+		return
+	}
+	pass.Reportf(call.Pos(), "hook",
+		"call through hook field %s is not nil-guarded; nil means the hook is disabled — guard with `if %s != nil`, or waive with //nocvet:hook naming the caller that holds the guard", target, target)
+}
+
+// hookType reports whether t (pointers stripped) is a registered hook
+// type.
+func hookType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return HookTypes.MatchString(types.TypeString(t, nil))
+}
+
+// guarded walks the ancestor chain of call looking for a dominating
+// nil check of target.
+func guarded(call ast.Node, stack []ast.Node, target string) bool {
+	node := ast.Node(call)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.BinaryExpr:
+			// In `X && Y`, Y runs only when X is true; in `X || Y`,
+			// only when X is false.
+			if p.Op == token.LAND && p.Y == node && impliesNonNilWhenTrue(p.X, target) {
+				return true
+			}
+			if p.Op == token.LOR && p.Y == node && impliesNonNilWhenFalse(p.X, target) {
+				return true
+			}
+		case *ast.IfStmt:
+			if p.Body == node && impliesNonNilWhenTrue(p.Cond, target) {
+				return true
+			}
+			if p.Else == node && impliesNonNilWhenFalse(p.Cond, target) {
+				return true
+			}
+		case *ast.CaseClause:
+			// Expression-less switch: `switch { case x != nil: ... }`.
+			// The clause's grandparent is the SwitchStmt (its Body
+			// block sits between).
+			if i > 1 {
+				if sw, ok := stack[i-2].(*ast.SwitchStmt); ok && sw.Tag == nil {
+					for _, cond := range p.List {
+						if impliesNonNilWhenTrue(cond, target) {
+							return true
+						}
+					}
+				}
+			}
+			if blockGuards(p.Body, node, target) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if blockGuards(p.List, node, target) {
+				return true
+			}
+		}
+		node = stack[i]
+	}
+	return false
+}
+
+// blockGuards reports whether a statement preceding the one holding
+// the call establishes the guard by terminating when the hook is nil:
+//
+//	if x == nil { return }
+func blockGuards(list []ast.Stmt, node ast.Node, target string) bool {
+	for _, s := range list {
+		if s == node {
+			return false
+		}
+		ifs, ok := s.(*ast.IfStmt)
+		if !ok || !impliesNonNilWhenFalse(ifs.Cond, target) || !terminates(ifs.Body) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// terminates conservatively reports whether the block always leaves
+// the enclosing scope: its last statement is a return, a branch, or a
+// panic call.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	default:
+		return false
+	}
+}
+
+// impliesNonNilWhenTrue reports whether cond being true guarantees
+// target != nil: some && conjunct is the literal comparison.
+func impliesNonNilWhenTrue(cond ast.Expr, target string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			return impliesNonNilWhenTrue(c.X, target) || impliesNonNilWhenTrue(c.Y, target)
+		case token.NEQ:
+			return nilCompare(c, target)
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return impliesNonNilWhenFalse(c.X, target)
+		}
+	}
+	return false
+}
+
+// impliesNonNilWhenFalse reports whether cond being false guarantees
+// target != nil: some || disjunct is `target == nil`, so cond false
+// forces it false too.
+func impliesNonNilWhenFalse(cond ast.Expr, target string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LOR:
+			return impliesNonNilWhenFalse(c.X, target) || impliesNonNilWhenFalse(c.Y, target)
+		case token.EQL:
+			return nilCompare(c, target)
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return impliesNonNilWhenTrue(c.X, target)
+		}
+	}
+	return false
+}
+
+// nilCompare reports whether cmp compares target against the
+// predeclared nil, in either orientation.
+func nilCompare(cmp *ast.BinaryExpr, target string) bool {
+	x, y := ast.Unparen(cmp.X), ast.Unparen(cmp.Y)
+	if isNil(y) {
+		return types.ExprString(x) == target
+	}
+	if isNil(x) {
+		return types.ExprString(y) == target
+	}
+	return false
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,13 @@
+package nilhook_test
+
+import (
+	"testing"
+
+	"surfbless/internal/analysis/analysistest"
+	"surfbless/internal/analysis/nilhook"
+)
+
+func TestNilHook(t *testing.T) {
+	analysistest.Run(t, "testdata", nilhook.Analyzer,
+		"./internal/router", "./outofscope")
+}

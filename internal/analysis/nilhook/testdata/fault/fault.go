@@ -1,0 +1,8 @@
+// Package fault mirrors the real fault package's hook type.
+package fault
+
+// Injector schedules faults; nil means fault-free.
+type Injector struct{}
+
+// Frozen reports whether router id is frozen.
+func (i *Injector) Frozen(id int) bool { return false }

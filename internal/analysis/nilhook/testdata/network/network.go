@@ -1,0 +1,5 @@
+// Package network mirrors the real network package's sink hook.
+package network
+
+// Sink receives ejected packets; nil means discard-and-count.
+type Sink func(node int)

@@ -1,0 +1,11 @@
+// Package outofscope proves the analyzer's package scoping: hook
+// calls outside the hot-path packages are not checked.
+package outofscope
+
+import "nocvet.example/probe"
+
+// Holder is not a hot-path type.
+type Holder struct{ probe *probe.Probe }
+
+// Use is unguarded but out of scope.
+func (h *Holder) Use(id int) { h.probe.Traverse(id) }

@@ -1,0 +1,8 @@
+// Package probe mirrors the real probe package's hook type.
+package probe
+
+// Probe is a hot-path observer; nil means disabled.
+type Probe struct{ n int }
+
+// Traverse records one router traversal.
+func (p *Probe) Traverse(id int) { p.n++ }

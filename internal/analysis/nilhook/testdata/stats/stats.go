@@ -1,0 +1,5 @@
+// Package stats mirrors the real stats package's tracer hook.
+package stats
+
+// Tracer observes packet lifecycle events; nil means untraced.
+type Tracer func(ev int)

@@ -24,6 +24,16 @@ const (
 // NumLinkDirs is the number of inter-router directions (excludes Local).
 const NumLinkDirs = 4
 
+// LinkDirs lists the four inter-router directions in their canonical
+// arbitration order.  Ranging over this package-level array keeps the
+// per-cycle loops in the routers off the heap, where a `[]Dir{...}`
+// literal at the loop head would be re-allocated every call.
+var LinkDirs = [NumLinkDirs]Dir{North, East, South, West}
+
+// OutputDirs is LinkDirs plus the Local ejection port, in the order
+// output arbitration considers them.
+var OutputDirs = [NumDirs]Dir{North, East, South, West, Local}
+
 var dirNames = [NumDirs]string{"N", "E", "S", "W", "L"}
 
 // String returns the compass abbreviation of d.

@@ -40,6 +40,7 @@ func (l *Line[T]) Delay() int { return int(l.delay) }
 func (l *Line[T]) Send(item T, now int64) {
 	at := now + l.delay
 	if n := len(l.queue); n > 0 && l.queue[n-1].at > at {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("link: send at cycle %d after send arriving %d", now, l.queue[n-1].at))
 	}
 	l.queue = append(l.queue, entry[T]{at: at, item: item})
@@ -64,6 +65,7 @@ func (l *Line[T]) RecvInto(now int64, buf []T) []T {
 	i := 0
 	for ; i < len(l.queue) && l.queue[i].at <= now; i++ {
 		if l.queue[i].at < now {
+			//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 			panic(fmt.Sprintf("link: item due at %d not collected until %d", l.queue[i].at, now))
 		}
 		buf = append(buf, l.queue[i].item)

@@ -93,6 +93,7 @@ func New(id uint64, src, dst geom.Coord, domain int, class Class, now int64) *Pa
 // must only account ejected packets.
 func (p *Packet) QueueLatency() int64 {
 	if p.InjectedAt < 0 {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("packet %d: QueueLatency before injection", p.ID))
 	}
 	return p.InjectedAt - p.CreatedAt
@@ -101,6 +102,7 @@ func (p *Packet) QueueLatency() int64 {
 // NetworkLatency returns the cycles between injection and ejection.
 func (p *Packet) NetworkLatency() int64 {
 	if p.EjectedAt < 0 {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("packet %d: NetworkLatency before ejection", p.ID))
 	}
 	return p.EjectedAt - p.InjectedAt
@@ -110,6 +112,7 @@ func (p *Packet) NetworkLatency() int64 {
 // latency" of Figs. 5, 7 and 9).
 func (p *Packet) TotalLatency() int64 {
 	if p.EjectedAt < 0 {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("packet %d: TotalLatency before ejection", p.ID))
 	}
 	return p.EjectedAt - p.CreatedAt

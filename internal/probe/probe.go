@@ -145,6 +145,7 @@ func (pr *Probe) bucket(now int64) *Interval {
 		pr.buckets = append(pr.buckets, Interval{
 			Start:   start,
 			End:     start + pr.cfg.Every,
+			//nocvet:alloc amortized lazy bucket growth; the probe is armed only on observed runs
 			Domains: make([]DomainSlice, pr.cfg.Domains),
 		})
 	}

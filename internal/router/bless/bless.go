@@ -86,7 +86,7 @@ func New(cfg config.Config, sink network.Sink, col *stats.Collector, meter *powe
 	// hop delay P (router pipeline + link traversal).
 	p := cfg.HopDelay()
 	for id, n := range f.nodes {
-		for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+		for _, d := range geom.LinkDirs {
 			if !f.mesh.HasNeighbor(n.c, d) {
 				continue
 			}
@@ -136,6 +136,7 @@ func (f *Fabric) Inject(nodeID int, p *packet.Packet, now int64) bool {
 // Step advances the network by one cycle.
 func (f *Fabric) Step(now int64) {
 	if now <= f.lastStep {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("bless: Step(%d) after Step(%d)", now, f.lastStep))
 	}
 	f.lastStep = now
@@ -164,7 +165,7 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 	// Phase 1: collect this cycle's arrivals (at most one per in-link)
 	// into the node's reused scratch buffer.
 	arrivals := n.arrivals[:0]
-	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+	for _, d := range geom.LinkDirs {
 		if n.in[d] == nil {
 			continue
 		}
@@ -245,30 +246,34 @@ func (f *Fabric) pickOutput(id int, n *node, p *packet.Packet, now int64, taken 
 	if f.faults != nil {
 		return -1
 	}
+	//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 	panic(fmt.Sprintf("bless: no free output at %v cycle %d for %v (port balance violated)", n.c, f.lastStep, p))
 }
 
 // freeOutput returns the preferred usable output for p, or -1 when
 // every port is busy (legitimate for injection) or down.
 func (f *Fabric) freeOutput(id int, n *node, p *packet.Packet, now int64, taken *[geom.NumLinkDirs]bool) geom.Dir {
-	usable := func(d geom.Dir) bool {
-		if d == geom.Local || n.out[d] == nil || taken[d] {
-			return false
-		}
-		return f.faults == nil || !f.faults.LinkDown(id, d, now)
-	}
-	if d := geom.XYFirst(n.c, p.Dst); usable(d) {
+	if d := geom.XYFirst(n.c, p.Dst); f.usable(id, n, d, now, taken) {
 		return d
 	}
-	if d := geom.YXFirst(n.c, p.Dst); usable(d) {
+	if d := geom.YXFirst(n.c, p.Dst); f.usable(id, n, d, now, taken) {
 		return d
 	}
-	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
-		if usable(d) {
+	for _, d := range geom.LinkDirs {
+		if f.usable(id, n, d, now, taken) {
 			return d
 		}
 	}
 	return -1
+}
+
+// usable reports whether output d of node id exists, is unclaimed this
+// cycle, and is not killed by a fault.
+func (f *Fabric) usable(id int, n *node, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool) bool {
+	if d == geom.Local || n.out[d] == nil || taken[d] {
+		return false
+	}
+	return f.faults == nil || !f.faults.LinkDown(id, d, now)
 }
 
 func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool) {

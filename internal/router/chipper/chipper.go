@@ -111,7 +111,7 @@ func New(cfg config.Config, sink network.Sink, col *stats.Collector, meter *powe
 	}
 	p := cfg.HopDelay()
 	for _, n := range f.nodes {
-		for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+		for _, d := range geom.LinkDirs {
 			if !f.mesh.HasNeighbor(n.c, d) {
 				continue
 			}
@@ -147,6 +147,7 @@ func (f *Fabric) Inject(nodeID int, p *packet.Packet, now int64) bool {
 // Step advances the network by one cycle.
 func (f *Fabric) Step(now int64) {
 	if now <= f.lastStep {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("chipper: Step(%d) after Step(%d)", now, f.lastStep))
 	}
 	f.lastStep = now
@@ -194,7 +195,7 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 	// Receive into the four input slots (at most one packet per link
 	// per cycle; the scratch buffer is fabric-owned and reused).
 	var slots [geom.NumLinkDirs]*packet.Packet
-	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+	for _, d := range geom.LinkDirs {
 		if n.in[d] == nil {
 			continue
 		}
@@ -255,65 +256,69 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 // concrete port.  Losing an arbitration misroutes the loser — that is
 // the deflection.
 func permute(c geom.Coord, slots *[geom.NumLinkDirs]*packet.Packet, now int64) [geom.NumLinkDirs]*packet.Packet {
-	wantsUp := func(p *packet.Packet) bool {
-		d := geom.XYFirst(c, p.Dst)
-		if d == geom.Local {
-			// At its destination but not ejected this cycle: steer by
-			// hash; it will loop back.
-			return router.Hash64(p.ID, uint64(now))&1 == 0
-		}
-		return d == geom.North || d == geom.East
-	}
-	arb := func(a, b *packet.Packet, aWants, bWants bool) (first, second *packet.Packet) {
-		switch {
-		case a == nil && b == nil:
-			return nil, nil
-		case b == nil:
-			if aWants {
-				return a, nil
-			}
-			return nil, a
-		case a == nil:
-			if bWants {
-				return b, nil
-			}
-			return nil, b
-		case aWants == bWants:
-			winner, loser := a, b
-			if !prio(a, b, now) {
-				winner, loser = b, a
-			}
-			if aWants {
-				return winner, loser
-			}
-			return loser, winner
-		case aWants:
-			return a, b
-		default:
-			return b, a
-		}
-	}
 	// Stage 1: toward the {N,E} half ("up") or the {S,W} half.
 	aUp, aDown := arb(slots[geom.North], slots[geom.East],
-		up(slots[geom.North], wantsUp), up(slots[geom.East], wantsUp))
+		up(c, slots[geom.North], now), up(c, slots[geom.East], now), now)
 	bUp, bDown := arb(slots[geom.South], slots[geom.West],
-		up(slots[geom.South], wantsUp), up(slots[geom.West], wantsUp))
+		up(c, slots[geom.South], now), up(c, slots[geom.West], now), now)
 	// Stage 2: concrete ports.  In the upper block "first" is N; in the
 	// lower block "first" is S.
-	wantsN := func(p *packet.Packet) bool {
-		return p != nil && geom.XYFirst(c, p.Dst) == geom.North
-	}
-	wantsS := func(p *packet.Packet) bool {
-		return p != nil && geom.XYFirst(c, p.Dst) == geom.South
-	}
 	var outs [geom.NumLinkDirs]*packet.Packet
-	outs[geom.North], outs[geom.East] = arb(aUp, bUp, wantsN(aUp), wantsN(bUp))
-	outs[geom.South], outs[geom.West] = arb(aDown, bDown, wantsS(aDown), wantsS(bDown))
+	outs[geom.North], outs[geom.East] = arb(aUp, bUp, wants(c, aUp, geom.North), wants(c, bUp, geom.North), now)
+	outs[geom.South], outs[geom.West] = arb(aDown, bDown, wants(c, aDown, geom.South), wants(c, bDown, geom.South), now)
 	return outs
 }
 
-func up(p *packet.Packet, wantsUp func(*packet.Packet) bool) bool {
-	return p != nil && wantsUp(p)
+// wantsUp reports whether p steers toward the {N,E} half of the
+// permutation network at router c.
+func wantsUp(c geom.Coord, p *packet.Packet, now int64) bool {
+	d := geom.XYFirst(c, p.Dst)
+	if d == geom.Local {
+		// At its destination but not ejected this cycle: steer by
+		// hash; it will loop back.
+		return router.Hash64(p.ID, uint64(now))&1 == 0
+	}
+	return d == geom.North || d == geom.East
+}
+
+// arb is one 2×2 arbiter block: the packet that wants the "first"
+// output and wins priority gets it; the other takes "second".
+func arb(a, b *packet.Packet, aWants, bWants bool, now int64) (first, second *packet.Packet) {
+	switch {
+	case a == nil && b == nil:
+		return nil, nil
+	case b == nil:
+		if aWants {
+			return a, nil
+		}
+		return nil, a
+	case a == nil:
+		if bWants {
+			return b, nil
+		}
+		return nil, b
+	case aWants == bWants:
+		winner, loser := a, b
+		if !prio(a, b, now) {
+			winner, loser = b, a
+		}
+		if aWants {
+			return winner, loser
+		}
+		return loser, winner
+	case aWants:
+		return a, b
+	default:
+		return b, a
+	}
+}
+
+func up(c geom.Coord, p *packet.Packet, now int64) bool {
+	return p != nil && wantsUp(c, p, now)
+}
+
+func wants(c geom.Coord, p *packet.Packet, d geom.Dir) bool {
+	return p != nil && geom.XYFirst(c, p.Dst) == d
 }
 
 // fixup moves packets off missing border ports — and, with faults
@@ -350,7 +355,7 @@ func (f *Fabric) fixup(id int, n *node, outs *[geom.NumLinkDirs]*packet.Packet, 
 			placed = true
 		}
 		if !placed {
-			for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+			for _, d := range geom.LinkDirs {
 				if f.outUsable(id, n, d, now) && outs[d] == nil {
 					outs[d] = p
 					placed = true
@@ -366,6 +371,7 @@ func (f *Fabric) fixup(id int, n *node, outs *[geom.NumLinkDirs]*packet.Packet, 
 				f.dropOrRetry(p, now)
 				continue
 			}
+			//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 			panic(fmt.Sprintf("chipper: no output left at %v cycle %d for %v", n.c, now, p))
 		}
 	}

@@ -35,6 +35,7 @@ func NewNI(domains, queueCap int) *NI {
 func (ni *NI) Offer(p *packet.Packet) bool {
 	d := p.Domain
 	if d < 0 || d >= len(ni.queues) {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("router: packet domain %d outside [0,%d)", d, len(ni.queues)))
 	}
 	if len(ni.queues[d]) >= ni.queueCap {
@@ -58,6 +59,7 @@ func (ni *NI) Head(domain int) *packet.Packet {
 func (ni *NI) Pop(domain int) *packet.Packet {
 	q := ni.queues[domain]
 	if len(q) == 0 {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("router: Pop on empty domain %d queue", domain))
 	}
 	p := q[0]

@@ -165,7 +165,7 @@ func NewWithPolicy(cfg config.Config, slotWidths []int, pol Policy, sink network
 	}
 	p := cfg.HopDelay()
 	for _, n := range f.nodes {
-		for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+		for _, d := range geom.LinkDirs {
 			if !mesh.HasNeighbor(n.c, d) {
 				continue
 			}
@@ -225,6 +225,7 @@ func (f *Fabric) Inject(nodeID int, p *packet.Packet, now int64) bool {
 // Step advances the network by one cycle.
 func (f *Fabric) Step(now int64) {
 	if now <= f.lastStep {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("surfbless: Step(%d) after Step(%d)", now, f.lastStep))
 	}
 	f.lastStep = now
@@ -254,7 +255,7 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 	// the confinement invariant: a packet must arrive on a wave owned
 	// by its own domain, at a window start.
 	n.nArr = 0
-	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+	for _, d := range geom.LinkDirs {
 		if n.in[d] == nil {
 			continue
 		}
@@ -262,10 +263,12 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 		for _, p := range f.rbuf {
 			w := f.sched.InputWave(n.c, d, now)
 			if dom := f.dec.Domain(w); dom != p.Domain {
+				//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 				panic(fmt.Sprintf("surfbless: %v arrived at %v/%v cycle %d on wave %d of domain %d",
 					p, n.c, d, now, w, dom))
 			}
 			if !f.dec.CanStart(w, f.slot[p.Domain]) {
+				//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 				panic(fmt.Sprintf("surfbless: %v arrived at %v/%v cycle %d mid-window (wave %d)",
 					p, n.c, d, now, w))
 			}
@@ -323,6 +326,7 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 				f.dropOrRetry(a.p, now)
 				continue
 			}
+			//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 			panic(fmt.Sprintf("surfbless: no same-domain output at %v cycle %d for %v (arrived %v) — wave balance violated",
 				n.c, now, a.p, a.from))
 		}
@@ -390,7 +394,7 @@ func (f *Fabric) pickOutput(n *node, p *packet.Packet, now int64, taken *[geom.N
 	// A fixed-size candidate array keeps this off the heap.
 	var free [geom.NumLinkDirs]geom.Dir
 	nf := 0
-	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+	for _, d := range geom.LinkDirs {
 		if f.eligible(n, p, d, now, taken) {
 			free[nf] = d
 			nf++

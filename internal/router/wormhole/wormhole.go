@@ -238,7 +238,7 @@ func New(opt Options, sink network.Sink, col *stats.Collector, meter *power.Mete
 	// ownership state mirroring the downstream VC layout.
 	hop := cfg.HopDelay()
 	for _, n := range e.nodes {
-		for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+		for _, d := range geom.LinkDirs {
 			if !e.mesh.HasNeighbor(n.c, d) {
 				continue
 			}
@@ -339,6 +339,7 @@ func (e *Engine) Inject(nodeID int, p *packet.Packet, now int64) bool {
 // Step advances the network by one cycle.
 func (e *Engine) Step(now int64) {
 	if now <= e.lastStep {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("wormhole: Step(%d) after Step(%d)", now, e.lastStep))
 	}
 	e.lastStep = now
@@ -364,6 +365,7 @@ func (e *Engine) receive(n *node, now int64) {
 			for _, m := range e.credBuf {
 				n.out[d].credits[m.vc]++
 				if n.out[d].credits[m.vc] > e.opt.VCs[m.vc].Depth {
+					//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 					panic(fmt.Sprintf("wormhole: credit overflow at %v/%v vc %d", n.c, d, m.vc))
 				}
 			}
@@ -373,6 +375,7 @@ func (e *Engine) receive(n *node, now int64) {
 			for _, m := range e.flitBuf {
 				vc := &n.in[d].vcs[m.vc]
 				if len(vc.fifo) >= vc.spec.Depth {
+					//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 					panic(fmt.Sprintf("wormhole: buffer overflow at %v/%v vc %d", n.c, d, m.vc))
 				}
 				vc.fifo = append(vc.fifo, m.f)
@@ -393,6 +396,7 @@ func (e *Engine) allocate(n *node, now int64) {
 			}
 			head := vc.fifo[0]
 			if !head.Head() {
+				//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 				panic(fmt.Sprintf("wormhole: body flit of %v at idle VC head (%v/%v vc %d)", head.Pkt, n.c, d, v))
 			}
 			e.tryAllocate(n, head.Pkt, &vc.active, &vc.outDir, &vc.outVC, now)
@@ -423,6 +427,7 @@ func (e *Engine) tryAllocate(n *node, p *packet.Packet, active *bool, outDir *ge
 	}
 	out := &n.out[d]
 	if out.flitsOut == nil {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("wormhole: X-Y route of %v leaves the mesh at %v", p, n.c))
 	}
 	// Prefer a VC deep enough to hold the whole packet — parking a
@@ -459,7 +464,7 @@ func (e *Engine) switchTraversal(id int, n *node, now int64) {
 		n.injUsed[l] = false
 	}
 
-	for _, o := range []geom.Dir{geom.North, geom.East, geom.South, geom.West, geom.Local} {
+	for _, o := range geom.OutputDirs {
 		if o != geom.Local && n.out[o].flitsOut == nil {
 			continue
 		}
@@ -481,7 +486,7 @@ type request struct {
 
 func (e *Engine) arbitrateOutput(n *node, o geom.Dir, now int64) {
 	reqs := e.reqs[:0]
-	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+	for _, d := range geom.LinkDirs {
 		for v := range n.in[d].vcs {
 			vc := &n.in[d].vcs[v]
 			if !vc.active || vc.outDir != o || len(vc.fifo) == 0 {
@@ -507,6 +512,7 @@ func (e *Engine) arbitrateOutput(n *node, o geom.Dir, now int64) {
 			}
 			p := n.ni.Head(dom)
 			if p == nil {
+				//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 				panic(fmt.Sprintf("wormhole: injection state active with empty queue (%v dom %d)", n.c, dom))
 			}
 			if n.injUsed[e.lane(p)] || !e.gate(n.c, o, p, now) {

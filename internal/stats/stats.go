@@ -173,6 +173,7 @@ func (c *Collector) domainOK(i int) bool {
 		return true
 	}
 	if c.err == nil {
+		//nocvet:alloc first accounting violation is recorded at most once per run
 		c.err = fmt.Errorf("stats: domain %d outside [0,%d)", i, len(c.domains))
 	}
 	return false

@@ -100,6 +100,7 @@ func (d *Decoder) Domains() int { return d.domains }
 // Domain returns the domain owning wave w, or -1 when w is unowned.
 func (d *Decoder) Domain(w int) int {
 	if w < 0 || w >= d.smax {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("wave: Domain(%d) out of range [0,%d)", w, d.smax))
 	}
 	return d.domainOf[w]
@@ -112,9 +113,11 @@ func (d *Decoder) Domain(w int) int {
 // consecutive worms never overlap and every router sees whole windows.
 func (d *Decoder) CanStart(w, size int) bool {
 	if w < 0 || w >= d.smax {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("wave: CanStart(%d) out of range [0,%d)", w, d.smax))
 	}
 	if size < 1 {
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("wave: CanStart with size %d", size))
 	}
 	if d.domainOf[w] < 0 {

@@ -83,7 +83,7 @@ func (s *Schedule) OwnedLinks(w int, t int64) []string {
 	for y := 0; y < n; y++ {
 		for x := 0; x < n; x++ {
 			c := geom.Coord{X: x, Y: y}
-			for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+			for _, d := range geom.LinkDirs {
 				if !s.mesh.HasNeighbor(c, d) {
 					continue
 				}

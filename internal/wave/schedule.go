@@ -157,6 +157,7 @@ func (s *Schedule) Index(sub Sub, c geom.Coord, t int64) int {
 	case WSub:
 		init = s.initW[id]
 	default:
+		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("wave: unknown sub-wave %d", sub))
 	}
 	return int(mod64(int64(init)+t, int64(s.smax)))
@@ -181,7 +182,7 @@ func (s *Schedule) OutputWave(c geom.Coord, out geom.Dir, t int64) int {
 func (s *Schedule) CheckContinuity(t int64) error {
 	for id := 0; id < s.mesh.Nodes(); id++ {
 		c := s.mesh.CoordOf(id)
-		for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+		for _, d := range geom.LinkDirs {
 			if !s.mesh.HasNeighbor(c, d) {
 				continue
 			}
@@ -202,7 +203,7 @@ func (s *Schedule) CheckContinuity(t int64) error {
 func (s *Schedule) CheckBalance(c geom.Coord, t int64) error {
 	in := make(map[int]int)
 	out := make(map[int]int)
-	for _, d := range []geom.Dir{geom.North, geom.East, geom.South, geom.West} {
+	for _, d := range geom.LinkDirs {
 		// An input port in direction d exists iff the neighbour in that
 		// direction exists (the link is bidirectional), and likewise for
 		// the output port.
