@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint staticcheck govulncheck build test race race-faults fuzz fuzz-fault bench bench-smoke experiments clean-cache
+.PHONY: ci vet lint staticcheck govulncheck build test race race-faults fuzz fuzz-fault bench bench-smoke wcta-conformance experiments clean-cache
 
-ci: vet lint build race race-faults bench-smoke fuzz-fault staticcheck govulncheck
+ci: vet lint build race race-faults bench-smoke fuzz-fault wcta-conformance staticcheck govulncheck
 
 vet:
 	$(GO) vet ./...
@@ -60,6 +60,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzConfigJSON -fuzztime=10s ./internal/config
 	$(GO) test -fuzz=FuzzFingerprint -fuzztime=10s ./internal/simcache
 	$(GO) test -fuzz=FuzzPlanJSON -fuzztime=10s ./internal/fault
+	$(GO) test -fuzz=FuzzWaveBalance -fuzztime=10s ./internal/wave
+	$(GO) test -fuzz=FuzzFlowSetJSON -fuzztime=10s ./internal/wcta
 
 # Short fault-plan fuzz smoke for the CI gate (full budgets above).
 fuzz-fault:
@@ -72,6 +74,13 @@ fuzz-fault:
 bench-smoke:
 	$(GO) test -run='TestStepNoAlloc|TestRecvIntoReusesBuffer|TestRecvZeroesVacatedTail' -count=1 . ./internal/link
 	$(GO) test -race -run='TestParallelSweep' -count=1 ./cmd/sweep
+
+# Analytical-bound conformance smoke (DESIGN.md §14): seeded and
+# deterministic, the full model × mesh × scenario × seed matrix at the
+# tiny scale — a few seconds end to end.  Fails if any delivered packet
+# exceeds its flow's analytical bound or a tightness anchor goes slack.
+wcta-conformance:
+	$(GO) run ./cmd/experiments -scale tiny -fig wcta -no-cache
 
 # Benchmarks, plus a machine-readable BENCH_<date>.json report
 # (ns/op per fabric model, probe on and off) via cmd/benchjson.

@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	experiments [-scale tiny|quick|full] [-fig all|table1|fig5|fig6|fig7|apps|ablations|extensions|faults] [-out DIR]
+//	experiments [-scale tiny|quick|full] [-fig all|table1|fig5|fig6|fig7|apps|ablations|extensions|faults|wcta] [-out DIR]
 //	            [-cache] [-cache-dir DIR] [-no-cache]
 //	            [-http ADDR] [-progress] [-probe-dir DIR] [-probe-every N]
 //
 // "apps" runs the §5.2 full-system matrix that produces Figs. 8, 9 and
 // 10 together.  At -scale full expect several minutes.  "faults" runs
 // the robustness extension: the Fig. 5 victim/aggressor setup crossed
-// with fault scenarios (see internal/fault and DESIGN.md §11).
+// with fault scenarios (see internal/fault and DESIGN.md §11).  "wcta"
+// runs the analytical-bound conformance oracle: per-flow worst-case
+// bounds from internal/wcta checked against observed p100 latencies
+// (see DESIGN.md §14).
 //
 // Robustness: each experiment is isolated — a failure (or panic) is
 // retried once, then reported and skipped so the rest of the batch
@@ -49,7 +52,7 @@ func main() { os.Exit(mainExperiments()) }
 
 func mainExperiments() int {
 	scaleName := flag.String("scale", "quick", "simulation scale: tiny, quick or full")
-	fig := flag.String("fig", "all", "which experiment: all, table1, fig3, fig5, fig6, fig7, apps, ablations, extensions, faults")
+	fig := flag.String("fig", "all", "which experiment: all, table1, fig3, fig5, fig6, fig7, apps, ablations, extensions, faults, wcta")
 	out := flag.String("out", "", "directory to write .txt and .csv outputs (optional)")
 	useCache := flag.Bool("cache", true, "reuse cached simulation results")
 	cacheDir := flag.String("cache-dir", filepath.Join("results", ".simcache"), "result-cache directory")
@@ -204,6 +207,13 @@ func mainExperiments() int {
 			return nil, err
 		}
 		return r.Tables(), nil
+	})
+	run("wcta", func() ([]*textplot.Table, error) {
+		rows, err := experiments.WCTAConformance(sc)
+		if err != nil {
+			return nil, err
+		}
+		return []*textplot.Table{experiments.WCTATable(rows)}, nil
 	})
 	run("extensions", func() ([]*textplot.Table, error) {
 		var tabs []*textplot.Table

@@ -76,6 +76,13 @@ type Options struct {
 	// bypasses the cache for traced runs.
 	Tracer stats.Tracer `json:"-"`
 
+	// Flows, when non-nil, receives every delivered packet's per-flow
+	// (src,dst,domain) latency maxima — the observed p100 the wcta
+	// conformance oracle compares against analytical bounds.  Like
+	// Probe and Tracer it is observation-only and fingerprint-exempt;
+	// RunCached bypasses the cache so the tracker is actually filled.
+	Flows *stats.FlowTracker `json:"-"`
+
 	// Recycle arms a packet free list: ejected packets are returned to
 	// the traffic generator and reused, making steady-state stepping
 	// allocation-free (DESIGN.md §12).  Results are bit-identical with
@@ -86,9 +93,9 @@ type Options struct {
 }
 
 // Observed reports whether the run carries an observer that requires a
-// real simulation (a probe or a tracer): cached results cannot replay
-// the events such observers consume.
-func (o Options) Observed() bool { return o.Probe != nil || o.Tracer != nil }
+// real simulation (a probe, a tracer or a flow tracker): cached
+// results cannot replay the events such observers consume.
+func (o Options) Observed() bool { return o.Probe != nil || o.Tracer != nil || o.Flows != nil }
 
 // Result is one run's outcome.
 type Result struct {
@@ -176,6 +183,9 @@ func Run(o Options) (Result, error) {
 	col := stats.NewCollector(o.Cfg.Domains, o.Warmup, o.Warmup+o.Measure)
 	if o.Tracer != nil {
 		col.SetTracer(o.Tracer)
+	}
+	if o.Flows != nil {
+		col.SetFlowTracker(o.Flows)
 	}
 	if o.Probe != nil {
 		o.Probe.Arm(probe.Config{

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"sort"
+
+	"surfbless/internal/geom"
+	"surfbless/internal/packet"
+)
+
+// FlowKey identifies one flow: every packet travelling src→dst inside
+// one interference domain belongs to the same flow, matching the flow
+// model of the analytical timing engine (internal/wcta).
+type FlowKey struct {
+	Src    geom.Coord
+	Dst    geom.Coord
+	Domain int
+}
+
+// FlowStats accumulates the per-flow worst-case observations the
+// conformance oracle compares against analytical bounds.  Maxima are
+// true p100 values over every delivered packet of the flow — windowing
+// does not apply, because a latency bound must hold for warm-up and
+// drain traffic too.
+type FlowStats struct {
+	Ejected           int64 // packets delivered on this flow
+	MaxNetworkLatency int64 // worst injection→ejection latency seen
+	MaxTotalLatency   int64 // worst creation→ejection latency seen
+}
+
+// FlowTracker records per-flow maxima behind the Collector's nil-safe
+// hook contract (nil = disabled, hot path untouched).  The flow map
+// holds values, not pointers, so steady-state observation allocates
+// only on map growth — one rehash per flow-count doubling, amortized
+// zero for the bounded flow populations the conformance harness drives.
+type FlowTracker struct {
+	flows map[FlowKey]FlowStats
+}
+
+// NewFlowTracker returns an empty tracker.
+func NewFlowTracker() *FlowTracker {
+	return &FlowTracker{flows: make(map[FlowKey]FlowStats)}
+}
+
+// Observe folds one delivered packet into its flow's maxima.  The
+// packet must be ejected (both stamps set); the Collector guarantees
+// this by calling Observe only from Ejected.
+func (t *FlowTracker) Observe(p *packet.Packet) {
+	k := FlowKey{Src: p.Src, Dst: p.Dst, Domain: p.Domain}
+	fs := t.flows[k]
+	fs.Ejected++
+	if nl := p.NetworkLatency(); nl > fs.MaxNetworkLatency {
+		fs.MaxNetworkLatency = nl
+	}
+	if tl := p.TotalLatency(); tl > fs.MaxTotalLatency {
+		fs.MaxTotalLatency = tl
+	}
+	t.flows[k] = fs
+}
+
+// Flow returns the accumulated stats for k (zero value when the flow
+// delivered nothing).
+func (t *FlowTracker) Flow(k FlowKey) FlowStats { return t.flows[k] }
+
+// Len returns the number of flows that delivered at least one packet.
+func (t *FlowTracker) Len() int { return len(t.flows) }
+
+// Keys returns every observed flow in a deterministic order (domain,
+// then src id-like, then dst), so reports and tests iterate stably.
+func (t *FlowTracker) Keys() []FlowKey {
+	ks := make([]FlowKey, 0, len(t.flows))
+	for k := range t.flows {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		a, b := ks[i], ks[j]
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		if a.Src != b.Src {
+			if a.Src.Y != b.Src.Y {
+				return a.Src.Y < b.Src.Y
+			}
+			return a.Src.X < b.Src.X
+		}
+		if a.Dst.Y != b.Dst.Y {
+			return a.Dst.Y < b.Dst.Y
+		}
+		return a.Dst.X < b.Dst.X
+	})
+	return ks
+}

@@ -107,6 +107,7 @@ type Collector struct {
 	histos     []Histogram // per-domain total-latency histograms (in-window)
 	tracer     Tracer
 	probe      *probe.Probe // nil = no time-series observation
+	flows      *FlowTracker // nil = no per-flow p100 tracking
 
 	// Conservation accounting over the WHOLE run (not windowed), used
 	// by tests to prove no packet is ever lost or duplicated.
@@ -153,6 +154,12 @@ func (c *Collector) SetTracer(t Tracer) { c.tracer = t }
 // same measurement window as the collector, so its totals reconcile
 // with the Domain aggregates.
 func (c *Collector) SetProbe(p *probe.Probe) { c.probe = p }
+
+// SetFlowTracker attaches a per-flow (src,dst,domain) max-latency
+// tracker (nil to remove).  Unlike the windowed Domain aggregates it
+// sees every delivered packet, warm-up and drain included: the
+// worst-case bounds it is checked against must hold unconditionally.
+func (c *Collector) SetFlowTracker(t *FlowTracker) { c.flows = t }
 
 // InWindow reports whether a packet created at cycle t is measured.
 func (c *Collector) InWindow(t int64) bool {
@@ -246,6 +253,9 @@ func (c *Collector) Ejected(p *packet.Packet) {
 	}
 	if c.probe != nil {
 		c.probe.Ejected(p)
+	}
+	if c.flows != nil {
+		c.flows.Observe(p)
 	}
 	if !c.InWindow(p.CreatedAt) {
 		return

@@ -34,6 +34,11 @@ const (
 	BitComplement
 	// Hotspot sends 20% of packets to node 0 and the rest uniformly.
 	Hotspot
+	// Corner sends packets from node (0,0) to the opposite corner
+	// (W−1,H−1); every other node generates nothing.  The single
+	// deterministic flow makes it the zero-contention scenario the
+	// wcta conformance oracle uses to check bound tightness.
+	Corner
 )
 
 // String names the pattern.
@@ -47,6 +52,8 @@ func (p Pattern) String() string {
 		return "bitcomp"
 	case Hotspot:
 		return "hotspot"
+	case Corner:
+		return "corner"
 	default:
 		return fmt.Sprintf("Pattern(%d)", int(p))
 	}
@@ -55,10 +62,28 @@ func (p Pattern) String() string {
 const hotspotFraction = 0.2
 
 // Source describes one domain's injection process.
+//
+// Burst and OnOff select regulated variants whose offered load obeys a
+// token-bucket arrival curve — the property the analytical worst-case
+// engine (internal/wcta) needs to bound in-flight populations.  Both
+// fields serialize with omitempty so the zero value (plain Bernoulli)
+// keeps pre-existing cache fingerprints byte-identical.
 type Source struct {
 	Rate  float64      // packets/node/cycle, Bernoulli per node per cycle
 	Class packet.Class // packet class injected by this domain
 	VNet  int          // virtual network stamped on packets; -1 if unused
+
+	// Burst, when ≥1, regulates the stream with a per-(node,domain)
+	// token bucket of that depth refilled at Rate tokens/cycle: every
+	// window of τ cycles offers at most Burst + ⌊Rate·τ⌋ packets.
+	// 0 leaves the stream an unregulated Bernoulli process.
+	Burst int `json:",omitempty"`
+	// OnOff, with Burst ≥1, switches the regulated stream from
+	// Bernoulli-thinned to greedy: the stream emits whenever a full
+	// token is available, producing back-to-back bursts of Burst
+	// packets separated by ≈Burst/Rate idle cycles.  Ignored when
+	// Burst is 0.
+	OnOff bool `json:",omitempty"`
 }
 
 // Generator drives one fabric with per-domain Bernoulli traffic.
@@ -68,6 +93,7 @@ type Generator struct {
 	sources []Source
 	rngs    [][]*rand.Rand // [node][domain]
 	seqs    [][]uint64     // [node][domain] per-stream packet sequence
+	tokens  [][]float64    // [node][domain] token-bucket fill (Burst ≥1 streams)
 	fl      *packet.FreeList
 }
 
@@ -81,6 +107,9 @@ func New(mesh geom.Mesh, pattern Pattern, sources []Source, seed int64) *Generat
 		if s.Rate < 0 || s.Rate > 1 {
 			panic(fmt.Sprintf("traffic: domain %d rate %g outside [0,1]", d, s.Rate))
 		}
+		if s.Burst < 0 {
+			panic(fmt.Sprintf("traffic: domain %d burst %d negative", d, s.Burst))
+		}
 	}
 	g := &Generator{
 		mesh:    mesh,
@@ -88,14 +117,19 @@ func New(mesh geom.Mesh, pattern Pattern, sources []Source, seed int64) *Generat
 		sources: sources,
 		rngs:    make([][]*rand.Rand, mesh.Nodes()),
 		seqs:    make([][]uint64, mesh.Nodes()),
+		tokens:  make([][]float64, mesh.Nodes()),
 	}
 	for n := 0; n < mesh.Nodes(); n++ {
 		g.rngs[n] = make([]*rand.Rand, len(sources))
 		g.seqs[n] = make([]uint64, len(sources))
+		g.tokens[n] = make([]float64, len(sources))
 		for d := range sources {
 			// Mix (seed, node, domain) so streams are independent.
 			s := mix(uint64(seed), uint64(n)<<20|uint64(d))
 			g.rngs[n][d] = rand.New(rand.NewSource(int64(s)))
+			// Regulated buckets start full, so the very first window
+			// already honours the Burst + ⌊Rate·τ⌋ curve.
+			g.tokens[n][d] = float64(sources[d].Burst)
 		}
 	}
 	return g
@@ -125,12 +159,34 @@ func (g *Generator) Tick(f network.Fabric, now int64) {
 				continue
 			}
 			rng := g.rngs[n][d]
-			if rng.Float64() >= s.Rate {
+			if s.Burst > 0 {
+				// Token-bucket regulation: refill at Rate/cycle up to
+				// Burst, emit only on a full token.  The Bernoulli draw
+				// still thins emissions unless the stream is greedy
+				// (OnOff), so arrivals in any τ-cycle window never
+				// exceed Burst + ⌊Rate·τ⌋ either way.
+				tk := &g.tokens[n][d]
+				if *tk < float64(s.Burst) {
+					*tk += s.Rate
+					if *tk > float64(s.Burst) {
+						*tk = float64(s.Burst)
+					}
+				}
+				if *tk < 1 {
+					continue
+				}
+				if !s.OnOff && rng.Float64() >= s.Rate {
+					continue
+				}
+			} else if rng.Float64() >= s.Rate {
 				continue
 			}
 			dst, ok := g.destination(src, rng)
 			if !ok {
 				continue
+			}
+			if s.Burst > 0 {
+				g.tokens[n][d]--
 			}
 			var p *packet.Packet
 			if g.fl != nil {
@@ -164,6 +220,11 @@ func (g *Generator) destination(src geom.Coord, rng *rand.Rand) (geom.Coord, boo
 			return geom.Coord{}, false
 		}
 		return dst, true
+	case Corner:
+		if src != (geom.Coord{}) {
+			return geom.Coord{}, false
+		}
+		return geom.Coord{X: g.mesh.Width - 1, Y: g.mesh.Height - 1}, true
 	case Hotspot:
 		if rng.Float64() < hotspotFraction && g.mesh.ID(src) != 0 {
 			return g.mesh.CoordOf(0), true

@@ -1,0 +1,109 @@
+package wave
+
+import (
+	"testing"
+
+	"surfbless/internal/geom"
+)
+
+// Eq. (1)–(3) initial counter values as literal numbers, hand-derived
+// from the paper's formulas for several mesh sizes and hop delays —
+// independent of the modular arithmetic New uses, so a sign or modulus
+// slip in the implementation cannot cancel out of the expectation.
+// Since Smax·P ≡ 0 (mod Smax) the closed forms reduce to
+//
+//	InitialSE = (−P·(x+y)) mod Smax
+//	InitialW  = (+P·(x−y)) mod Smax
+//	InitialN  = (−P·(x−y)) mod Smax
+//
+// which is what the rows below evaluate.
+func TestInitialValuesAcrossSizes(t *testing.T) {
+	type row struct {
+		n, p       int
+		x, y       int
+		se, nw, ww int // expected initials: SE, N, W
+	}
+	rows := []row{
+		// 2×2, P=1 ⇒ Smax=2
+		{2, 1, 0, 0, 0, 0, 0},
+		{2, 1, 1, 0, 1, 1, 1},
+		{2, 1, 0, 1, 1, 1, 1},
+		{2, 1, 1, 1, 0, 0, 0},
+		// 2×2, P=2 ⇒ Smax=4
+		{2, 2, 0, 0, 0, 0, 0},
+		{2, 2, 1, 0, 2, 2, 2},
+		{2, 2, 0, 1, 2, 2, 2},
+		{2, 2, 1, 1, 0, 0, 0},
+		// 4×4, P=1 ⇒ Smax=6
+		{4, 1, 0, 0, 0, 0, 0},
+		{4, 1, 3, 0, 3, 3, 3},
+		{4, 1, 0, 3, 3, 3, 3},
+		{4, 1, 3, 3, 0, 0, 0},
+		{4, 1, 1, 2, 3, 1, 5},
+		{4, 1, 2, 1, 3, 5, 1},
+		// 4×4, P=2 ⇒ Smax=12
+		{4, 2, 0, 0, 0, 0, 0},
+		{4, 2, 3, 0, 6, 6, 6},
+		{4, 2, 1, 2, 6, 2, 10},
+		{4, 2, 2, 3, 2, 2, 10},
+		{4, 2, 3, 3, 0, 0, 0},
+		// 8×8, P=1 ⇒ Smax=14
+		{8, 1, 0, 0, 0, 0, 0},
+		{8, 1, 7, 0, 7, 7, 7},
+		{8, 1, 0, 7, 7, 7, 7},
+		{8, 1, 7, 7, 0, 0, 0},
+		{8, 1, 3, 5, 6, 2, 12},
+		// 8×8, P=2 ⇒ Smax=28
+		{8, 2, 0, 0, 0, 0, 0},
+		{8, 2, 7, 0, 14, 14, 14},
+		{8, 2, 3, 5, 12, 4, 24},
+		{8, 2, 7, 7, 0, 0, 0},
+		// The paper's 8×8, P=3 example ⇒ Smax=42
+		{8, 3, 1, 1, 36, 0, 0},
+		{8, 3, 7, 0, 21, 21, 21},
+	}
+	schedules := map[[2]int]*Schedule{}
+	for _, r := range rows {
+		key := [2]int{r.n, r.p}
+		s, ok := schedules[key]
+		if !ok {
+			s = New(geom.NewMesh(r.n, r.n), r.p)
+			schedules[key] = s
+		}
+		c := geom.Coord{X: r.x, Y: r.y}
+		if got := s.Index(SE, c, 0); got != r.se {
+			t.Errorf("N=%d P=%d %v: InitialSE = %d, want %d", r.n, r.p, c, got, r.se)
+		}
+		if got := s.Index(NSub, c, 0); got != r.nw {
+			t.Errorf("N=%d P=%d %v: InitialN = %d, want %d", r.n, r.p, c, got, r.nw)
+		}
+		if got := s.Index(WSub, c, 0); got != r.ww {
+			t.Errorf("N=%d P=%d %v: InitialW = %d, want %d", r.n, r.p, c, got, r.ww)
+		}
+	}
+}
+
+// FuzzWaveBalance throws arbitrary (mesh size, hop delay, router,
+// cycle) combinations at the schedule and asserts the two load-bearing
+// properties: per-wave input/output port balance at that router and
+// cycle (the deflection guarantee), and output→input wave continuity
+// across every link at that cycle (the "surfing" guarantee).  The unit
+// tests sweep these exhaustively for a fixed size list; the fuzzer
+// covers the sizes and the far reaches of the cycle counter.
+func FuzzWaveBalance(f *testing.F) {
+	f.Add(uint8(8), uint8(3), uint8(2), uint8(5), int64(0))
+	f.Add(uint8(2), uint8(1), uint8(0), uint8(0), int64(-1))
+	f.Add(uint8(5), uint8(4), uint8(4), uint8(1), int64(1<<40))
+	f.Fuzz(func(t *testing.T, n, p, x, y uint8, cycle int64) {
+		size := 2 + int(n)%7  // 2..8
+		delay := 1 + int(p)%5 // 1..5
+		s := New(geom.NewMesh(size, size), delay)
+		c := geom.Coord{X: int(x) % size, Y: int(y) % size}
+		if err := s.CheckBalance(c, cycle); err != nil {
+			t.Fatalf("N=%d P=%d: %v", size, delay, err)
+		}
+		if err := s.CheckContinuity(cycle); err != nil {
+			t.Fatalf("N=%d P=%d: %v", size, delay, err)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"surfbless/internal/config"
+	"surfbless/internal/geom"
+	"surfbless/internal/packet"
+	"surfbless/internal/traffic"
+)
+
+func ctrlSources(domains int, rate float64, burst int, onoff bool) []traffic.Source {
+	ss := make([]traffic.Source, domains)
+	for d := range ss {
+		ss[d] = traffic.Source{Rate: rate, Class: packet.Ctrl, VNet: -1, Burst: burst, OnOff: onoff}
+	}
+	return ss
+}
+
+// The oracle end to end on a 4×4 mesh: for each bounded fabric and a
+// deterministic adversarial pattern, every delivered packet's network
+// latency must respect its flow's analytical bound.
+func TestConformanceSmoke(t *testing.T) {
+	for _, model := range []config.Model{config.WH, config.Surf, config.SB} {
+		for _, pattern := range []traffic.Pattern{traffic.Corner, traffic.Transpose, traffic.BitComplement} {
+			cfg := config.Default(model)
+			cfg.Width, cfg.Height = 4, 4
+			cfg.Domains = 2
+			rep, err := Run(Check{
+				Cfg:     cfg,
+				Pattern: pattern,
+				Sources: ctrlSources(2, 2e-4, 1, false),
+				Measure: 1500,
+				Drain:   20000,
+				Seed:    1,
+			})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", model, pattern, err)
+			}
+			if err := rep.Err(); err != nil {
+				t.Errorf("%v/%v: %v", model, pattern, err)
+			}
+			if len(rep.Flows) == 0 {
+				t.Errorf("%v/%v: no flows analyzed", model, pattern)
+			}
+		}
+	}
+}
+
+// The tightness anchor: a lone corner flow on SB observes exactly its
+// bound (P·H with the round-robin domain count dividing 2P), so the
+// max ratio is 1.0 — the strongest possible evidence the analysis is
+// not just sound but exact.
+func TestConformanceTightCorner(t *testing.T) {
+	cfg := config.Default(config.SB)
+	cfg.Width, cfg.Height = 4, 4
+	cfg.Domains = 2
+	sources := ctrlSources(2, 5e-3, 1, false)
+	sources[1].Rate = 0
+	rep, err := Run(Check{
+		Cfg:     cfg,
+		Pattern: traffic.Corner,
+		Sources: sources,
+		Measure: 1500,
+		Drain:   20000,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ejected == 0 {
+		t.Fatal("corner flow delivered nothing; raise the rate or budget")
+	}
+	if _, ratio := rep.MaxRatio(); ratio != 1.0 {
+		t.Errorf("lone SB corner flow observed %.3f of its bound, want exactly 1.0", ratio)
+	}
+}
+
+// Bursty greedy sources are the adversarial end: every node fires its
+// full token bucket back to back at cycle 0.
+func TestConformanceOnOffBurst(t *testing.T) {
+	cfg := config.Default(config.SB)
+	cfg.Width, cfg.Height = 4, 4
+	cfg.Domains = 2
+	rep, err := Run(Check{
+		Cfg:     cfg,
+		Pattern: traffic.BitComplement,
+		Sources: ctrlSources(2, 1e-4, 3, true),
+		Measure: 1500,
+		Drain:   30000,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ejected < int64(len(rep.Flows)) {
+		t.Errorf("only %d packets delivered across %d flows; the burst should fire immediately", rep.Ejected, len(rep.Flows))
+	}
+}
+
+func TestFlowsRejectsUnregulated(t *testing.T) {
+	_, err := Flows(geom.NewMesh(4, 4), traffic.Transpose, []traffic.Source{{Rate: 0.1}})
+	if err == nil || !strings.Contains(err.Error(), "unregulated") {
+		t.Errorf("Burst 0 source accepted: %v", err)
+	}
+}
+
+func TestFlowsSkipsSilentDomains(t *testing.T) {
+	fs, err := Flows(geom.NewMesh(4, 4), traffic.Corner, []traffic.Source{
+		{Rate: 0.1, Burst: 1},
+		{Rate: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Flows) != 1 || fs.Flows[0].Domain != 0 {
+		t.Errorf("flows = %+v, want the single domain-0 corner flow", fs.Flows)
+	}
+}
+
+func TestFlowsMatchesGeneratorPatterns(t *testing.T) {
+	mesh := geom.NewMesh(4, 4)
+	for pattern, wantFlows := range map[traffic.Pattern]int{
+		traffic.Corner:        1,
+		traffic.Transpose:     12, // 16 nodes minus the 4 diagonal ones
+		traffic.BitComplement: 16,
+	} {
+		fs, err := Flows(mesh, pattern, []traffic.Source{{Rate: 0.1, Burst: 1, Class: packet.Ctrl}})
+		if err != nil {
+			t.Fatalf("%v: %v", pattern, err)
+		}
+		if len(fs.Flows) != wantFlows {
+			t.Errorf("%v: %d flows, want %d", pattern, len(fs.Flows), wantFlows)
+		}
+		for _, f := range fs.Flows {
+			if f.Src == f.Dst || !mesh.Contains(f.Dst) {
+				t.Errorf("%v: bad flow %+v", pattern, f)
+			}
+			if f.Size != 1 {
+				t.Errorf("%v: flow size %d, want the Ctrl class's 1 flit", pattern, f.Size)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	for p, want := range map[traffic.Pattern]bool{
+		traffic.Corner: true, traffic.Transpose: true, traffic.BitComplement: true,
+		traffic.UniformRandom: false, traffic.Hotspot: false,
+	} {
+		if Deterministic(p) != want {
+			t.Errorf("Deterministic(%v) = %v, want %v", p, !want, want)
+		}
+	}
+}

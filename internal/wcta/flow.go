@@ -1,0 +1,109 @@
+// Package wcta is the analytical worst-case traversal-time engine
+// (ROADMAP item 3): given a flow set and a configuration it derives,
+// per flow, an upper bound on the injection→ejection latency of every
+// packet — or an explicit refusal with the reason no finite bound
+// exists.  The derivations per fabric are spelled out in DESIGN.md
+// §14; internal/wcta/conformance cross-validates every bound against
+// the real simulator.
+//
+// The engine bounds NETWORK latency (InjectedAt→EjectedAt), not total
+// latency: source queueing under open-loop injection is a property of
+// the offered load, not of the fabric, and is unbounded whenever the
+// generator outruns the schedule.
+package wcta
+
+import (
+	"fmt"
+
+	"surfbless/internal/config"
+	"surfbless/internal/geom"
+)
+
+// Flow is one (src, dst, domain) packet stream with a token-bucket
+// arrival curve: in any window of τ cycles the stream injects at most
+// Burst + ⌊Rate·τ⌋ packets (traffic.Source with Burst ≥ 1 satisfies
+// exactly this).
+type Flow struct {
+	Src    geom.Coord
+	Dst    geom.Coord
+	Domain int
+	// Rate is the long-term packet rate in packets/cycle, in (0, 1].
+	Rate float64
+	// Burst is the token-bucket depth in packets, ≥ 1.
+	Burst int
+	// Size is the packet length in flits (0 is normalized to 1).
+	Size int `json:",omitempty"`
+}
+
+// FlitSize returns the flow's packet length with the zero value
+// normalized to a single flit.
+func (f Flow) FlitSize() int {
+	if f.Size <= 0 {
+		return 1
+	}
+	return f.Size
+}
+
+// FlowSet is the complete traffic contract an analysis covers.  Bounds
+// are valid only if no traffic outside the set enters the network.
+type FlowSet struct {
+	Flows []Flow
+}
+
+// EndpointError reports a flow endpoint outside the configured mesh.
+type EndpointError struct {
+	Index int        // offending flow index within the set
+	End   string     // "src" or "dst"
+	Coord geom.Coord // the out-of-mesh coordinate
+	Mesh  geom.Mesh
+}
+
+func (e *EndpointError) Error() string {
+	return fmt.Sprintf("wcta: flow %d: %s %v outside %dx%d mesh",
+		e.Index, e.End, e.Coord, e.Mesh.Width, e.Mesh.Height)
+}
+
+// DomainError reports a flow domain ID outside [0, Domains).
+type DomainError struct {
+	Index   int // offending flow index within the set
+	Domain  int
+	Domains int
+}
+
+func (e *DomainError) Error() string {
+	return fmt.Sprintf("wcta: flow %d: domain %d outside [0,%d)", e.Index, e.Domain, e.Domains)
+}
+
+// Validate reports the first problem with the flow set under cfg, or
+// nil.  Out-of-mesh endpoints and out-of-range domains yield the typed
+// errors above so config loaders can classify rejections.
+func (fs FlowSet) Validate(cfg config.Config) error {
+	if len(fs.Flows) == 0 {
+		return fmt.Errorf("wcta: empty flow set")
+	}
+	mesh := cfg.Mesh()
+	for i, f := range fs.Flows {
+		if !mesh.Contains(f.Src) {
+			return &EndpointError{Index: i, End: "src", Coord: f.Src, Mesh: mesh}
+		}
+		if !mesh.Contains(f.Dst) {
+			return &EndpointError{Index: i, End: "dst", Coord: f.Dst, Mesh: mesh}
+		}
+		if f.Src == f.Dst {
+			return fmt.Errorf("wcta: flow %d: src equals dst %v", i, f.Src)
+		}
+		if f.Domain < 0 || f.Domain >= cfg.Domains {
+			return &DomainError{Index: i, Domain: f.Domain, Domains: cfg.Domains}
+		}
+		if f.Rate <= 0 || f.Rate > 1 {
+			return fmt.Errorf("wcta: flow %d: rate %g outside (0,1]", i, f.Rate)
+		}
+		if f.Burst < 1 {
+			return fmt.Errorf("wcta: flow %d: burst %d < 1 (a flow must admit at least one packet)", i, f.Burst)
+		}
+		if f.Size < 0 {
+			return fmt.Errorf("wcta: flow %d: size %d negative", i, f.Size)
+		}
+	}
+	return nil
+}

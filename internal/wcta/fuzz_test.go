@@ -1,0 +1,105 @@
+package wcta
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"surfbless/internal/config"
+	"surfbless/internal/geom"
+)
+
+func at(x, y int) geom.Coord { return geom.Coord{X: x, Y: y} }
+
+// FuzzFlowSetJSON feeds arbitrary bytes through the flow-set decode
+// path and asserts three properties: no input may panic the decoder or
+// the validator; any flow set Validate accepts must survive a
+// marshal/unmarshal round trip unchanged (the conformance reports and
+// any future cache fingerprinting depend on lossless serialization);
+// and rejections for out-of-mesh endpoints and out-of-range domain IDs
+// must surface as the typed errors — checked against an independent
+// first-problem scan so the classification cannot silently regress to
+// a generic error.
+func FuzzFlowSetJSON(f *testing.F) {
+	cfg := config.Default(config.SB)
+	cfg.Domains = 2
+
+	seed := func(fs FlowSet) {
+		raw, err := json.Marshal(fs)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	seed(FlowSet{Flows: []Flow{cornerFlowFixture()}})
+	seed(FlowSet{Flows: []Flow{
+		{Src: at(1, 0), Dst: at(0, 1), Domain: 1, Rate: 0.5, Burst: 3, Size: 5},
+		{Src: at(2, 2), Dst: at(5, 5), Domain: 0, Rate: 1e-4, Burst: 1},
+	}})
+	f.Add([]byte(`{"Flows":[{"Src":{"X":9,"Y":0},"Dst":{"X":0,"Y":0},"Domain":0,"Rate":0.1,"Burst":1}]}`))
+	f.Add([]byte(`{"Flows":[{"Src":{"X":0,"Y":0},"Dst":{"X":1,"Y":1},"Domain":7,"Rate":0.1,"Burst":1}]}`))
+	f.Add([]byte(`{"Flows":[{"Src":{"X":0,"Y":0},"Dst":{"X":1,"Y":1},"Domain":-1,"Rate":0.1,"Burst":1}]}`))
+	f.Add([]byte(`{"Flows":[{"Rate":2}]}`))
+	f.Add([]byte(`{"Flows":[]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fs FlowSet
+		if json.Unmarshal(data, &fs) != nil {
+			return
+		}
+		err := fs.Validate(cfg)
+		if err == nil {
+			out, merr := json.Marshal(fs)
+			if merr != nil {
+				t.Fatalf("valid flow set failed to marshal: %v", merr)
+			}
+			var back FlowSet
+			if uerr := json.Unmarshal(out, &back); uerr != nil {
+				t.Fatalf("round trip failed to decode: %v\n%s", uerr, out)
+			}
+			if !reflect.DeepEqual(fs, back) {
+				t.Fatalf("round trip not lossless:\n in: %+v\nout: %+v", fs, back)
+			}
+			if back.Validate(cfg) != nil {
+				t.Fatal("round trip invalidated the flow set")
+			}
+			return
+		}
+		// Independent first-problem scan, in Validate's checking order.
+		mesh := cfg.Mesh()
+		for i, fl := range fs.Flows {
+			if !mesh.Contains(fl.Src) || !mesh.Contains(fl.Dst) {
+				var ee *EndpointError
+				if !errors.As(err, &ee) {
+					t.Fatalf("flow %d has an out-of-mesh endpoint but error is %T: %v", i, err, err)
+				}
+				if ee.Index != i {
+					t.Fatalf("EndpointError.Index = %d, want %d", ee.Index, i)
+				}
+				return
+			}
+			if fl.Src == fl.Dst {
+				return // generic error is fine
+			}
+			if fl.Domain < 0 || fl.Domain >= cfg.Domains {
+				var de *DomainError
+				if !errors.As(err, &de) {
+					t.Fatalf("flow %d has domain %d of %d but error is %T: %v", i, fl.Domain, cfg.Domains, err, err)
+				}
+				if de.Index != i || de.Domain != fl.Domain {
+					t.Fatalf("DomainError = %+v, want Index %d Domain %d", de, i, fl.Domain)
+				}
+				return
+			}
+			if fl.Rate <= 0 || fl.Rate > 1 || fl.Burst < 1 || fl.Size < 0 {
+				return // generic error is fine
+			}
+		}
+	})
+}
+
+func cornerFlowFixture() Flow {
+	return Flow{Src: at(0, 0), Dst: at(7, 7), Domain: 0, Rate: 5e-4, Burst: 1}
+}
