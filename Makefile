@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint staticcheck govulncheck build test race race-faults fuzz fuzz-fault bench bench-smoke wcta-conformance experiments clean-cache
+.PHONY: ci vet lint staticcheck govulncheck build test race race-faults fuzz fuzz-fault bench bench-smoke probe-overhead wcta-conformance experiments clean-cache
 
-ci: vet lint build race race-faults bench-smoke fuzz-fault wcta-conformance staticcheck govulncheck
+ci: vet lint build race race-faults bench-smoke probe-overhead fuzz-fault wcta-conformance staticcheck govulncheck
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +74,16 @@ fuzz-fault:
 bench-smoke:
 	$(GO) test -run='TestStepNoAlloc|TestRecvIntoReusesBuffer|TestRecvZeroesVacatedTail' -count=1 . ./internal/link
 	$(GO) test -race -run='TestParallelSweep' -count=1 ./cmd/sweep
+
+# Observability budget gate (DESIGN.md §15): probed Step must stay
+# within 1.10x of unprobed on the paper's fabrics.  The Overhead
+# benchmarks interleave twin probed/unprobed rigs in alternating
+# 500-cycle chunks and report the median per-pair ratio, which cancels
+# the machine drift that makes independently-timed ratios useless for
+# a 10% budget; -gate-probe makes benchjson exit nonzero on a breach.
+probe-overhead:
+	$(GO) test -run='^$$' -bench='^BenchmarkStep(SB|WH|Surf)Overhead$$' -benchtime=20000x -count=1 . \
+		| $(GO) run ./cmd/benchjson -gate-probe 1.10
 
 # Analytical-bound conformance smoke (DESIGN.md §14): seeded and
 # deterministic, the full model × mesh × scenario × seed matrix at the

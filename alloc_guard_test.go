@@ -8,6 +8,7 @@ import (
 	"surfbless/internal/network"
 	"surfbless/internal/packet"
 	"surfbless/internal/power"
+	"surfbless/internal/probe"
 	"surfbless/internal/sim"
 	"surfbless/internal/stats"
 	"surfbless/internal/traffic"
@@ -20,13 +21,16 @@ import (
 type allocHarness struct {
 	fab network.Fabric
 	gen *traffic.Generator
+	p   *probe.Probe // nil = unprobed; Probe methods are nil-safe
 	now int64
 }
 
 // newAllocHarness builds a warmed 8×8 fabric at moderate load.
 // recycle arms the packet free list (disabled for RUNAHEAD, whose
-// retry timers hold packets past ejection).
-func newAllocHarness(tb testing.TB, model config.Model, warmup int64) *allocHarness {
+// retry timers hold packets past ejection).  A non-nil p is wired as
+// the fabric and collector probe before warm-up, so the event ring,
+// interval series and heatmaps all reach working capacity too.
+func newAllocHarness(tb testing.TB, model config.Model, warmup int64, p *probe.Probe) *allocHarness {
 	tb.Helper()
 	cfg := config.Default(model)
 	cfg.Domains = 2
@@ -43,6 +47,12 @@ func newAllocHarness(tb testing.TB, model config.Model, warmup int64) *allocHarn
 	if err != nil {
 		tb.Fatal(err)
 	}
+	if p != nil {
+		col.SetProbe(p)
+		if ps, ok := fab.(interface{ SetProbe(*probe.Probe) }); ok {
+			ps.SetProbe(p)
+		}
+	}
 	gen := traffic.New(cfg.Mesh(), traffic.UniformRandom, []traffic.Source{
 		{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
 		{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
@@ -50,10 +60,11 @@ func newAllocHarness(tb testing.TB, model config.Model, warmup int64) *allocHarn
 	if recycle {
 		gen.SetFreeList(fl)
 	}
-	h := &allocHarness{fab: fab, gen: gen}
+	h := &allocHarness{fab: fab, gen: gen, p: p}
 	for ; h.now < warmup; h.now++ {
 		gen.Tick(fab, h.now)
 		fab.Step(h.now)
+		h.p.Tick(h.now, fab.InFlight())
 	}
 	if recycle {
 		// Spare packets absorb in-flight-count fluctuation above the
@@ -71,6 +82,7 @@ func (h *allocHarness) cycles(n int) {
 	for i := 0; i < n; i++ {
 		h.gen.Tick(h.fab, h.now)
 		h.fab.Step(h.now)
+		h.p.Tick(h.now, h.fab.InFlight())
 		h.now++
 	}
 }
@@ -79,6 +91,7 @@ func (h *allocHarness) cycles(n int) {
 func (h *allocHarness) stepOnly(n int) {
 	for i := 0; i < n; i++ {
 		h.fab.Step(h.now)
+		h.p.Tick(h.now, h.fab.InFlight())
 		h.now++
 	}
 }
@@ -95,7 +108,7 @@ func TestStepNoAlloc(t *testing.T) {
 		config.WH, config.BLESS, config.Surf, config.SB, config.CHIPPER, config.RUNAHEAD,
 	} {
 		t.Run(model.String(), func(t *testing.T) {
-			h := newAllocHarness(t, model, 3000)
+			h := newAllocHarness(t, model, 3000, nil)
 			window := func() float64 {
 				if model == config.RUNAHEAD {
 					// RUNAHEAD cannot recycle (its retry heap reads
@@ -133,6 +146,44 @@ func TestStepNoAlloc(t *testing.T) {
 			}
 			if avg != 0 {
 				t.Errorf("%v: %.2f allocs per 500 steady-state cycles, want 0", model, avg)
+			}
+		})
+	}
+}
+
+// TestStepNoAllocProbed extends the zero-allocation guarantee to fully
+// observed stepping (DESIGN.md §15): an armed probe with a bounded
+// measurement window — so Arm preallocates every interval bucket and
+// ring segment — plus a flight-recorder tap must not add a single
+// allocation to steady-state cycles.  Covers the gated fabrics; the
+// probe code paths are model-independent.
+func TestStepNoAllocProbed(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	for _, model := range []config.Model{config.SB, config.WH, config.Surf} {
+		t.Run(model.String(), func(t *testing.T) {
+			p := &probe.Probe{}
+			cfg := config.Default(model)
+			// MeasureEnd bounds the run so the interval series is fully
+			// preallocated at Arm; it comfortably exceeds the warm-up
+			// attempt budget below (600 × 500 cycles + warm-up).
+			p.Arm(probe.Config{Mesh: cfg.Mesh(), Domains: 2, Every: 100, WarmupEnd: 0, MeasureEnd: 400_000})
+			p.AttachTap(probe.NewFlightRecorder(0))
+			h := newAllocHarness(t, model, 3000, p)
+			streak := 0
+			for attempt := 0; streak < 10; attempt++ {
+				if attempt == 600 {
+					t.Fatalf("%v: probed stepping still allocates after 300k warm-up cycles", model)
+				}
+				if testing.AllocsPerRun(1, func() { h.cycles(500) }) == 0 {
+					streak++
+				} else {
+					streak = 0
+				}
+			}
+			if avg := testing.AllocsPerRun(5, func() { h.cycles(500) }); avg != 0 {
+				t.Errorf("%v: %.2f allocs per 500 probed steady-state cycles, want 0", model, avg)
 			}
 		})
 	}

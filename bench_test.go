@@ -14,7 +14,9 @@ package surfbless_test
 
 import (
 	"os"
+	"sort"
 	"testing"
+	"time"
 
 	"surfbless"
 	"surfbless/internal/config"
@@ -305,6 +307,101 @@ func BenchmarkStepWHProbed(b *testing.B) { benchFabric(b, config.WH, true) }
 
 // BenchmarkStepSurfProbed is BenchmarkStepSurf with a probe armed.
 func BenchmarkStepSurfProbed(b *testing.B) { benchFabric(b, config.Surf, true) }
+
+// benchStepOverhead measures the probe's hot-path cost as a ratio: it
+// builds twin rigs — one probed, one not — and steps them in
+// alternating short chunks, reporting the median per-pair
+// probed/unprobed wall-time as the "probed/unprobed" metric.  Timing
+// both sides within the same few milliseconds cancels the machine-level
+// drift (frequency scaling, noisy neighbours) that makes ratios of two
+// independently timed benchmarks useless for a 10% budget; the median
+// over many pairs discards the chunks a descheduling spike lands in.
+// `make probe-overhead` gates on this metric via benchjson.
+func benchStepOverhead(b *testing.B, model config.Model) {
+	const chunk = 500 // cycles per timed slice: ~ms, well under drift timescales
+	type rig struct {
+		fab network.Fabric
+		gen *traffic.Generator
+		p   *probe.Probe
+		now int64
+	}
+	build := func(probed bool) *rig {
+		cfg := config.Default(model)
+		cfg.Domains = 2
+		col := stats.NewCollector(2, 0, 0)
+		meter := power.NewMeter(cfg, power.Default45nm())
+		fl := &packet.FreeList{}
+		fab, err := sim.BuildFabric(cfg, nil, func(_ int, p *packet.Packet, _ int64) { fl.Put(p) }, col, meter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := &rig{fab: fab}
+		if probed {
+			r.p = &probe.Probe{}
+			r.p.Arm(probe.Config{Mesh: cfg.Mesh(), Domains: 2, Every: 100, WarmupEnd: 0, MeasureEnd: benchWarmup + int64(b.N)})
+			col.SetProbe(r.p)
+			if ps, ok := fab.(interface{ SetProbe(*probe.Probe) }); ok {
+				ps.SetProbe(r.p)
+			}
+		}
+		r.gen = traffic.New(cfg.Mesh(), traffic.UniformRandom, []traffic.Source{
+			{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
+			{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
+		}, 1)
+		r.gen.SetFreeList(fl)
+		for ; r.now < benchWarmup; r.now++ {
+			r.gen.Tick(r.fab, r.now)
+			r.fab.Step(r.now)
+			if r.p != nil {
+				r.p.Tick(r.now, r.fab.InFlight())
+			}
+		}
+		return r
+	}
+	plain, probed := build(false), build(true)
+	runChunk := func(r *rig, n int64) time.Duration {
+		start := time.Now()
+		for end := r.now + n; r.now < end; r.now++ {
+			r.gen.Tick(r.fab, r.now)
+			r.fab.Step(r.now)
+			if r.p != nil {
+				r.p.Tick(r.now, r.fab.InFlight())
+			}
+		}
+		return time.Since(start)
+	}
+	ratios := make([]float64, 0, int64(b.N)/chunk+1)
+	b.ResetTimer()
+	for remaining := int64(b.N); remaining > 0; remaining -= chunk {
+		n := min(chunk, remaining)
+		// Alternate which rig goes first so a within-pair trend (cache
+		// warming, GC) biases neither side.
+		var tu, tp time.Duration
+		if len(ratios)%2 == 0 {
+			tu, tp = runChunk(plain, n), runChunk(probed, n)
+		} else {
+			tp, tu = runChunk(probed, n), runChunk(plain, n)
+		}
+		if tu > 0 {
+			ratios = append(ratios, float64(tp)/float64(tu))
+		}
+	}
+	b.StopTimer()
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		b.ReportMetric(ratios[len(ratios)/2], "probed/unprobed")
+	}
+	b.ReportMetric(float64(config.Default(model).Nodes()), "routers/cycle")
+}
+
+// BenchmarkStepSBOverhead gates SB's probed-Step budget (≤ 1.10x).
+func BenchmarkStepSBOverhead(b *testing.B) { benchStepOverhead(b, config.SB) }
+
+// BenchmarkStepWHOverhead gates WH's probed-Step budget.
+func BenchmarkStepWHOverhead(b *testing.B) { benchStepOverhead(b, config.WH) }
+
+// BenchmarkStepSurfOverhead gates Surf's probed-Step budget.
+func BenchmarkStepSurfOverhead(b *testing.B) { benchStepOverhead(b, config.Surf) }
 
 // BenchmarkSystemCycle measures full-system simulation speed (cores +
 // MESI + SB NoC).

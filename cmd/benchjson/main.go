@@ -11,6 +11,15 @@
 // ns/op, and any extra b.ReportMetric metrics keyed by unit.  The
 // surrounding goos/goarch/pkg header lines are captured too, so a
 // report is self-describing when diffing runs across machines.
+//
+// Probe-overhead gate: a BenchmarkStep<M>Overhead entry reporting a
+// "probed/unprobed" metric (the interleaved twin-rig benchmark, robust
+// to machine drift) contributes that metric to the report's
+// probe_overhead map; absent one, a BenchmarkStep<M> /
+// BenchmarkStep<M>Probed pair contributes its ns/op ratio.  -gate-probe
+// MAX additionally enforces the observability budget: SB, WH and Surf
+// must all have a measured ratio and every ratio must stay ≤ MAX, or
+// the command exits 1 — this is what `make probe-overhead` runs in CI.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -39,10 +49,19 @@ type Report struct {
 	GoVersion  string            `json:"go_version"`
 	Env        map[string]string `json:"env,omitempty"` // goos, goarch, pkg, cpu
 	Benchmarks []Bench           `json:"benchmarks"`
+	// ProbeOverhead maps each fabric with both a plain and a Probed
+	// Step benchmark to probed/unprobed ns-per-op.
+	ProbeOverhead map[string]float64 `json:"probe_overhead,omitempty"`
 }
+
+// gatedModels are the fabrics whose probed Step overhead is enforced
+// by -gate-probe (the paper's models; CHIPPER/RUNAHEAD extensions are
+// reported but not gated).
+var gatedModels = []string{"SB", "WH", "Surf"}
 
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout only)")
+	gate := flag.Float64("gate-probe", 0, "fail if any SB/WH/Surf probed-Step ratio exceeds this (0 disables)")
 	flag.Parse()
 
 	rep := Report{
@@ -66,6 +85,7 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
+	rep.ProbeOverhead = probeOverhead(rep.Benchmarks)
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -73,12 +93,75 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fatal(err)
+	if *gate > 0 {
+		if err := gateProbe(rep.ProbeOverhead, *gate, os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
+}
+
+// probeOverhead returns probed/unprobed Step ratios keyed by model.
+// A BenchmarkStep<M>Overhead entry's "probed/unprobed" metric (the
+// interleaved twin-rig measurement) wins; a BenchmarkStep<M> /
+// BenchmarkStep<M>Probed ns-per-op pair fills in models without one.
+func probeOverhead(benches []Bench) map[string]float64 {
+	ns := map[string]float64{}
+	for _, b := range benches {
+		ns[b.Name] = b.NsPerOp
+	}
+	ratios := map[string]float64{}
+	for name, probed := range ns {
+		model, ok := strings.CutSuffix(name, "Probed")
+		if !ok {
+			continue
+		}
+		plain, ok := ns[model]
+		if !ok || plain <= 0 {
+			continue
+		}
+		ratios[strings.TrimPrefix(model, "BenchmarkStep")] = probed / plain
+	}
+	for _, b := range benches {
+		model, ok := strings.CutSuffix(b.Name, "Overhead")
+		if !ok {
+			continue
+		}
+		r, ok := b.Metrics["probed/unprobed"]
+		if !ok || r <= 0 {
+			continue
+		}
+		ratios[strings.TrimPrefix(model, "BenchmarkStep")] = r
+	}
+	if len(ratios) == 0 {
+		return nil
+	}
+	return ratios
+}
+
+// gateProbe enforces the observability budget: every gated model must
+// have a measured ratio, and none may exceed maxRatio.
+func gateProbe(ratios map[string]float64, maxRatio float64, w io.Writer) error {
+	var over []string
+	for _, m := range gatedModels {
+		r, ok := ratios[m]
+		if !ok {
+			return fmt.Errorf("gate-probe: no BenchmarkStep%s / BenchmarkStep%sProbed pair in the input", m, m)
+		}
+		fmt.Fprintf(w, "benchjson: probe overhead %-5s %.3fx (budget %.2fx)\n", m, r, maxRatio)
+		if r > maxRatio {
+			over = append(over, fmt.Sprintf("%s %.3fx", m, r))
+		}
+	}
+	if len(over) > 0 {
+		return fmt.Errorf("gate-probe: probed Step exceeds %.2fx budget: %s", maxRatio, strings.Join(over, ", "))
+	}
+	return nil
 }
 
 // headerLine recognizes the goos/goarch/pkg/cpu preamble.

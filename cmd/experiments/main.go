@@ -71,6 +71,10 @@ func mainExperiments() int {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
 		}
+		// Failed runs (WCTA conformance violations) leave forensic
+		// flight-recorder dumps next to the figure outputs; replay them
+		// with `replay -flight FILE`.
+		experiments.SetFlightDir(*out)
 	}
 	var cache *simcache.Cache
 	if *useCache && !*noCache {
@@ -92,11 +96,16 @@ func mainExperiments() int {
 		})
 	}
 	if *httpAddr != "" {
-		addr, err := probe.Serve(*httpAddr, g)
+		metrics := probe.NewMetrics()
+		if cache != nil {
+			cache.ExposeMetrics(metrics)
+		}
+		srv, err := probe.Serve(*httpAddr, g, metrics)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "introspection: http://%s/progress\n", addr)
+		defer srv.Close() //nolint:errcheck // releases the listener on the way out
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/progress (metrics at /metrics)\n", srv.Addr())
 	}
 	if *progress {
 		stop := g.Report(os.Stderr, 5*time.Second)

@@ -8,8 +8,8 @@
 //	      [-cycles 10000] [-seed 1] [-workers 1]
 //	      [-cache] [-cache-dir DIR] [-no-cache]
 //	      [-faults FILE] [-checkpoint FILE] [-resume]
-//	      [-http ADDR] [-progress] [-trace FILE]
-//	      [-probe-dir DIR] [-probe-every N]
+//	      [-http ADDR] [-progress] [-trace FILE] [-spans FILE]
+//	      [-probe-dir DIR] [-probe-every N] [-flight-dir DIR]
 //
 // -workers N simulates up to N points concurrently.  Every point is an
 // isolated deterministic simulation and rows are emitted in rate order
@@ -35,10 +35,16 @@
 // ETA), /debug/vars and /debug/pprof/* while the sweep runs; -progress
 // prints one structured stderr line per completed point.  -trace FILE
 // writes a packet lifecycle trace per point (FILE gains a _r<rate>
-// suffix so points do not interleave).  -probe-dir DIR attaches a
-// probe to every point and writes per-interval time-series JSONL and
-// heatmap CSV files there.  Traced or probed points always simulate —
-// the result cache is bypassed for them.
+// suffix so points do not interleave); -spans FILE writes a Chrome
+// trace (Perfetto) JSON per point the same way — load it at
+// https://ui.perfetto.dev to see every packet's hop-by-hop timeline.
+// -probe-dir DIR attaches a probe to every point and writes
+// per-interval time-series JSONL and heatmap CSV files there.
+// -flight-dir DIR arms a flight recorder on every point: a point that
+// degrades (watchdog, recovered invariant) dumps its last cycles of
+// events there for `replay -flight`.  Traced, probed, span-exported or
+// recorded points always simulate — the result cache is bypassed for
+// them.
 package main
 
 import (
@@ -85,8 +91,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	httpAddr := fs.String("http", "", "serve /progress, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 	progress := fs.Bool("progress", false, "print a structured progress line to stderr after every point")
 	traceFile := fs.String("trace", "", "write a packet lifecycle trace per point (suffixed _r<rate>)")
+	spansFile := fs.String("spans", "", "write a Chrome trace (Perfetto) JSON per point (suffixed _r<rate>)")
 	probeDir := fs.String("probe-dir", "", "write per-point time series (JSONL) and heatmaps (CSV) into this directory")
 	probeEvery := fs.Int64("probe-every", probe.DefaultEvery, "probe bucket width in cycles for -probe-dir")
+	flightDir := fs.String("flight-dir", "", "write flight-recorder dumps of degraded points into this directory")
 	faultsFile := fs.String("faults", "", "fault plan JSON applied to every point (see internal/fault)")
 	ckptPath := fs.String("checkpoint", "", "journal completed points to this file")
 	resume := fs.Bool("resume", false, "replay completed points from -checkpoint instead of re-simulating them")
@@ -127,6 +135,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *probeDir != "" {
 		if err := os.MkdirAll(*probeDir, 0o755); err != nil {
+			return fatal(err)
+		}
+	}
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
 			return fatal(err)
 		}
 	}
@@ -181,11 +194,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		})
 	}
 	if *httpAddr != "" {
-		addr, err := probe.Serve(*httpAddr, g)
+		metrics := probe.NewMetrics()
+		if cache != nil {
+			cache.ExposeMetrics(metrics)
+		}
+		srv, err := probe.Serve(*httpAddr, g, metrics)
 		if err != nil {
 			return fatal(err)
 		}
-		fmt.Fprintf(stderr, "introspection: http://%s/progress\n", addr)
+		defer srv.Close() //nolint:errcheck // releases the listener on the way out
+		fmt.Fprintf(stderr, "introspection: http://%s/progress (metrics at /metrics)\n", srv.Addr())
 	}
 
 	// outcome is one point's finished state, produced on a worker and
@@ -231,7 +249,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// data, not failures — their partial stats make the row.
 		var err error
 		for attempt := 0; attempt < 2; attempt++ {
-			out.row, err = sweepPoint(o, m, rate, *domains, cache, *traceFile, *probeDir, *probeEvery)
+			out.row, err = sweepPoint(o, m, rate, *domains, cache, pointFiles{
+				trace: *traceFile, spans: *spansFile,
+				probeDir: *probeDir, probeEvery: *probeEvery,
+				flightDir: *flightDir, stderr: stderr,
+			})
 			if err == nil {
 				return out, nil
 			}
@@ -247,7 +269,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintln(stdout, "rate,avg_latency,queue_latency,network_latency,throughput,deflections_per_pkt,refused,dropped,retransmits,status")
 	failures := 0
-	observed := *traceFile != "" || *probeDir != ""
+	observed := *traceFile != "" || *spansFile != "" || *probeDir != "" || *flightDir != ""
 	parmap.Stream(rates, *workers, compute, func(_ int, out outcome, _ error) {
 		fmt.Fprintln(stdout, out.row)
 		if out.err != nil {
@@ -273,19 +295,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// pointFiles collects the per-point observability outputs a sweep can
+// request: lifecycle trace, Chrome-trace spans, probe series/heatmaps,
+// and flight-recorder dumps of degraded points.
+type pointFiles struct {
+	trace      string
+	spans      string
+	probeDir   string
+	probeEvery int64
+	flightDir  string
+	stderr     io.Writer
+}
+
 // sweepPoint simulates one rate and renders its CSV row.  A panic that
 // escapes the simulator's own recover boundary is converted to an
 // error here so the caller's isolation holds.
 func sweepPoint(o sim.Options, m config.Model, rate float64, domains int,
-	cache *simcache.Cache, traceFile, probeDir string, probeEvery int64) (row string, err error) {
+	cache *simcache.Cache, files pointFiles) (row string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
 	var tw *trace.Writer
-	if traceFile != "" {
-		f, ferr := os.Create(suffixed(traceFile, rate))
+	if files.trace != "" {
+		f, ferr := os.Create(suffixed(files.trace, rate))
 		if ferr != nil {
 			return "", ferr
 		}
@@ -293,11 +327,23 @@ func sweepPoint(o sim.Options, m config.Model, rate float64, domains int,
 		tw = trace.New(f)
 		o.Tracer = tw.Tracer()
 	}
+	var pf *trace.Perfetto
+	if files.spans != "" {
+		f, ferr := os.Create(suffixed(files.spans, rate))
+		if ferr != nil {
+			return "", ferr
+		}
+		pf = trace.NewPerfetto(f, o.Cfg.Mesh())
+		o.Taps = append(o.Taps, pf)
+	}
 	var p *probe.Probe
-	if probeDir != "" {
+	if files.probeDir != "" {
 		p = &probe.Probe{}
 		o.Probe = p
-		o.ProbeEvery = probeEvery
+		o.ProbeEvery = files.probeEvery
+	}
+	if files.flightDir != "" {
+		o.Recorder = probe.NewFlightRecorder(0)
 	}
 	res, err := sim.RunCached(o, cache)
 	status := "ok"
@@ -308,18 +354,30 @@ func sweepPoint(o sim.Options, m config.Model, rate float64, domains int,
 		}
 		res = de.Partial
 		status = "degraded: " + csvSafe(de.Reason)
+		if de.Flight != nil && files.flightDir != "" {
+			path := filepath.Join(files.flightDir, fmt.Sprintf("sweep_%v_r%.3f.flight.json", m, rate))
+			if werr := exportFile(path, de.Flight.WriteJSON); werr != nil {
+				return "", werr
+			}
+			fmt.Fprintf(files.stderr, "sweep: rate %.3f degraded — flight dump: %s\n", rate, path)
+		}
 	}
 	if tw != nil {
 		if err := tw.Close(); err != nil {
 			return "", fmt.Errorf("trace: %w", err)
 		}
 	}
+	if pf != nil {
+		if err := pf.Close(); err != nil {
+			return "", fmt.Errorf("spans: %w", err)
+		}
+	}
 	if p != nil {
 		base := fmt.Sprintf("%v_r%.3f", m, rate)
-		if err := exportFile(filepath.Join(probeDir, "sweep_ts_"+base+".jsonl"), p.WriteTimeSeriesJSONL); err != nil {
+		if err := exportFile(filepath.Join(files.probeDir, "sweep_ts_"+base+".jsonl"), p.WriteTimeSeriesJSONL); err != nil {
 			return "", err
 		}
-		if err := exportFile(filepath.Join(probeDir, "sweep_heat_"+base+".csv"), p.WriteHeatmapCSV); err != nil {
+		if err := exportFile(filepath.Join(files.probeDir, "sweep_heat_"+base+".csv"), p.WriteHeatmapCSV); err != nil {
 			return "", err
 		}
 	}

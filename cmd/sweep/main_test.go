@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -75,5 +77,41 @@ func TestBadFlagsFail(t *testing.T) {
 	}
 	if _, _, code := runSweep(t, sweepArgs("-model", "nope")); code == 0 {
 		t.Error("unknown model must fail")
+	}
+}
+
+// A span-exporting sweep writes one loadable Chrome-trace JSON per
+// point, and its CSV is identical to an unobserved sweep — the
+// exporter rides the probe's event stream without touching results.
+func TestSweepSpansExport(t *testing.T) {
+	plain, _, code := runSweep(t, sweepArgs("-workers", "1"))
+	if code != 0 {
+		t.Fatalf("plain sweep exit %d", code)
+	}
+	dir := t.TempDir()
+	spans := filepath.Join(dir, "spans.json")
+	observed, _, code := runSweep(t, sweepArgs("-workers", "1", "-spans", spans))
+	if code != 0 {
+		t.Fatalf("spans sweep exit %d", code)
+	}
+	if observed != plain {
+		t.Errorf("span export changed the CSV:\n--- plain ---\n%s--- spans ---\n%s", plain, observed)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "spans_r*.json"))
+	if err != nil || len(files) != 5 {
+		t.Fatalf("got %d span files (%v), want 5", len(files), err)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &ct); err != nil {
+		t.Fatalf("%s is not valid Chrome trace JSON: %v", files[0], err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Errorf("%s holds no trace events", files[0])
 	}
 }

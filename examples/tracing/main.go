@@ -36,6 +36,16 @@ func main() {
 	p.Arm(probe.Config{Mesh: cfg.Mesh(), Domains: cfg.Domains, Every: 200, WarmupEnd: 0, MeasureEnd: 2000})
 	col.SetProbe(p)
 
+	// A Chrome-trace exporter taps the same event stream: every hop and
+	// packet life becomes a timeline slice loadable in
+	// https://ui.perfetto.dev (one simulated cycle = 1 µs of trace time).
+	spans, err := os.CreateTemp("", "surfbless_spans_*.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pf := trace.NewPerfetto(spans, cfg.Mesh())
+	p.AttachTap(pf)
+
 	meter := power.NewMeter(cfg, power.Default45nm())
 	fab, err := sim.BuildFabric(cfg, nil, nil, col, meter)
 	if err != nil {
@@ -63,8 +73,13 @@ func main() {
 	if err := tw.Close(); err != nil {
 		log.Fatal(err)
 	}
+	p.Flush() // drain the event ring into the tap before closing it
+	if err := pf.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("traced %d events over %d cycles\n\n", tw.Events(), now)
+	fmt.Printf("chrome trace: %d spans in %s (load at https://ui.perfetto.dev)\n\n", pf.Events(), spans.Name())
 	fmt.Println(trace.Header())
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	for _, l := range lines[:10] {

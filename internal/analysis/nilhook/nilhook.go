@@ -49,7 +49,7 @@ var Scope = regexp.MustCompile(`internal/(router(/[^/]+)?|sim|link|stats|network
 // state means "hook disabled".  Matched against the fully qualified
 // type string so the testdata module's probe/fault packages match the
 // same way the real ones do.
-var HookTypes = regexp.MustCompile(`(^|/)(probe\.Probe|fault\.Injector|stats\.Tracer|stats\.FlowTracker|network\.Sink)$`)
+var HookTypes = regexp.MustCompile(`(^|/)(probe\.Probe|probe\.FlightRecorder|fault\.Injector|stats\.Tracer|stats\.FlowTracker|network\.Sink)$`)
 
 func run(pass *analysis.Pass) error {
 	if !Scope.MatchString(pass.Unit.Path) {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
 	"sync/atomic"
 
 	"surfbless/internal/probe"
@@ -34,6 +36,50 @@ var progressPtr atomic.Pointer[probe.Progress]
 // SetProgress installs a progress tracker that every figure, ablation
 // and extension driver bumps once per simulation point (nil disables).
 func SetProgress(g *probe.Progress) { progressPtr.Store(g) }
+
+// flightDirPtr holds the directory failed runs dump their flight
+// recordings into ("" disables forensic dumps).
+var flightDirPtr atomic.Pointer[string]
+
+// SetFlightDir installs the directory where drivers write flight
+// recorder dumps when a run fails (WCTA conformance violations,
+// degraded runs).  Empty disables dumping; cmd/experiments points it
+// at its -out directory.
+func SetFlightDir(dir string) { flightDirPtr.Store(&dir) }
+
+// flightDir returns the installed dump directory, or "".
+func flightDir() string {
+	if p := flightDirPtr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// writeFlightDump persists a failed run's flight recording as
+// <flightDir>/<base>.flight.json and returns the path.  A nil dump or
+// an unset flight directory writes nothing and returns "".
+func writeFlightDump(d *probe.FlightDump, base string) (string, error) {
+	dir := flightDir()
+	if d == nil || dir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, base+".flight.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := d.WriteJSON(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return path, nil
+}
 
 // pointDone records one completed simulation point.
 func pointDone() {

@@ -5,6 +5,7 @@ import (
 
 	"surfbless/internal/config"
 	"surfbless/internal/packet"
+	"surfbless/internal/probe"
 	"surfbless/internal/textplot"
 	"surfbless/internal/traffic"
 	"surfbless/internal/wcta/conformance"
@@ -128,14 +129,22 @@ func WCTAConformance(sc Scale) ([]WCTARow, error) {
 					cfg := config.Default(model)
 					cfg.Width, cfg.Height = mesh, mesh
 					cfg.Domains = 2
+					// With a flight directory configured, every check runs
+					// with a recorder so a violation leaves a forensic dump
+					// instead of just a one-line error.
+					var rec *probe.FlightRecorder
+					if flightDir() != "" {
+						rec = probe.NewFlightRecorder(0)
+					}
 					rep, err := conformance.Run(conformance.Check{
-						Cfg:     cfg,
-						Pattern: scn.pattern,
-						Sources: scn.sources(cfg.Domains),
-						Measure: sc.Measure,
-						Drain:   sc.Drain,
-						Seed:    seed,
-						Cache:   Cache(),
+						Cfg:      cfg,
+						Pattern:  scn.pattern,
+						Sources:  scn.sources(cfg.Domains),
+						Measure:  sc.Measure,
+						Drain:    sc.Drain,
+						Seed:     seed,
+						Cache:    Cache(),
+						Recorder: rec,
 					})
 					pointDone()
 					if err != nil {
@@ -156,7 +165,12 @@ func WCTAConformance(sc Scale) ([]WCTARow, error) {
 						row.MaxRatio = ratio
 					}
 					if verr := rep.Err(); verr != nil {
-						return nil, fmt.Errorf("wcta %v %dx%d %s seed %d: %w", model, mesh, mesh, scn.name, seed, verr)
+						wrapped := fmt.Errorf("wcta %v %dx%d %s seed %d: %w", model, mesh, mesh, scn.name, seed, verr)
+						base := fmt.Sprintf("wcta_%v_%dx%d_%s_s%d", model, mesh, mesh, scn.name, seed)
+						if path, werr := writeFlightDump(rep.Flight, base); werr == nil && path != "" {
+							return nil, fmt.Errorf("%w (flight dump: %s)", wrapped, path)
+						}
+						return nil, wrapped
 					}
 				}
 				// Surf's gating term is a worst-phase bound the injection

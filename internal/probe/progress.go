@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -138,27 +139,72 @@ func (g *Progress) handler() http.Handler {
 // panics on duplicate names, and tests may start several servers.
 var publishOnce sync.Once
 
-// Serve starts the introspection HTTP server on addr (host:port;
-// use 127.0.0.1:0 for an ephemeral port) and returns the bound
-// address.  Endpoints: /progress (JSON snapshot), /debug/vars
-// (expvar), /debug/pprof/* (net/http/pprof).  The server runs until
-// the process exits; drivers treat it as fire-and-forget.
-func Serve(addr string, g *Progress) (string, error) {
+// Server is a running introspection HTTP server.  Close it to release
+// the listener; drivers that want the old fire-and-forget behavior
+// simply never call Close.
+type Server struct {
+	addr string
+	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine exits
+}
+
+// Addr returns the server's bound address (host:port).
+func (s *Server) Addr() string { return s.addr }
+
+// Close gracefully shuts the server down: in-flight scrapes finish
+// (bounded by a short timeout), the listener closes, and the serve
+// goroutine exits before Close returns.  Idempotent.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	if err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("probe: http shutdown: %w", err)
+	}
+	return nil
+}
+
+// Serve starts the introspection HTTP server on addr (host:port; use
+// 127.0.0.1:0 for an ephemeral port).  Endpoints: /progress (JSON
+// snapshot), /metrics (Prometheus text, when m != nil), /debug/vars
+// (expvar), /debug/pprof/* (net/http/pprof).  The caller owns the
+// returned Server and should Close it for a graceful shutdown; an
+// unclosed server lives until the process exits.
+func Serve(addr string, g *Progress, m *Metrics) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("probe: http listen: %w", err)
+		return nil, fmt.Errorf("probe: http listen: %w", err)
 	}
 	publishOnce.Do(func() {
 		expvar.Publish("progress", expvar.Func(func() any { return g.Snapshot() }))
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/progress", g.handler())
+	if m != nil {
+		// The run's point counters are always worth scraping; the caller
+		// adds domain metrics (cache counters, run totals) on top.
+		m.GaugeFunc("surfbless_points_done", "simulation points completed this run", func() int64 { return g.done.Load() })
+		m.GaugeFunc("surfbless_points_total", "simulation points planned this run (0 = unknown)", func() int64 { return g.total.Load() })
+		mux.Handle("/metrics", m.Handler())
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go http.Serve(ln, mux) //nolint:errcheck // lives for the process
-	return ln.Addr().String(), nil
+	s := &Server{
+		addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	}()
+	return s, nil
 }

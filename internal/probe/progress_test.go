@@ -3,8 +3,10 @@ package probe_test
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 
 	"surfbless/internal/probe"
@@ -55,10 +57,12 @@ func TestServeProgress(t *testing.T) {
 	g.SetStage("sweep")
 	g.SetTotal(4)
 	g.Add(1)
-	addr, err := probe.Serve("127.0.0.1:0", g)
+	srv, err := probe.Serve("127.0.0.1:0", g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
+	addr := srv.Addr()
 
 	resp, err := http.Get(fmt.Sprintf("http://%s/progress", addr))
 	if err != nil {
@@ -99,5 +103,121 @@ func TestServeProgress(t *testing.T) {
 		if r.StatusCode != http.StatusOK {
 			t.Errorf("%s status %d", path, r.StatusCode)
 		}
+	}
+}
+
+// TestServeMetricsConcurrent is the satellite acceptance test: /metrics
+// and /progress are scraped concurrently while the counters advance
+// (run under -race to prove the scrape path is data-race free), and
+// the owned + func-backed instruments render valid Prometheus text.
+func TestServeMetricsConcurrent(t *testing.T) {
+	g := probe.NewProgress()
+	g.SetTotal(1000)
+	m := probe.NewMetrics()
+	steps := m.Counter("surfbless_test_steps_total", "cycles stepped")
+	m.GaugeFunc("surfbless_test_inflight", "packets in flight", func() int64 { return 7 })
+	srv, err := probe.Serve("127.0.0.1:0", g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// "Simulation" goroutine advancing counters while scrapers poll.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			steps.Inc()
+			g.Add(1)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		for _, path := range []string{"/metrics", "/progress"} {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+					if err != nil {
+						errs <- err
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("%s status %d", path, resp.StatusCode)
+						return
+					}
+					if path == "/metrics" && !strings.Contains(string(body), "# TYPE surfbless_test_steps_total counter") {
+						errs <- fmt.Errorf("/metrics missing TYPE line:\n%s", body)
+						return
+					}
+				}
+			}(path)
+		}
+	}
+	wg.Wait()
+	<-done
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Final scrape sees the settled counter values, including the
+	// func-backed gauge and the Serve-registered progress gauges.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"surfbless_test_steps_total 500",
+		"surfbless_test_inflight 7",
+		"surfbless_points_done 500",
+		"surfbless_points_total 1000",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestServeGracefulShutdown proves Close releases the listener (the
+// old fire-and-forget Serve leaked it until process exit): after
+// Close, scrapes fail and the port can be rebound immediately.
+func TestServeGracefulShutdown(t *testing.T) {
+	g := probe.NewProgress()
+	srv, err := probe.Serve("127.0.0.1:0", g, probe.NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if _, err := http.Get(fmt.Sprintf("http://%s/progress", addr)); err != nil {
+		t.Fatalf("pre-shutdown scrape: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/progress", addr)); err == nil {
+		t.Fatal("scrape succeeded after Close; listener not released")
+	}
+	// The exact address rebinds: nothing holds the socket.
+	srv2, err := probe.Serve(addr, g, nil)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

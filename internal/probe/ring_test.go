@@ -1,0 +1,211 @@
+package probe_test
+
+import (
+	"strings"
+	"testing"
+	"unsafe"
+
+	"surfbless/internal/geom"
+	"surfbless/internal/probe"
+)
+
+// TestEventStaysSmall pins the ring record at 48 bytes: the hot path
+// copies one per event, so accidental growth is a performance bug.
+func TestEventStaysSmall(t *testing.T) {
+	if s := unsafe.Sizeof(probe.Event{}); s != 48 {
+		t.Fatalf("Event is %d bytes, want 48", s)
+	}
+}
+
+// TestRingOverflowFlushes: appending more router events than one ring
+// segment holds must flush mid-interval and lose nothing — exactness
+// never depends on segment capacity.
+func TestRingOverflowFlushes(t *testing.T) {
+	pr := &probe.Probe{}
+	// A 1×1 mesh gets the max per-router segment (1024 events);
+	// overflow it several times over from a single node.
+	pr.Arm(probe.Config{Mesh: geom.NewMesh(1, 1), Domains: 1, Every: 100})
+	const hops = 5000
+	p := pkt(1, 0, 0, 0, 0)
+	for i := 0; i < hops; i++ {
+		pr.Traverse(0, geom.East, p, 2, i%10 == 0, int64(i%50))
+	}
+	h := pr.Heatmap()
+	if h.RouterFlits[0] != 2*hops {
+		t.Errorf("router flits = %d, want %d", h.RouterFlits[0], 2*hops)
+	}
+	if h.LinkFlits[0][geom.East] != 2*hops {
+		t.Errorf("link flits = %d, want %d", h.LinkFlits[0][geom.East], 2*hops)
+	}
+	if h.RouterDeflections[0] != hops/10 {
+		t.Errorf("deflections = %d, want %d", h.RouterDeflections[0], hops/10)
+	}
+}
+
+// batchTap records every batch it is handed (copying, per the Tap
+// contract).
+type batchTap struct {
+	batches int
+	events  []probe.Event
+}
+
+func (bt *batchTap) Consume(batch []probe.Event) {
+	bt.batches++
+	bt.events = append(bt.events, batch...)
+}
+
+// TestTapSeesEveryEvent: an attached tap receives the full event
+// stream across interval drains and the final flush, and re-arming
+// detaches it.
+func TestTapSeesEveryEvent(t *testing.T) {
+	pr := &probe.Probe{}
+	pr.Arm(probe.Config{Mesh: geom.NewMesh(2, 2), Domains: 1, Every: 50})
+	bt := &batchTap{}
+	pr.AttachTap(bt)
+
+	p := pkt(7, 0, 10, 11, 90)
+	pr.Created(p)
+	pr.Injected(p)
+	for now := int64(0); now < 120; now++ {
+		if now == 40 {
+			pr.Traverse(1, geom.South, p, 1, false, now)
+		}
+		pr.Tick(now, 1)
+	}
+	pr.Ejected(p)
+	pr.Flush()
+
+	// created + injected + traverse + ejected + 120 ticks.
+	if want := 4 + 120; len(bt.events) != want {
+		t.Fatalf("tap saw %d events, want %d", len(bt.events), want)
+	}
+	if bt.batches < 2 {
+		t.Errorf("tap saw %d batches; interval draining should produce several", bt.batches)
+	}
+	kinds := map[probe.Kind]int{}
+	for _, e := range bt.events {
+		kinds[e.Kind]++
+	}
+	for _, k := range []probe.Kind{probe.KindCreated, probe.KindInjected, probe.KindLinkBusy, probe.KindEjected} {
+		if kinds[k] != 1 {
+			t.Errorf("tap saw %d %v events, want 1", kinds[k], k)
+		}
+	}
+
+	pr.Arm(probe.Config{Mesh: geom.NewMesh(2, 2), Domains: 1, Every: 50})
+	pr.Tick(0, 0)
+	pr.Flush()
+	if len(bt.events) != 4+120 {
+		t.Errorf("re-arm did not detach the tap (saw %d events)", len(bt.events))
+	}
+}
+
+// TestDroppedAndRetransmitCounters: the new fault-path events land in
+// the series (windowed like package stats) and drops end occupancy.
+func TestDroppedAndRetransmitCounters(t *testing.T) {
+	pr := &probe.Probe{}
+	pr.Arm(probe.Config{Mesh: geom.NewMesh(2, 2), Domains: 2, Every: 100, WarmupEnd: 50})
+	in := pkt(1, 0, 60, 61, 0)  // in-window
+	out := pkt(2, 1, 10, 11, 0) // created pre-warm-up
+	pr.Created(in)
+	pr.Created(out)
+	pr.Retransmitted(in, 120)
+	pr.Retransmitted(out, 130) // windowed by now, which IS in window
+	pr.Dropped(in, 150)
+	pr.Dropped(out, 160)
+	pr.Tick(200, 0)
+
+	tot := pr.Totals()
+	if tot[0].Dropped != 1 || tot[0].Retransmits != 1 {
+		t.Errorf("domain 0: dropped=%d retransmits=%d, want 1/1", tot[0].Dropped, tot[0].Retransmits)
+	}
+	// Domain 1's packet was created before warm-up: its drop is
+	// unwindowed, but the retransmission event (keyed by cycle, like
+	// stats.Collector.Retransmitted) counts.
+	if tot[1].Dropped != 0 || tot[1].Retransmits != 1 {
+		t.Errorf("domain 1: dropped=%d retransmits=%d, want 0/1", tot[1].Dropped, tot[1].Retransmits)
+	}
+	// Both drops end occupancy regardless of window.
+	ivs := pr.Intervals()
+	last := ivs[len(ivs)-1]
+	for d, s := range last.Domains {
+		if s.InFlight != 0 {
+			t.Errorf("domain %d in-flight = %d after drops, want 0", d, s.InFlight)
+		}
+	}
+}
+
+// TestFlightRecorderWindow: the recorder retains only the trailing
+// window, snapshots deterministically, and Reset empties it.
+func TestFlightRecorderWindow(t *testing.T) {
+	pr := &probe.Probe{}
+	pr.Arm(probe.Config{Mesh: geom.NewMesh(2, 2), Domains: 1, Every: 10})
+	rec := probe.NewFlightRecorder(32)
+	pr.AttachTap(rec)
+	for now := int64(0); now < 100; now++ {
+		pr.Tick(now, int(now))
+	}
+	pr.Flush()
+
+	snap := rec.Snapshot()
+	if len(snap) != 32 {
+		t.Fatalf("snapshot holds %d events, want the 32-cycle window", len(snap))
+	}
+	if snap[0].Cycle != 68 || snap[len(snap)-1].Cycle != 99 {
+		t.Errorf("window covers [%d,%d], want [68,99]", snap[0].Cycle, snap[len(snap)-1].Cycle)
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Cycle < snap[i-1].Cycle {
+			t.Fatalf("snapshot not cycle-ordered at %d", i)
+		}
+	}
+	snap2 := rec.Snapshot()
+	for i := range snap {
+		if snap[i] != snap2[i] {
+			t.Fatalf("snapshot not deterministic at %d", i)
+		}
+	}
+
+	rec.Reset()
+	if got := rec.Snapshot(); got != nil {
+		t.Errorf("post-Reset snapshot holds %d events", len(got))
+	}
+}
+
+// TestMetricsExposition: registration is idempotent, func metrics
+// rebind, and the text format carries HELP/TYPE lines.
+func TestMetricsExposition(t *testing.T) {
+	m := probe.NewMetrics()
+	c := m.Counter("surfbless_x_total", "things")
+	c.Add(3)
+	c2 := m.Counter("surfbless_x_total", "things")
+	c2.Inc()
+	if c.Value() != 4 {
+		t.Errorf("re-registered counter diverged: %d", c.Value())
+	}
+	v := int64(1)
+	m.GaugeFunc("surfbless_y", "level", func() int64 { return v })
+	m.GaugeFunc("surfbless_y", "level", func() int64 { return v * 10 })
+
+	var b strings.Builder
+	m.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP surfbless_x_total things",
+		"# TYPE surfbless_x_total counter",
+		"surfbless_x_total 4",
+		"# TYPE surfbless_y gauge",
+		"surfbless_y 10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name accepted")
+		}
+	}()
+	m.Counter("bad name", "")
+}

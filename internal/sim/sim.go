@@ -70,6 +70,23 @@ type Options struct {
 	// (≤0 = probe.DefaultEvery).  Ignored without a Probe.
 	ProbeEvery int64 `json:"-"`
 
+	// Taps are attached to the run's probe after arming (Arm detaches
+	// taps, so pre-attaching to Probe would be lost): each drained ring
+	// batch fans out to them in order — span exporters
+	// (trace.Perfetto), custom aggregators.  Requires an event source
+	// like Recorder: when Probe is nil, Run arms a private probe.
+	// Observation-only and fingerprint-exempt.
+	Taps []probe.Tap `json:"-"`
+
+	// Recorder, when non-nil, is attached as a flight recorder: it
+	// retains the run's trailing event window and, when the run degrades
+	// (watchdog trip or recovered invariant panic), its snapshot is
+	// attached to the DegradedError as a replayable forensic dump.
+	// Requires an event source: when Probe is nil, Run arms a private
+	// probe just to feed the recorder.  Observation-only and
+	// fingerprint-exempt like Probe.
+	Recorder *probe.FlightRecorder `json:"-"`
+
 	// Tracer, when non-nil, is installed on the run's collector and
 	// sees every packet lifecycle event (see stats.Tracer).  Like
 	// Probe, it is observation-only and fingerprint-exempt; RunCached
@@ -95,7 +112,10 @@ type Options struct {
 // Observed reports whether the run carries an observer that requires a
 // real simulation (a probe, a tracer or a flow tracker): cached
 // results cannot replay the events such observers consume.
-func (o Options) Observed() bool { return o.Probe != nil || o.Tracer != nil || o.Flows != nil }
+func (o Options) Observed() bool {
+	return o.Probe != nil || o.Recorder != nil || len(o.Taps) > 0 ||
+		o.Tracer != nil || o.Flows != nil
+}
 
 // Result is one run's outcome.
 type Result struct {
@@ -187,6 +207,11 @@ func Run(o Options) (Result, error) {
 	if o.Flows != nil {
 		col.SetFlowTracker(o.Flows)
 	}
+	if (o.Recorder != nil || len(o.Taps) > 0) && o.Probe == nil {
+		// Recorders and taps need an event source; arm a private probe
+		// so callers can observe without also wanting time series.
+		o.Probe = &probe.Probe{}
+	}
 	if o.Probe != nil {
 		o.Probe.Arm(probe.Config{
 			Mesh:       o.Cfg.Mesh(),
@@ -196,6 +221,13 @@ func Run(o Options) (Result, error) {
 			MeasureEnd: o.Warmup + o.Measure,
 		})
 		col.SetProbe(o.Probe)
+		if o.Recorder != nil {
+			o.Recorder.Reset()
+			o.Probe.AttachTap(o.Recorder)
+		}
+		for _, tap := range o.Taps {
+			o.Probe.AttachTap(tap)
+		}
 	}
 	meter := power.NewMeter(o.Cfg, co)
 	var sink network.Sink
@@ -230,6 +262,11 @@ func Run(o Options) (Result, error) {
 
 	now := int64(0)
 	loopErr := runLoop(o, fab, gen, col, &now)
+	// Push the ring's trailing events through to the taps so a flight
+	// snapshot (and any span exporter) sees right up to the last cycle.
+	if o.Probe != nil {
+		o.Probe.Flush()
+	}
 
 	snapshot := func() Result {
 		res := Result{
@@ -259,13 +296,21 @@ func Run(o Options) (Result, error) {
 		// Degradation paths carry partial statistics so sweep harnesses
 		// can record the point and continue; everything else (audit
 		// failures, collector misuse) stays a plain error.
+		flight := func(reason string, cycle int64) *probe.FlightDump {
+			if o.Recorder == nil {
+				return nil
+			}
+			return o.Recorder.Dump(reason, cycle, o.Cfg.Model.String(), o.Cfg.Mesh(), o.Cfg.Domains)
+		}
 		switch e := loopErr.(type) {
 		case *DegradedError:
 			e.Partial = snapshot()
+			e.Flight = flight(e.Reason, e.Cycle)
 			return e.Partial, e
 		case *InvariantViolation:
 			de := &DegradedError{Reason: "recovered fabric panic", Cycle: e.Cycle, Cause: e}
 			de.Partial = snapshot()
+			de.Flight = flight(de.Reason, de.Cycle)
 			return de.Partial, de
 		default:
 			return Result{}, loopErr

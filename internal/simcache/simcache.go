@@ -168,6 +168,26 @@ func (c *Cache) Stats() Stats {
 	return c.stats
 }
 
+// MetricsRegistry is the slice of probe.Metrics the cache needs to
+// publish itself — an interface here so simcache does not depend on
+// the observability layer.
+type MetricsRegistry interface {
+	CounterFunc(name, help string, fn func() int64)
+	GaugeFunc(name, help string, fn func() int64)
+}
+
+// ExposeMetrics registers the cache's live counters on reg, so `-http`
+// runs can scrape cache effectiveness from /metrics instead of waiting
+// for the end-of-run stderr summary.  The callbacks snapshot under the
+// cache mutex and are safe to scrape concurrently with lookups.
+func (c *Cache) ExposeMetrics(reg MetricsRegistry) {
+	reg.CounterFunc("surfbless_simcache_hits_total", "result-cache lookups served from memory or disk", func() int64 { return c.Stats().Hits })
+	reg.CounterFunc("surfbless_simcache_misses_total", "result-cache lookups that found nothing usable", func() int64 { return c.Stats().Misses })
+	reg.CounterFunc("surfbless_simcache_evictions_total", "memory entries displaced by the LRU bound", func() int64 { return c.Stats().Evictions })
+	reg.CounterFunc("surfbless_simcache_corrupt_total", "cache entries that failed verification", func() int64 { return c.Stats().Corrupt })
+	reg.GaugeFunc("surfbless_simcache_entries", "in-memory cache entries", func() int64 { return int64(c.Len()) })
+}
+
 // Len returns the number of in-memory entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -288,6 +288,9 @@ func (c *Collector) Dropped(p *packet.Packet, now int64) {
 	if c.tracer != nil {
 		c.tracer(EvDropped, p, p.Domain, now)
 	}
+	if c.probe != nil {
+		c.probe.Dropped(p, now)
+	}
 	if c.InWindow(p.CreatedAt) {
 		c.domain(p.Domain).Dropped++
 	}
@@ -302,6 +305,9 @@ func (c *Collector) Retransmitted(p *packet.Packet, now int64) {
 	}
 	if c.tracer != nil {
 		c.tracer(EvRetransmit, p, p.Domain, now)
+	}
+	if c.probe != nil {
+		c.probe.Retransmitted(p, now)
 	}
 	if c.InWindow(now) {
 		c.domain(p.Domain).Retransmits++

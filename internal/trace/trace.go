@@ -26,6 +26,8 @@ type Writer struct {
 	events int64
 	filter stats.EventKind
 	all    bool
+	closed bool
+	cerr   error
 }
 
 // New returns a Writer emitting every event kind to w.
@@ -61,15 +63,23 @@ func (t *Writer) Events() int64 { return t.events }
 func (t *Writer) Flush() error { return t.bw.Flush() }
 
 // Close flushes the buffer and, when the underlying writer is an
-// io.Closer (a file), closes it too; the first error wins.  After
-// Close the Writer must not be used.
+// io.Closer (a file), closes it too; the first error wins.  Close is
+// idempotent: a second call is a no-op returning the first call's
+// error, never a second flush or double-close of the file (both
+// cleanup paths of a driver may reach the same Writer).  After Close
+// the Writer must not be used for new events.
 func (t *Writer) Close() error {
+	if t.closed {
+		return t.cerr
+	}
+	t.closed = true
 	err := t.bw.Flush()
 	if c, ok := t.out.(io.Closer); ok {
 		if cerr := c.Close(); err == nil {
 			err = cerr
 		}
 	}
+	t.cerr = err
 	return err
 }
 

@@ -147,3 +147,33 @@ func TestClosePropagatesError(t *testing.T) {
 		t.Errorf("Close on non-Closer = %v", err)
 	}
 }
+
+// TestCloseIdempotent is the regression test for the double-Close
+// hazard: a second Close must not flush again, must not close the
+// underlying file a second time, and must return the first call's
+// error unchanged.
+func TestCloseIdempotent(t *testing.T) {
+	var rec closeRecorder
+	w := New(&rec)
+	for i := 0; i < 3; i++ {
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+	if rec.closed != 1 {
+		t.Errorf("underlying Close called %d times, want 1", rec.closed)
+	}
+
+	// The sticky error path: every Close reports the same failure.
+	rec2 := closeRecorder{err: errClose}
+	w2 := New(&rec2)
+	if err := w2.Close(); err != errClose {
+		t.Fatalf("first Close = %v, want %v", err, errClose)
+	}
+	if err := w2.Close(); err != errClose {
+		t.Errorf("second Close = %v, want the sticky %v", err, errClose)
+	}
+	if rec2.closed != 1 {
+		t.Errorf("underlying Close retried %d times after an error, want 1", rec2.closed)
+	}
+}

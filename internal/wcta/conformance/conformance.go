@@ -12,6 +12,7 @@ import (
 
 	"surfbless/internal/config"
 	"surfbless/internal/geom"
+	"surfbless/internal/probe"
 	"surfbless/internal/sim"
 	"surfbless/internal/simcache"
 	"surfbless/internal/stats"
@@ -105,6 +106,12 @@ type Check struct {
 	// by design (the tracker must actually fill), so this only matters
 	// if observation is ever made replayable.
 	Cache *simcache.Cache
+
+	// Recorder, when non-nil, flight-records the run; if the check then
+	// finds a bound violation (or the run degrades), the recorder's
+	// snapshot lands in Report.Flight so the offending final cycles can
+	// be inspected with `replay -flight`.
+	Recorder *probe.FlightRecorder
 }
 
 // FlowReport pairs one flow's analytical bound with what the simulator
@@ -137,6 +144,11 @@ type Report struct {
 
 	Ejected      int64 // packets delivered across all flows
 	LeftInFlight int   // packets the drain budget failed to deliver
+
+	// Flight is the forensic dump of the run's trailing cycles, present
+	// only when Check.Recorder was set and the check failed (Err() !=
+	// nil at Run time).
+	Flight *probe.FlightDump
 }
 
 // Violations returns the indices of flows whose observation exceeded
@@ -201,10 +213,11 @@ func Run(chk Check) (*Report, error) {
 		SlotWidths: chk.SlotWidths,
 		// No warm-up: a latency bound has no warm-up exemption, and the
 		// tracker observes every delivered packet regardless of window.
-		Measure: chk.Measure,
-		Drain:   chk.Drain,
-		Seed:    chk.Seed,
-		Flows:   tracker,
+		Measure:  chk.Measure,
+		Drain:    chk.Drain,
+		Seed:     chk.Seed,
+		Flows:    tracker,
+		Recorder: chk.Recorder,
 	}, chk.Cache)
 	if err != nil {
 		return nil, err
@@ -231,6 +244,12 @@ func Run(chk Check) (*Report, error) {
 		if !known[k] {
 			return nil, fmt.Errorf("conformance: simulator delivered unanalyzed flow %v→%v dom %d: flow derivation out of sync with traffic generator",
 				k.Src, k.Dst, k.Domain)
+		}
+	}
+	if chk.Recorder != nil {
+		if verr := rep.Err(); verr != nil {
+			rep.Flight = chk.Recorder.Dump("wcta-conformance: "+verr.Error(),
+				res.Cycles, chk.Cfg.Model.String(), chk.Cfg.Mesh(), chk.Cfg.Domains)
 		}
 	}
 	return rep, nil

@@ -7,6 +7,7 @@ import (
 	"surfbless/internal/config"
 	"surfbless/internal/geom"
 	"surfbless/internal/packet"
+	"surfbless/internal/probe"
 	"surfbless/internal/traffic"
 )
 
@@ -158,5 +159,75 @@ func TestDeterministic(t *testing.T) {
 		if Deterministic(p) != want {
 			t.Errorf("Deterministic(%v) = %v, want %v", p, !want, want)
 		}
+	}
+}
+
+// TestConformanceRecorderWiring: a recorder rides a clean check
+// without producing a dump (Flight is only for failures), but it did
+// observe the run — the snapshot is non-empty — proving the forensic
+// path is armed when a violation would need it.
+func TestConformanceRecorderWiring(t *testing.T) {
+	cfg := config.Default(config.SB)
+	cfg.Width, cfg.Height = 4, 4
+	cfg.Domains = 2
+	rec := probe.NewFlightRecorder(0)
+	rep, err := Run(Check{
+		Cfg:      cfg,
+		Pattern:  traffic.Transpose,
+		Sources:  ctrlSources(2, 2e-4, 1, false),
+		Measure:  1500,
+		Drain:    20000,
+		Seed:     1,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flight != nil {
+		t.Error("clean check produced a flight dump")
+	}
+	if len(rec.Snapshot()) == 0 {
+		t.Error("recorder saw no events; a violation would dump nothing")
+	}
+}
+
+// TestReportFlightOnViolation exercises the dump-on-failure branch
+// without needing a real bound violation (the analysis is sound): a
+// report whose drain budget left packets stuck has Err() != nil, which
+// is the same trigger.
+func TestReportFlightOnViolation(t *testing.T) {
+	cfg := config.Default(config.SB)
+	cfg.Width, cfg.Height = 4, 4
+	cfg.Domains = 2
+	rec := probe.NewFlightRecorder(0)
+	// Greedy on-off sources fire their whole token bucket at cycle 0;
+	// with no drain budget the backlog cannot deliver, so the check
+	// fails with LeftInFlight > 0 and must attach the dump.
+	rep, err := Run(Check{
+		Cfg:      cfg,
+		Pattern:  traffic.BitComplement,
+		Sources:  ctrlSources(2, 1e-4, 3, true),
+		Measure:  5,
+		Drain:    0,
+		Seed:     3,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Err() == nil {
+		t.Fatal("backlogged run with zero drain budget reported success")
+	}
+	if rep.Flight == nil {
+		t.Fatal("failed check did not attach a flight dump")
+	}
+	if len(rep.Flight.Events) == 0 {
+		t.Error("flight dump is empty")
+	}
+	if !strings.Contains(rep.Flight.Reason, "conformance") {
+		t.Errorf("dump reason %q does not name the oracle", rep.Flight.Reason)
 	}
 }
