@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint staticcheck govulncheck build test race race-faults fuzz fuzz-fault bench bench-smoke probe-overhead wcta-conformance experiments clean-cache
+.PHONY: ci vet lint staticcheck govulncheck build test race race-faults chaos fuzz fuzz-fault bench bench-smoke probe-overhead wcta-conformance experiments clean-cache
 
-ci: vet lint build race race-faults bench-smoke probe-overhead fuzz-fault wcta-conformance staticcheck govulncheck
+ci: vet lint build race race-faults chaos bench-smoke probe-overhead fuzz-fault wcta-conformance staticcheck govulncheck
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,14 @@ race-faults:
 	$(GO) test -race -count=1 \
 		-run 'TestFault|TestInactiveFaults|TestWatchdog|TestDegraded|TestConservation|TestRunLoopRecovers|TestPlan|TestWindow|TestInjector|TestCorrupt|TestLoadPlan|TestCheckpoint|TestParallelSweep' \
 		./internal/sim ./internal/fault ./internal/simcache ./cmd/sweep
+
+# Sweep-service chaos soak (DESIGN.md §16): in-process coordinator +
+# worker fleet under a deterministic killer that hard-kills/restarts
+# workers and bounces the coordinator mid-sweep, run repeatedly under
+# -race.  Passes only if every job's final CSV is byte-identical to
+# the serial reference — zero lost, zero duplicated points.
+chaos:
+	$(GO) test -race -count=3 -run 'TestChaos|TestWorkerDrain|TestCoordinator' ./internal/sweepsvc
 
 fuzz:
 	$(GO) test -fuzz=FuzzConfigJSON -fuzztime=10s ./internal/config

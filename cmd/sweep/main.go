@@ -8,6 +8,8 @@
 //	      [-cycles 10000] [-seed 1] [-workers 1]
 //	      [-cache] [-cache-dir DIR] [-no-cache]
 //	      [-faults FILE] [-checkpoint FILE] [-resume]
+//	      [-attempts N] [-point-timeout DUR]
+//	      [-remote ADDR]
 //	      [-http ADDR] [-progress] [-trace FILE] [-spans FILE]
 //	      [-probe-dir DIR] [-probe-every N] [-flight-dir DIR]
 //
@@ -16,6 +18,11 @@
 // regardless of completion order, so the CSV is byte-identical to a
 // serial (-workers 1) sweep.
 //
+// -remote ADDR submits the sweep to a sweepd coordinator (see
+// cmd/sweepd) instead of simulating locally, polls until the worker
+// fleet finishes it, and prints the coordinator-assembled CSV — which
+// is byte-identical to what the same flags produce locally.
+//
 // Points are cached content-addressed under -cache-dir (default
 // results/.simcache), shared with cmd/experiments; -no-cache forces
 // fresh simulations.
@@ -23,13 +30,18 @@
 // Robustness: -faults FILE arms a deterministic fault plan (JSON; see
 // internal/fault and DESIGN.md §11) for every point, and the CSV gains
 // dropped/retransmits/status columns.  Each point is isolated — a
-// failing simulation is retried once, then emitted as an error row
-// while the sweep continues (exit code 1 at the end); a point that
-// livelocks or trips a router invariant is emitted as a "degraded" row
-// with its partial statistics.  -checkpoint FILE journals every
-// completed point keyed by its cache fingerprint; after an interrupt,
-// rerunning with -resume replays finished rows from the journal and
-// re-simulates only the incomplete points.
+// failing simulation is retried under seeded exponential backoff with
+// jitter up to -attempts executions (default 2, preserving the old
+// retry-once budget), then emitted as an error row while the sweep
+// continues (exit code 1 at the end); points that needed retries carry
+// "; attempts=N" in their status cell.  -point-timeout bounds one
+// point's wall-clock simulation time (cancellation is plumbed through
+// the simulator); an expired timeout is retryable like any failure.  A
+// point that livelocks or trips a router invariant is emitted as a
+// "degraded" row with its partial statistics.  -checkpoint FILE
+// journals every completed point keyed by its cache fingerprint; after
+// an interrupt, rerunning with -resume replays finished rows from the
+// journal and re-simulates only the incomplete points.
 //
 // Observability: -http ADDR serves /progress (JSON point counts and
 // ETA), /debug/vars and /debug/pprof/* while the sweep runs; -progress
@@ -48,6 +60,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -55,16 +68,17 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"surfbless/internal/config"
 	"surfbless/internal/fault"
-	"surfbless/internal/packet"
 	"surfbless/internal/parmap"
 	"surfbless/internal/probe"
 	"surfbless/internal/sim"
 	"surfbless/internal/simcache"
+	"surfbless/internal/sweepsvc"
+	"surfbless/internal/sweepsvc/backoff"
 	"surfbless/internal/trace"
-	"surfbless/internal/traffic"
 )
 
 func main() {
@@ -88,6 +102,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	useCache := fs.Bool("cache", true, "reuse cached simulation results")
 	cacheDir := fs.String("cache-dir", filepath.Join("results", ".simcache"), "result-cache directory")
 	noCache := fs.Bool("no-cache", false, "run every simulation fresh (overrides -cache)")
+	attempts := fs.Int("attempts", sweepsvc.DefaultMaxAttempts, "per-point execution budget (1 = no retry)")
+	pointTimeout := fs.Duration("point-timeout", 0, "wall-clock bound per point, e.g. 30s (0 = none)")
+	remote := fs.String("remote", "", "submit to a sweepd coordinator at this host:port instead of simulating locally")
 	httpAddr := fs.String("http", "", "serve /progress, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 	progress := fs.Bool("progress", false, "print a structured progress line to stderr after every point")
 	traceFile := fs.String("trace", "", "write a packet lifecycle trace per point (suffixed _r<rate>)")
@@ -106,32 +123,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	var cache *simcache.Cache
-	if *useCache && !*noCache {
-		var err error
-		if cache, err = simcache.New(simcache.Options{Dir: *cacheDir}); err != nil {
+	m, err := sweepsvc.ParseModel(*model)
+	if err != nil {
+		return fatal(err)
+	}
+	if *workers < 1 {
+		return fatal(fmt.Errorf("-workers %d, need ≥ 1", *workers))
+	}
+
+	var plan *fault.Plan
+	if *faultsFile != "" {
+		base := config.Default(m)
+		if plan, err = fault.LoadPlan(*faultsFile, base.Width, base.Height); err != nil {
 			return fatal(err)
 		}
 	}
 
-	var m config.Model
-	switch *model {
-	case "WH", "wh":
-		m = config.WH
-	case "BLESS", "bless":
-		m = config.BLESS
-	case "Surf", "surf":
-		m = config.Surf
-	case "SB", "sb":
-		m = config.SB
-	default:
-		return fatal(fmt.Errorf("unknown model %q", *model))
+	// The spec is the same structure a sweepd job is made of: local and
+	// remote sweeps share one canonical flag→options expansion, which
+	// is what keeps their CSVs byte-identical.
+	spec := sweepsvc.Spec{
+		Model: *model, Domains: *domains,
+		From: *from, To: *to, Step: *step,
+		Cycles: *cycles, Seed: *seed,
+		Faults:         plan,
+		PointTimeoutMS: pointTimeout.Milliseconds(),
+		MaxAttempts:    *attempts,
 	}
-	if *step <= 0 || *from <= 0 || *to < *from {
-		return fatal(fmt.Errorf("invalid rate range"))
+	if err := spec.Validate(); err != nil {
+		return fatal(err)
 	}
-	if *workers < 1 {
-		return fatal(fmt.Errorf("-workers %d, need ≥ 1", *workers))
+
+	if *remote != "" {
+		return runRemote(spec, *remote, backoff.Policy{Seed: *seed}, *progress, stdout, stderr)
+	}
+
+	var cache *simcache.Cache
+	if *useCache && !*noCache {
+		if cache, err = simcache.New(simcache.Options{Dir: *cacheDir}); err != nil {
+			return fatal(err)
+		}
 	}
 	if *probeDir != "" {
 		if err := os.MkdirAll(*probeDir, 0o755); err != nil {
@@ -140,15 +171,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *flightDir != "" {
 		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
-			return fatal(err)
-		}
-	}
-
-	var plan *fault.Plan
-	if *faultsFile != "" {
-		base := config.Default(m)
-		var err error
-		if plan, err = fault.LoadPlan(*faultsFile, base.Width, base.Height); err != nil {
 			return fatal(err)
 		}
 	}
@@ -165,7 +187,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return fatal(err)
 			}
 		}
-		var err error
 		if ckpt, err = simcache.OpenCheckpoint(*ckptPath); err != nil {
 			return fatal(err)
 		}
@@ -179,10 +200,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	var rates []float64
-	for rate := *from; rate <= *to+1e-9; rate += *step {
-		rates = append(rates, rate)
-	}
+	rates := spec.Rates()
 
 	g := probe.NewProgress()
 	g.SetStage("sweep")
@@ -206,30 +224,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "introspection: http://%s/progress (metrics at /metrics)\n", srv.Addr())
 	}
 
+	// Failing points retry under the same seeded-backoff policy the
+	// sweepd workers use, so a local and a remote sweep degrade the
+	// same way.
+	policy := backoff.Policy{Seed: *seed}
+
 	// outcome is one point's finished state, produced on a worker and
 	// emitted on this goroutine in rate order.
 	type outcome struct {
 		row    string
-		err    error        // non-nil after both attempts failed
+		err    error        // non-nil after the attempt budget is spent
 		key    simcache.Key // cache fingerprint (valid iff keyOK)
 		keyOK  bool
 		replay bool // row came from the -resume journal
 	}
 
 	compute := func(_ int, rate float64) (outcome, error) {
-		cfg := config.Default(m)
-		cfg.Domains = *domains
-		cfg.Faults = plan
-		sources := make([]traffic.Source, *domains)
-		for i := range sources {
-			sources[i] = traffic.Source{Rate: rate / float64(*domains), Class: packet.Ctrl, VNet: -1}
-		}
-		o := sim.Options{
-			Cfg:     cfg,
-			Pattern: traffic.UniformRandom,
-			Sources: sources,
-			Warmup:  *cycles / 10, Measure: *cycles, Drain: 10 * *cycles,
-			Seed: *seed,
+		o, oerr := spec.Options(rate)
+		if oerr != nil { // unreachable after Validate; keep the point isolated anyway
+			return outcome{row: sweepsvc.ErrorRow(rate, "error: "+sweepsvc.CSVSafe(oerr.Error())), err: oerr}, nil
 		}
 		out := outcome{}
 		key, keyErr := sim.Fingerprint(o)
@@ -243,31 +256,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 
-		// Per-point isolation: one failing point is retried once, then
-		// reported as an error row; the sweep always reaches the last
-		// rate.  Degraded points (watchdog, recovered invariant) are
-		// data, not failures — their partial stats make the row.
-		var err error
-		for attempt := 0; attempt < 2; attempt++ {
-			out.row, err = sweepPoint(o, m, rate, *domains, cache, pointFiles{
+		// Per-point isolation: a failing point is retried with seeded
+		// exponential backoff up to the -attempts budget, then reported
+		// as an error row; the sweep always reaches the last rate.
+		// Degraded points (watchdog, recovered invariant) are data, not
+		// failures — their partial stats make the row and never consume
+		// retries.
+		budget := spec.Attempts()
+		var lastErr error
+		for attempt := 1; attempt <= budget; attempt++ {
+			pctx, cancel := pointCtx(*pointTimeout)
+			res, status, perr := sweepPoint(pctx, o, m, rate, cache, pointFiles{
 				trace: *traceFile, spans: *spansFile,
 				probeDir: *probeDir, probeEvery: *probeEvery,
 				flightDir: *flightDir, stderr: stderr,
 			})
-			if err == nil {
+			cancel()
+			if perr == nil {
+				out.row = sweepsvc.RenderRow(rate, *domains, res, sweepsvc.StatusWithAttempts(status, attempt))
 				return out, nil
 			}
-			if attempt == 0 {
-				fmt.Fprintf(stderr, "sweep: rate %.3f failed (%v), retrying once\n", rate, err)
+			if errors.Is(perr, context.DeadlineExceeded) {
+				perr = fmt.Errorf("timeout after %v", *pointTimeout)
 			}
+			lastErr = perr
+			if attempt == budget {
+				break
+			}
+			fmt.Fprintf(stderr, "sweep: rate %.3f attempt %d failed (%v), backing off %v\n",
+				rate, attempt, perr, policy.Delay(attempt-1).Round(time.Millisecond))
+			policy.Sleep(context.Background(), attempt-1) //nolint:errcheck // background ctx never cancels
 		}
-		fmt.Fprintf(stderr, "sweep: rate %.3f failed twice: %v — continuing\n", rate, err)
-		out.row = fmt.Sprintf("%.3f,,,,,,,,,error: %s", rate, csvSafe(err.Error()))
-		out.err = err
+		fmt.Fprintf(stderr, "sweep: rate %.3f failed %d time(s): %v — continuing\n", rate, budget, lastErr)
+		out.row = sweepsvc.ErrorRow(rate, sweepsvc.StatusWithAttempts("error: "+sweepsvc.CSVSafe(lastErr.Error()), budget))
+		out.err = lastErr
 		return out, nil
 	}
 
-	fmt.Fprintln(stdout, "rate,avg_latency,queue_latency,network_latency,throughput,deflections_per_pkt,refused,dropped,retransmits,status")
+	fmt.Fprintln(stdout, sweepsvc.CSVHeader)
 	failures := 0
 	observed := *traceFile != "" || *spansFile != "" || *probeDir != "" || *flightDir != ""
 	parmap.Stream(rates, *workers, compute, func(_ int, out outcome, _ error) {
@@ -295,6 +321,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// remoteRPCAttempts bounds each remote poll's retries through a
+// coordinator outage — the same budget the workers run with, so the
+// client survives any bounce the fleet survives.
+const remoteRPCAttempts = 8
+
+// runRemote submits the spec to a sweepd coordinator, waits for the
+// fleet to finish it, and prints the assembled CSV.  Status polls ride
+// through transient coordinator outages (a crash-restart mid-sweep
+// loses no journaled work, so giving up would abandon a live job).
+func runRemote(spec sweepsvc.Spec, addr string, policy backoff.Policy, progress bool, stdout, stderr io.Writer) int {
+	client := sweepsvc.NewClient(addr)
+	ctx := context.Background()
+	job, points, err := client.Submit(ctx, spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweep:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "remote: job %s (%d points) on %s\n", job, points, addr)
+	lastDone := -1
+	for {
+		st, err := client.StatusWithRetry(ctx, policy, remoteRPCAttempts, job)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
+		}
+		if progress && st.Done != lastDone {
+			fmt.Fprintf(stderr, "remote: %d/%d done (%d leased, %d failed)\n", st.Done, st.Total, st.Leased, st.Failed)
+			lastDone = st.Done
+		}
+		if st.Complete {
+			csv, err := client.CSVWithRetry(ctx, policy, remoteRPCAttempts, job)
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			fmt.Fprint(stdout, csv)
+			if st.Failed > 0 {
+				fmt.Fprintf(stderr, "sweep: %d point(s) failed\n", st.Failed)
+				return 1
+			}
+			return 0
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// pointCtx returns the per-point context — bounded when a timeout is
+// set, free otherwise — and its cancel func (a no-op without timeout).
+func pointCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
+
 // pointFiles collects the per-point observability outputs a sweep can
 // request: lifecycle trace, Chrome-trace spans, probe series/heatmaps,
 // and flight-recorder dumps of degraded points.
@@ -307,21 +388,23 @@ type pointFiles struct {
 	stderr     io.Writer
 }
 
-// sweepPoint simulates one rate and renders its CSV row.  A panic that
-// escapes the simulator's own recover boundary is converted to an
-// error here so the caller's isolation holds.
-func sweepPoint(o sim.Options, m config.Model, rate float64, domains int,
-	cache *simcache.Cache, files pointFiles) (row string, err error) {
+// sweepPoint simulates one rate and returns its result and status cell
+// ("ok" or "degraded: <reason>").  A panic that escapes the
+// simulator's own recover boundary is converted to an error here so
+// the caller's isolation holds.
+func sweepPoint(ctx context.Context, o sim.Options, m config.Model, rate float64,
+	cache *simcache.Cache, files pointFiles) (res sim.Result, status string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
+	o.Ctx = ctx
 	var tw *trace.Writer
 	if files.trace != "" {
 		f, ferr := os.Create(suffixed(files.trace, rate))
 		if ferr != nil {
-			return "", ferr
+			return res, "", ferr
 		}
 		fmt.Fprintln(f, trace.Header())
 		tw = trace.New(f)
@@ -331,7 +414,7 @@ func sweepPoint(o sim.Options, m config.Model, rate float64, domains int,
 	if files.spans != "" {
 		f, ferr := os.Create(suffixed(files.spans, rate))
 		if ferr != nil {
-			return "", ferr
+			return res, "", ferr
 		}
 		pf = trace.NewPerfetto(f, o.Cfg.Mesh())
 		o.Taps = append(o.Taps, pf)
@@ -345,58 +428,44 @@ func sweepPoint(o sim.Options, m config.Model, rate float64, domains int,
 	if files.flightDir != "" {
 		o.Recorder = probe.NewFlightRecorder(0)
 	}
-	res, err := sim.RunCached(o, cache)
-	status := "ok"
+	res, err = sim.RunCached(o, cache)
+	status = "ok"
 	if err != nil {
 		var de *sim.DegradedError
 		if !errors.As(err, &de) {
-			return "", err
+			return res, "", err
 		}
 		res = de.Partial
-		status = "degraded: " + csvSafe(de.Reason)
+		status = "degraded: " + sweepsvc.CSVSafe(de.Reason)
+		err = nil
 		if de.Flight != nil && files.flightDir != "" {
 			path := filepath.Join(files.flightDir, fmt.Sprintf("sweep_%v_r%.3f.flight.json", m, rate))
 			if werr := exportFile(path, de.Flight.WriteJSON); werr != nil {
-				return "", werr
+				return res, "", werr
 			}
 			fmt.Fprintf(files.stderr, "sweep: rate %.3f degraded — flight dump: %s\n", rate, path)
 		}
 	}
 	if tw != nil {
-		if err := tw.Close(); err != nil {
-			return "", fmt.Errorf("trace: %w", err)
+		if cerr := tw.Close(); cerr != nil {
+			return res, "", fmt.Errorf("trace: %w", cerr)
 		}
 	}
 	if pf != nil {
-		if err := pf.Close(); err != nil {
-			return "", fmt.Errorf("spans: %w", err)
+		if cerr := pf.Close(); cerr != nil {
+			return res, "", fmt.Errorf("spans: %w", cerr)
 		}
 	}
 	if p != nil {
 		base := fmt.Sprintf("%v_r%.3f", m, rate)
-		if err := exportFile(filepath.Join(files.probeDir, "sweep_ts_"+base+".jsonl"), p.WriteTimeSeriesJSONL); err != nil {
-			return "", err
+		if eerr := exportFile(filepath.Join(files.probeDir, "sweep_ts_"+base+".jsonl"), p.WriteTimeSeriesJSONL); eerr != nil {
+			return res, "", eerr
 		}
-		if err := exportFile(filepath.Join(files.probeDir, "sweep_heat_"+base+".csv"), p.WriteHeatmapCSV); err != nil {
-			return "", err
+		if eerr := exportFile(filepath.Join(files.probeDir, "sweep_heat_"+base+".csv"), p.WriteHeatmapCSV); eerr != nil {
+			return res, "", eerr
 		}
 	}
-	tot := res.Total
-	thr := 0.0
-	for d := 0; d < domains && d < len(res.Domains); d++ {
-		thr += res.Throughput(d)
-	}
-	return fmt.Sprintf("%.3f,%.3f,%.3f,%.3f,%.4f,%.3f,%d,%d,%d,%s",
-		rate, tot.AvgTotalLatency(), tot.AvgQueueLatency(), tot.AvgNetworkLatency(),
-		thr, tot.AvgDeflections(), tot.Refused, tot.Dropped, tot.Retransmits, status), nil
-}
-
-// csvSafe strips the characters that would break the one-line CSV
-// status cell.
-func csvSafe(s string) string {
-	s = strings.ReplaceAll(s, ",", ";")
-	s = strings.ReplaceAll(s, "\n", " ")
-	return s
+	return res, status, nil
 }
 
 // suffixed inserts _r<rate> before path's extension, so per-point

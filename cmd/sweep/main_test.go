@@ -2,11 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"surfbless/internal/probe"
+	"surfbless/internal/sweepsvc"
+	"surfbless/internal/sweepsvc/backoff"
 )
 
 // sweepArgs is a small, fast sweep; -no-cache keeps the test hermetic
@@ -68,6 +74,49 @@ func TestParallelSweepCheckpointResume(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "5 point(s) already journaled") {
 		t.Errorf("resume did not replay the journal; stderr:\n%s", stderr)
+	}
+}
+
+// -remote must print the exact CSV a local run of the same flags
+// prints: the coordinator assembles rows rendered by the same
+// sweepsvc spec/row layer the local path uses.
+func TestRemoteSweepMatchesLocal(t *testing.T) {
+	local, _, code := runSweep(t, sweepArgs("-workers", "1"))
+	if code != 0 {
+		t.Fatalf("local sweep exit %d", code)
+	}
+
+	coord, err := sweepsvc.OpenCoordinator(sweepsvc.CoordinatorOptions{
+		WALPath: filepath.Join(t.TempDir(), "wal"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	srv, err := sweepsvc.NewServer("127.0.0.1:0", coord, probe.NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pol := backoff.Policy{Base: time.Millisecond, Seed: 3}
+	w, err := sweepsvc.NewWorker(sweepsvc.WorkerOptions{
+		Name: "w1", Client: sweepsvc.NewClient(srv.Addr()),
+		Runner: &sweepsvc.Runner{Policy: pol},
+		Slots:  2, Poll: 5 * time.Millisecond, Backoff: pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(context.Background()) }()
+	defer func() { w.Drain(); <-done }()
+
+	remote, stderr, code := runSweep(t, sweepArgs("-remote", srv.Addr(), "-progress"))
+	if code != 0 {
+		t.Fatalf("remote sweep exit %d; stderr:\n%s", code, stderr)
+	}
+	if remote != local {
+		t.Errorf("remote CSV differs from local:\n--- local ---\n%s--- remote ---\n%s", local, remote)
 	}
 }
 

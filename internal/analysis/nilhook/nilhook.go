@@ -42,14 +42,16 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // Scope limits the analyzer to the packages holding router hot paths
-// and their stat/observability plumbing.
-var Scope = regexp.MustCompile(`internal/(router(/[^/]+)?|sim|link|stats|network|traffic|system)$`)
+// and their stat/observability plumbing, plus the sweep service —
+// whose coordinator/worker hooks follow the same "nil = disabled"
+// contract and fire on every lease transition.
+var Scope = regexp.MustCompile(`internal/(router(/[^/]+)?|sim|link|stats|network|traffic|system|sweepsvc)$`)
 
 // HookTypes matches the type (pointers stripped) of fields whose nil
 // state means "hook disabled".  Matched against the fully qualified
 // type string so the testdata module's probe/fault packages match the
 // same way the real ones do.
-var HookTypes = regexp.MustCompile(`(^|/)(probe\.Probe|probe\.FlightRecorder|fault\.Injector|stats\.Tracer|stats\.FlowTracker|network\.Sink)$`)
+var HookTypes = regexp.MustCompile(`(^|/)(probe\.Probe|probe\.FlightRecorder|fault\.Injector|stats\.Tracer|stats\.FlowTracker|network\.Sink|sweepsvc\.Hooks|sweepsvc\.WorkerHooks|sweepsvc\.RetryHook)$`)
 
 func run(pass *analysis.Pass) error {
 	if !Scope.MatchString(pass.Unit.Path) {
@@ -81,23 +83,19 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
 		return
 	}
 	var hook ast.Expr // the expression that must be nil-checked
-	if sel := pass.Unit.Info.Selections[fun]; sel != nil && sel.Kind() == types.FieldVal {
-		// c.tracer(...): the callee itself is a func-typed field.
-		if !hookType(sel.Obj().Type()) {
-			return
-		}
+	if sel := pass.Unit.Info.Selections[fun]; sel != nil && sel.Kind() == types.FieldVal && hookType(sel.Obj().Type()) {
+		// c.tracer(...): the callee itself is a hook-typed func field.
 		hook = fun
-	} else {
-		// f.probe.Traverse(...): method on a hook-typed field chain.
-		recv, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
-		if !ok {
-			return
-		}
+	} else if recv, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+		// f.probe.Traverse(...) or h.hooks.Fired(...): a method — or an
+		// anonymous func field — reached through a hook-typed field.
 		rsel := pass.Unit.Info.Selections[recv]
 		if rsel == nil || rsel.Kind() != types.FieldVal || !hookType(rsel.Obj().Type()) {
 			return
 		}
 		hook = recv
+	} else {
+		return
 	}
 	target := types.ExprString(hook)
 	if guarded(call, stack, target) {

@@ -9,5 +9,5 @@ import (
 
 func TestNilHook(t *testing.T) {
 	analysistest.Run(t, "testdata", nilhook.Analyzer,
-		"./internal/router", "./outofscope")
+		"./internal/router", "./internal/sweepsvc", "./outofscope")
 }

@@ -1,0 +1,59 @@
+// Package sweepsvc is nilhook-analyzer testdata for the sweep
+// service's hook kinds: the coordinator's *Hooks and the worker's
+// *WorkerHooks structs (func fields behind a nilable pointer) and the
+// RetryHook func field.
+package sweepsvc
+
+// Hooks mirrors the coordinator's observation points.
+type Hooks struct {
+	LeaseGranted   func(job string, point int, worker string)
+	PointCompleted func(job string, point int, dup bool)
+}
+
+// WorkerHooks mirrors the worker's observation points.
+type WorkerHooks struct {
+	Drained func(released int)
+}
+
+// RetryHook mirrors the runner's per-attempt observer.
+type RetryHook func(rate float64, attempt int, err error)
+
+// Coordinator carries hook fields the way the real service does.
+type Coordinator struct {
+	hooks   *Hooks
+	onRetry RetryHook
+}
+
+// Worker nests its hooks behind an options struct, like the real one.
+type Worker struct {
+	o struct{ Hooks *WorkerHooks }
+}
+
+// Unguarded calls must be flagged for every service hook kind.
+func (c *Coordinator) Unguarded() {
+	c.hooks.LeaseGranted("j1", 0, "w1") // want `call through hook field c\.hooks is not nil-guarded`
+	c.onRetry(0.1, 1, nil)              // want `call through hook field c\.onRetry is not nil-guarded`
+}
+
+// UnguardedNested: the guard must cover the full selection chain.
+func (w *Worker) UnguardedNested() {
+	w.o.Hooks.Drained(0) // want `call through hook field w\.o\.Hooks is not nil-guarded`
+}
+
+// Guarded is the idiom the real service uses: pointer-to-struct guard
+// plus the func-field guard in one &&.
+func (c *Coordinator) Guarded() {
+	if c.hooks != nil && c.hooks.PointCompleted != nil {
+		c.hooks.PointCompleted("j1", 0, false)
+	}
+	if c.onRetry != nil {
+		c.onRetry(0.1, 1, nil)
+	}
+}
+
+// GuardedNested guards the nested options chain.
+func (w *Worker) GuardedNested(released int) {
+	if w.o.Hooks != nil && w.o.Hooks.Drained != nil {
+		w.o.Hooks.Drained(released)
+	}
+}

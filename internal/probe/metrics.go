@@ -43,34 +43,59 @@ type instrument struct {
 	fn   func() int64 // scrape-time source; nil for owned instruments
 }
 
-// Counter is a monotonically increasing owned metric.
+// Counter is a monotonically increasing owned metric.  The zero value
+// is a no-op sink, so instrumented code can update counters
+// unconditionally whether or not a registry was wired.
 type Counter struct{ in *instrument }
 
 // Add increments the counter by n (n must be ≥ 0 to keep the metric
 // monotone; negative deltas are ignored).
 func (c Counter) Add(n int64) {
-	if n > 0 {
+	if c.in != nil && n > 0 {
 		c.in.val.Add(n)
 	}
 }
 
 // Inc increments the counter by one.
-func (c Counter) Inc() { c.in.val.Add(1) }
+func (c Counter) Inc() {
+	if c.in != nil {
+		c.in.val.Add(1)
+	}
+}
 
-// Value returns the current count.
-func (c Counter) Value() int64 { return c.in.val.Load() }
+// Value returns the current count (0 for the zero value).
+func (c Counter) Value() int64 {
+	if c.in == nil {
+		return 0
+	}
+	return c.in.val.Load()
+}
 
-// Gauge is an owned metric that can go up and down.
+// Gauge is an owned metric that can go up and down.  The zero value is
+// a no-op sink, like Counter's.
 type Gauge struct{ in *instrument }
 
 // Set replaces the gauge's value.
-func (g Gauge) Set(v int64) { g.in.val.Store(v) }
+func (g Gauge) Set(v int64) {
+	if g.in != nil {
+		g.in.val.Store(v)
+	}
+}
 
 // Add moves the gauge by delta.
-func (g Gauge) Add(delta int64) { g.in.val.Add(delta) }
+func (g Gauge) Add(delta int64) {
+	if g.in != nil {
+		g.in.val.Add(delta)
+	}
+}
 
-// Value returns the current value.
-func (g Gauge) Value() int64 { return g.in.val.Load() }
+// Value returns the current value (0 for the zero value).
+func (g Gauge) Value() int64 {
+	if g.in == nil {
+		return 0
+	}
+	return g.in.val.Load()
+}
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"surfbless/internal/config"
+	"surfbless/internal/fault"
+	"surfbless/internal/traffic"
+)
+
+// A run whose context is already cancelled must stop at the first poll
+// point and surface the cancellation as a typed CanceledError wrapping
+// context.Canceled — the sweep service's drain path.
+func TestRunCanceledContextStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(Options{
+		Cfg:     config.Default(config.SB),
+		Pattern: traffic.UniformRandom,
+		Sources: ctrlSources(1, 0.05),
+		Warmup:  100,
+		Measure: 1 << 20, // far more cycles than a test should simulate
+		Drain:   1 << 20,
+		Seed:    1,
+		Ctx:     ctx,
+	})
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected CanceledError, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+	if ce.Cycle > 2048 {
+		t.Errorf("cancellation observed at cycle %d, want within two poll intervals", ce.Cycle)
+	}
+}
+
+// A deadline trip must be distinguishable from a drain cancellation:
+// the worker maps DeadlineExceeded to a per-point timeout status.
+func TestRunContextDeadlineIsTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	_, err := Run(Options{
+		Cfg:     config.Default(config.SB),
+		Pattern: traffic.UniformRandom,
+		Sources: ctrlSources(1, 0.05),
+		Warmup:  100,
+		Measure: 1 << 20,
+		Drain:   1 << 20,
+		Seed:    1,
+		Ctx:     ctx,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want errors.Is(err, context.DeadlineExceeded)", err)
+	}
+}
+
+// A nil context must leave results bit-identical to an un-cancelled
+// context: the poll is observation-only.
+func TestRunContextIsResultNeutral(t *testing.T) {
+	base := Options{
+		Cfg:     config.Default(config.SB),
+		Pattern: traffic.UniformRandom,
+		Sources: ctrlSources(1, 0.05),
+		Warmup:  100,
+		Measure: 1000,
+		Drain:   4000,
+		Seed:    5,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	withCtx := base
+	withCtx.Ctx = context.Background()
+	ctxRes, err := Run(withCtx)
+	if err != nil {
+		t.Fatalf("ctx run: %v", err)
+	}
+	if plain.Total != ctxRes.Total || plain.Cycles != ctxRes.Cycles {
+		t.Errorf("context poll changed results:\nplain: %+v\nctx:   %+v", plain.Total, ctxRes.Total)
+	}
+}
+
+// A no-progress trip on a deflecting fabric stays classified as
+// livelock, not fault-wedge: only the blocking fabrics (WH/Surf) wedge
+// permanently under faults.
+func TestWatchdogLivelockKindOnDeflectingFabric(t *testing.T) {
+	cfg := config.Default(config.BLESS)
+	cfg.Width, cfg.Height = 4, 4
+	events := make([]fault.Event, cfg.Nodes())
+	for i := range events {
+		events[i] = fault.Event{Kind: fault.RouterFreeze, Node: i, At: 500}
+	}
+	cfg.Faults = &fault.Plan{Events: events}
+	_, err := Run(Options{
+		Cfg:                cfg,
+		Pattern:            traffic.UniformRandom,
+		Sources:            ctrlSources(1, 0.05),
+		Warmup:             100,
+		Measure:            20000,
+		Drain:              20000,
+		Seed:               3,
+		WatchdogNoProgress: 3000,
+		WatchdogMaxAge:     -1,
+	})
+	var de *DegradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("expected DegradedError, got %v", err)
+	}
+	if de.Kind != KindLivelock {
+		t.Errorf("Kind = %v, want %v on a deflecting fabric", de.Kind, KindLivelock)
+	}
+	if de.Kind.Permanent() {
+		t.Errorf("livelock must not classify as permanent")
+	}
+}

@@ -130,6 +130,15 @@ func TestWatchdogConvertsWedgeToDegradedError(t *testing.T) {
 	if !errors.As(err, &de) {
 		t.Fatalf("expected DegradedError, got %v", err)
 	}
+	if de.Kind != KindFaultWedge {
+		t.Errorf("Kind = %v, want %v (blocking fabric wedged by an armed fault)", de.Kind, KindFaultWedge)
+	}
+	if !de.Kind.Permanent() {
+		t.Errorf("a fault-wedge must classify as permanent")
+	}
+	if !strings.Contains(de.Reason, "fault-wedge") {
+		t.Errorf("reason %q, want a fault-wedge report", de.Reason)
+	}
 	if de.Partial.Total.Created == 0 || de.Partial.Total.Ejected == 0 {
 		t.Errorf("partial stats empty: %+v", de.Partial.Total)
 	}
@@ -214,8 +223,11 @@ func TestWatchdogAgeCeiling(t *testing.T) {
 	if !errors.As(err, &de) {
 		t.Fatalf("expected DegradedError, got %v", err)
 	}
-	if !strings.Contains(de.Reason, "starvation") {
-		t.Errorf("reason %q, want a starvation report", de.Reason)
+	if de.Kind != KindFaultWedge {
+		t.Errorf("Kind = %v, want %v (WH age-ceiling trip under an armed fault plan)", de.Kind, KindFaultWedge)
+	}
+	if !strings.Contains(de.Reason, "fault-wedge") {
+		t.Errorf("reason %q, want a fault-wedge report", de.Reason)
 	}
 	// The check is pigeonhole-based, so it is conservative: it cannot
 	// fire before the creation window catches up with the stragglers,

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"surfbless/internal/config"
@@ -99,6 +100,16 @@ type Options struct {
 	// Probe and Tracer it is observation-only and fingerprint-exempt;
 	// RunCached bypasses the cache so the tracker is actually filled.
 	Flows *stats.FlowTracker `json:"-"`
+
+	// Ctx, when non-nil, lets the caller cancel a run mid-flight: the
+	// cycle loop polls it on the watchdog's cadence (every 1024th
+	// cycle) and returns a CanceledError wrapping ctx.Err() — the sweep
+	// service's per-point timeouts and worker drains ride on it.  A
+	// cancelled run returns no partial statistics (the caller asked the
+	// work to stop, so there is no point to report).  Cancellation is
+	// an execution-control concern, not a simulation parameter, so the
+	// field is fingerprint-exempt like the observers.
+	Ctx context.Context `json:"-"`
 
 	// Recycle arms a packet free list: ejected packets are returned to
 	// the traffic generator and reused, making steady-state stepping
@@ -308,7 +319,7 @@ func Run(o Options) (Result, error) {
 			e.Flight = flight(e.Reason, e.Cycle)
 			return e.Partial, e
 		case *InvariantViolation:
-			de := &DegradedError{Reason: "recovered fabric panic", Cycle: e.Cycle, Cause: e}
+			de := &DegradedError{Reason: "invariant: recovered fabric panic", Kind: KindInvariant, Cycle: e.Cycle, Cause: e}
 			de.Partial = snapshot()
 			de.Flight = flight(de.Reason, de.Cycle)
 			return de.Partial, de
@@ -343,10 +354,25 @@ func runLoop(o Options, fab network.Fabric, gen *traffic.Generator,
 		}
 	}()
 	wd := newWatchdog(o)
+	// Cancellation poll: the Done channel is hoisted out of the loop
+	// (acquiring it can allocate for derived contexts) and consulted on
+	// the watchdog's cadence, so an un-cancelled run pays one mask test
+	// and a nil compare per cycle.
+	var ctxDone <-chan struct{}
+	if o.Ctx != nil {
+		ctxDone = o.Ctx.Done()
+	}
 	step := func() error {
 		fab.Step(*now)
 		if o.Probe != nil {
 			o.Probe.Tick(*now, fab.InFlight())
+		}
+		if ctxDone != nil && *now&watchdogCheckMask == 0 {
+			select {
+			case <-ctxDone:
+				return &CanceledError{Cycle: *now, Cause: o.Ctx.Err()}
+			default:
+			}
 		}
 		if o.AuditEvery > 0 && *now%o.AuditEvery == 0 {
 			if err := fab.Audit(); err != nil {

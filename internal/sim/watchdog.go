@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"surfbless/internal/config"
 	"surfbless/internal/stats"
 )
 
@@ -42,6 +43,13 @@ type watchdog struct {
 	noProgress int64 // 0 = check disabled
 	maxAge     int64 // 0 = check disabled
 
+	// wedgeProne marks the blocking fabrics (WH, Surf) running under an
+	// armed fault plan: their packets have no deflection escape from a
+	// killed link or frozen router, so a watchdog trip is classified as
+	// a permanent fault-wedge rather than livelock/starvation (see
+	// DegradedKind).
+	wedgeProne bool
+
 	lastResolved int64 // ejected+dropped at the last change
 	lastChange   int64 // cycle of the last resolution-count change
 
@@ -70,7 +78,8 @@ func newWatchdog(o Options) *watchdog {
 	if np == 0 && ma == 0 {
 		return nil
 	}
-	return &watchdog{noProgress: np, maxAge: ma}
+	wedge := armed && (o.Cfg.Model == config.WH || o.Cfg.Model == config.Surf)
+	return &watchdog{noProgress: np, maxAge: ma, wedgeProne: wedge}
 }
 
 // check inspects progress at cycle now and returns a DegradedError
@@ -86,9 +95,14 @@ func (w *watchdog) check(col *stats.Collector, inFlight int, now int64) error {
 			w.lastResolved = resolved
 			w.lastChange = now
 		} else if inFlight > 0 && now-w.lastChange >= w.noProgress {
+			kind := KindLivelock
+			if w.wedgeProne {
+				kind = KindFaultWedge
+			}
 			return &DegradedError{
-				Reason: fmt.Sprintf("livelock: no packet resolved for %d cycles with %d in flight",
-					now-w.lastChange, inFlight),
+				Reason: fmt.Sprintf("%v: no packet resolved for %d cycles with %d in flight",
+					kind, now-w.lastChange, inFlight),
+				Kind:  kind,
 				Cycle: now,
 			}
 		}
@@ -104,8 +118,13 @@ func (w *watchdog) check(col *stats.Collector, inFlight int, now int64) error {
 		// unresolved.  (The converse does not hold — young resolutions
 		// can mask one old straggler — so this is a conservative check.)
 		if resolved < w.oldCreated {
+			kind := KindStarvation
+			if w.wedgeProne {
+				kind = KindFaultWedge
+			}
 			return &DegradedError{
-				Reason: fmt.Sprintf("starvation: a packet created over %d cycles ago is still unresolved", w.maxAge),
+				Reason: fmt.Sprintf("%v: a packet created over %d cycles ago is still unresolved", kind, w.maxAge),
+				Kind:   kind,
 				Cycle:  now,
 			}
 		}

@@ -216,29 +216,48 @@ func (c *Cache) path(key Key) string {
 	return filepath.Join(c.dir, key.String()+".json")
 }
 
-// load reads and verifies a disk entry.  Callers hold c.mu.
+// load reads and verifies a disk entry.  A file that exists but fails
+// verification is quarantined — renamed to <name>.corrupt — so the
+// evidence survives for forensics, repeated lookups of the same key
+// become plain misses instead of re-counting the same corruption, and
+// the next Put can lay down a clean entry under the original name.
+// Callers hold c.mu.
 func (c *Cache) load(key Key) ([]byte, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	raw, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false // absent (or unreadable): a plain miss
 	}
 	var env envelope
 	if err := json.Unmarshal(raw, &env); err != nil {
-		c.stats.Corrupt++
+		c.quarantine(path)
 		return nil, false
 	}
 	sum := sha256.Sum256(env.Value)
 	if env.Key != key.String() || env.Sum != hex.EncodeToString(sum[:]) {
-		c.stats.Corrupt++
+		c.quarantine(path)
 		return nil, false
 	}
 	return []byte(env.Value), true
 }
 
-// store writes a disk entry atomically.  Callers hold c.mu.
+// quarantine counts and sidelines a corrupt disk entry.  The rename is
+// best-effort (a read-only cache directory still yields a functioning
+// miss); an earlier quarantined file under the same name is
+// overwritten — the newest corruption is the interesting one.
+func (c *Cache) quarantine(path string) {
+	c.stats.Corrupt++
+	os.Rename(path, path+".corrupt") //nolint:errcheck // best-effort evidence preservation
+}
+
+// store writes a disk entry atomically and durably: the temp file is
+// fsynced before the rename, so a machine crash right after the rename
+// cannot leave a visible entry with unflushed (empty or partial)
+// contents — the entry either exists whole or not at all.  Callers
+// hold c.mu.
 func (c *Cache) store(key Key, value []byte) {
 	if c.dir == "" {
 		return
@@ -257,8 +276,9 @@ func (c *Cache) store(key Key, value []byte) {
 		return
 	}
 	_, werr := tmp.Write(raw)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		return
 	}

@@ -148,6 +148,56 @@ func TestCorruptEntriesAreMisses(t *testing.T) {
 	}
 }
 
+// A corrupt disk entry must be quarantined, not silently consumed: the
+// damaged file moves aside to <name>.corrupt (preserving the evidence),
+// the corrupt counter ticks exactly once, and subsequent lookups of the
+// same key are plain misses until a Put lays down a clean entry.
+func TestCorruptEntriesAreQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("q")
+	c.Put(k, []byte(`{"r":1}`))
+	path := filepath.Join(dir, k.String()+".json")
+	if err := os.WriteFile(path, []byte(`{"key":"torn`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get(k); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt entry not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry still at its original path (err %v)", err)
+	}
+	// The second miss is plain: the quarantined file no longer shadows
+	// the key, so the counter must not tick again.
+	if _, ok := fresh.Get(k); ok {
+		t.Fatal("quarantined entry served")
+	}
+	if s := fresh.Stats(); s.Corrupt != 1 || s.Misses != 2 {
+		t.Errorf("stats %+v, want exactly 1 corrupt + 2 misses", s)
+	}
+
+	// A Put after quarantine restores a clean, loadable entry.
+	fresh.Put(k, []byte(`{"r":2}`))
+	again, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := again.Get(k); !ok || !bytes.Equal(v, []byte(`{"r":2}`)) {
+		t.Errorf("post-quarantine repair failed: %q %v", v, ok)
+	}
+}
+
 func mustEnvelope(t *testing.T, k Key, value []byte) []byte {
 	t.Helper()
 	c, err := New(Options{Dir: t.TempDir()})

@@ -1,0 +1,114 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The delay schedule must be exponential up to the cap, deterministic
+// for a fixed seed, and jittered within [d·(1−J), d).
+func TestDelayScheduleDeterministicAndBounded(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 160 * time.Millisecond, Factor: 2, Jitter: 0.5, Seed: 7}
+	q := p // identical policy ⇒ identical schedule
+	prevCapped := false
+	for attempt := 0; attempt < 10; attempt++ {
+		d := p.Delay(attempt)
+		if d != q.Delay(attempt) {
+			t.Fatalf("attempt %d: schedule not deterministic", attempt)
+		}
+		pre := float64(10*time.Millisecond) * float64(int(1)<<attempt)
+		if pre > float64(160*time.Millisecond) {
+			pre = float64(160 * time.Millisecond)
+			prevCapped = true
+		}
+		lo, hi := time.Duration(pre*0.5), time.Duration(pre)
+		if d < lo || d >= hi {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", attempt, d, lo, hi)
+		}
+	}
+	if !prevCapped {
+		t.Error("test never reached the cap; widen the attempt range")
+	}
+}
+
+// Distinct seeds must de-synchronize the jitter.
+func TestDelaySeedsDiverge(t *testing.T) {
+	a := Policy{Base: 10 * time.Millisecond, Seed: 1}
+	b := Policy{Base: 10 * time.Millisecond, Seed: 2}
+	same := 0
+	for attempt := 0; attempt < 8; attempt++ {
+		if a.Delay(attempt) == b.Delay(attempt) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Error("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// Negative jitter disables randomization entirely.
+func TestNoJitterIsExact(t *testing.T) {
+	p := Policy{Base: 4 * time.Millisecond, Max: 32 * time.Millisecond, Factor: 2, Jitter: -1}
+	want := []time.Duration{4, 8, 16, 32, 32}
+	for i, w := range want {
+		if d := p.Delay(i); d != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestRetrySucceedsAndCounts(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Jitter: -1}
+	calls := 0
+	n, err := Retry(context.Background(), p, 5, func(int) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || n != 3 || calls != 3 {
+		t.Errorf("Retry = (%d, %v) after %d calls, want (3, nil, 3)", n, err, calls)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Jitter: -1}
+	boom := errors.New("boom")
+	n, err := Retry(context.Background(), p, 3, func(int) error { return boom })
+	if !errors.Is(err, boom) || n != 3 {
+		t.Errorf("Retry = (%d, %v), want (3, boom)", n, err)
+	}
+}
+
+// Stop must abort the loop immediately and unwrap transparently.
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Jitter: -1}
+	wedged := errors.New("fault-wedge")
+	calls := 0
+	n, err := Retry(context.Background(), p, 5, func(int) error {
+		calls++
+		return Stop(wedged)
+	})
+	if !errors.Is(err, wedged) || n != 1 || calls != 1 {
+		t.Errorf("Retry = (%d, %v) after %d calls, want immediate stop", n, err, calls)
+	}
+}
+
+// A cancelled context must cut the sleep short and surface both the
+// attempt's error and the cancellation.
+func TestRetryHonorsContext(t *testing.T) {
+	p := Policy{Base: time.Hour, Jitter: -1} // would sleep forever
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := Retry(ctx, p, 3, func(int) error { return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Retry slept through a cancelled context")
+	}
+}

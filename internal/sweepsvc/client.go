@@ -1,0 +1,196 @@
+package sweepsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"surfbless/internal/sweepsvc/backoff"
+)
+
+// Client talks to a coordinator over HTTP.  Base is a function so the
+// chaos harness (and any driver that restarts its coordinator on a new
+// port) can re-resolve the address per request; NewClient wraps a fixed
+// address for the common case.
+type Client struct {
+	// Base returns the coordinator's current base URL, e.g.
+	// "http://127.0.0.1:8080".
+	Base func() string
+	// HTTP is the underlying client (nil = a 10 s-timeout default).
+	HTTP *http.Client
+}
+
+// NewClient returns a client pinned to one coordinator address.
+func NewClient(addr string) *Client {
+	base := "http://" + addr
+	return &Client{Base: func() string { return base }}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// call performs one JSON round trip.  A nil out discards the body; a
+// non-2xx answer surfaces as an error carrying the server's message.
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("sweepsvc: client: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base()+path, body)
+	if err != nil {
+		return fmt.Errorf("sweepsvc: client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("sweepsvc: client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("sweepsvc: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("sweepsvc: client: %w", err)
+	}
+	return nil
+}
+
+// Submit admits a sweep job and returns its ID and point count.
+func (c *Client) Submit(ctx context.Context, spec Spec) (string, int, error) {
+	var resp SubmitResponse
+	if err := c.call(ctx, http.MethodPost, "/api/jobs", SubmitRequest{Spec: spec}, &resp); err != nil {
+		return "", 0, err
+	}
+	return resp.Job, resp.Points, nil
+}
+
+// Status fetches a job's progress.
+func (c *Client) Status(ctx context.Context, job string) (JobStatus, error) {
+	var st JobStatus
+	err := c.call(ctx, http.MethodGet, "/api/jobs/"+job, nil, &st)
+	return st, err
+}
+
+// CSV fetches a completed job's assembled output.
+func (c *Client) CSV(ctx context.Context, job string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base()+"/api/jobs/"+job+"/csv", nil)
+	if err != nil {
+		return "", fmt.Errorf("sweepsvc: client: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("sweepsvc: client: %w", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("sweepsvc: client: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("sweepsvc: csv %s: %s: %s", job, resp.Status, bytes.TrimSpace(b))
+	}
+	return string(b), nil
+}
+
+// Acquire pulls up to max leases for worker.
+func (c *Client) Acquire(ctx context.Context, worker string, max int) ([]Lease, error) {
+	var resp LeaseResponse
+	if err := c.call(ctx, http.MethodPost, "/api/lease", LeaseRequest{Worker: worker, Max: max}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Leases, nil
+}
+
+// Renew heartbeats the given leases, returning the ones the
+// coordinator no longer honors.
+func (c *Client) Renew(ctx context.Context, worker string, leases []string) ([]string, error) {
+	var resp RenewResponse
+	if err := c.call(ctx, http.MethodPost, "/api/renew", RenewRequest{Worker: worker, Leases: leases}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Lost, nil
+}
+
+// Release returns unstarted leases to the pending pool.
+func (c *Client) Release(ctx context.Context, worker string, leases []string) error {
+	return c.call(ctx, http.MethodPost, "/api/release", ReleaseRequest{Worker: worker, Leases: leases}, nil)
+}
+
+// Complete reports one finished point.  It returns whether the report
+// was the point's first (false = dropped as an idempotent duplicate).
+func (c *Client) Complete(ctx context.Context, comp Completion) (bool, error) {
+	var resp CompleteResponse
+	if err := c.call(ctx, http.MethodPost, "/api/complete", comp, &resp); err != nil {
+		return false, err
+	}
+	return resp.Accepted, nil
+}
+
+// CompleteWithRetry pushes a completion through transient coordinator
+// outages (a bounce mid-sweep) under the given backoff policy.  A 404
+// (unknown job — the report outlived its journal) stops immediately.
+func (c *Client) CompleteWithRetry(ctx context.Context, p backoff.Policy, attempts int, comp Completion) (accepted bool, err error) {
+	_, err = backoff.Retry(ctx, p, attempts, func(int) error {
+		var cerr error
+		accepted, cerr = c.Complete(ctx, comp)
+		if cerr != nil && isNotFound(cerr) {
+			return backoff.Stop(cerr)
+		}
+		return cerr
+	})
+	return accepted, err
+}
+
+// StatusWithRetry polls a job's progress through transient coordinator
+// outages (a bounce mid-sweep) under the given backoff policy.  A 404
+// (unknown job — the journal is gone or the address is wrong) stops
+// immediately.
+func (c *Client) StatusWithRetry(ctx context.Context, p backoff.Policy, attempts int, job string) (st JobStatus, err error) {
+	_, err = backoff.Retry(ctx, p, attempts, func(int) error {
+		var serr error
+		st, serr = c.Status(ctx, job)
+		if serr != nil && isNotFound(serr) {
+			return backoff.Stop(serr)
+		}
+		return serr
+	})
+	return st, err
+}
+
+// CSVWithRetry fetches a completed job's CSV through transient
+// coordinator outages under the given backoff policy, stopping early
+// on a 404.
+func (c *Client) CSVWithRetry(ctx context.Context, p backoff.Policy, attempts int, job string) (csv string, err error) {
+	_, err = backoff.Retry(ctx, p, attempts, func(int) error {
+		var cerr error
+		csv, cerr = c.CSV(ctx, job)
+		if cerr != nil && isNotFound(cerr) {
+			return backoff.Stop(cerr)
+		}
+		return cerr
+	})
+	return csv, err
+}
+
+// isNotFound sniffs the coordinator's 404 answer out of a client error.
+func isNotFound(err error) bool {
+	return err != nil && bytes.Contains([]byte(err.Error()), []byte("404"))
+}

@@ -1,0 +1,305 @@
+package sweepsvc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"surfbless/internal/sweepsvc/backoff"
+)
+
+// WorkerHooks are the worker's observation points for tests and the
+// chaos harness (nil = disabled).
+type WorkerHooks struct {
+	// LeaseAcquired fires for every lease pulled from the coordinator.
+	LeaseAcquired func(l Lease)
+	// PointFinished fires after a point's execution, before its
+	// completion report.
+	PointFinished func(l Lease, exec Execution)
+	// Drained fires when a graceful drain finishes, with the number of
+	// unstarted leases that were released.
+	Drained func(released int)
+}
+
+// WorkerOptions configures a worker.
+type WorkerOptions struct {
+	// Name identifies the worker to the coordinator (lease ownership).
+	Name string
+	// Client reaches the coordinator.  Required.
+	Client *Client
+	// Runner executes leased points.  Required.
+	Runner *Runner
+	// Slots is the number of points simulated concurrently (0 = 1).
+	Slots int
+	// Prefetch is how many leases beyond Slots to hold queued so slots
+	// never idle between points (0 = none).
+	Prefetch int
+	// Poll is the idle sleep when the coordinator has no work (0 =
+	// 200 ms).
+	Poll time.Duration
+	// Backoff paces retries of coordinator RPCs (acquire, complete)
+	// through transient outages such as a coordinator bounce.
+	Backoff backoff.Policy
+	// RPCAttempts bounds those retries (0 = 8).
+	RPCAttempts int
+	// Hooks observe the worker (nil-safe).
+	Hooks *WorkerHooks
+}
+
+// Worker pulls leases from a coordinator, simulates them, and reports
+// completions.  Two ways to stop:
+//
+//   - Drain (SIGTERM): stop acquiring, finish the points already being
+//     simulated, release the queued-but-unstarted leases, then Run
+//     returns nil.  No work is lost and nothing needs requeueing.
+//   - Context cancellation (SIGKILL stand-in): everything stops where
+//     it is, in-flight simulations included (the context is plumbed
+//     through sim.Run).  The coordinator's lease TTL requeues whatever
+//     this worker held.
+type Worker struct {
+	o         WorkerOptions
+	drain     chan struct{}
+	drainOnce sync.Once
+
+	mu   sync.Mutex
+	held map[string]Lease // acquired and not yet completed or released
+}
+
+// NewWorker validates the options and returns an idle worker; call Run
+// to start it.
+func NewWorker(o WorkerOptions) (*Worker, error) {
+	if o.Client == nil || o.Runner == nil {
+		return nil, fmt.Errorf("sweepsvc: worker needs a client and a runner")
+	}
+	if o.Name == "" {
+		return nil, fmt.Errorf("sweepsvc: worker needs a name")
+	}
+	if o.Slots < 1 {
+		o.Slots = 1
+	}
+	if o.Poll <= 0 {
+		o.Poll = 200 * time.Millisecond
+	}
+	if o.RPCAttempts < 1 {
+		o.RPCAttempts = 8
+	}
+	return &Worker{o: o, drain: make(chan struct{}), held: make(map[string]Lease)}, nil
+}
+
+// Drain begins a graceful shutdown (idempotent): in-flight points
+// finish and report, queued leases go back to the coordinator.
+func (w *Worker) Drain() { w.drainOnce.Do(func() { close(w.drain) }) }
+
+// draining reports whether Drain was called.
+func (w *Worker) draining() bool {
+	select {
+	case <-w.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+func (w *Worker) track(l Lease) {
+	w.mu.Lock()
+	w.held[l.ID] = l
+	w.mu.Unlock()
+}
+
+func (w *Worker) untrack(id string) {
+	w.mu.Lock()
+	delete(w.held, id)
+	w.mu.Unlock()
+}
+
+func (w *Worker) heldIDs() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ids := make([]string, 0, len(w.held))
+	for id := range w.held {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Run is the worker's main loop; it blocks until the context dies
+// (returns ctx.Err()) or a drain completes (returns nil).
+func (w *Worker) Run(ctx context.Context) error {
+	queue := make(chan Lease, w.o.Slots+w.o.Prefetch)
+	var slots sync.WaitGroup
+	for i := 0; i < w.o.Slots; i++ {
+		slots.Add(1)
+		go func() {
+			defer slots.Done()
+			for l := range queue {
+				w.runLease(ctx, l)
+			}
+		}()
+	}
+
+	// Heartbeat at a third of the lease TTL: three missed beats forfeit
+	// a lease, one never does.
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		w.heartbeat(hbCtx)
+	}()
+
+	err := w.dispatch(ctx, queue)
+
+	// Dispatch is over (drain or dead context).  Pull the leases that
+	// never reached a slot back out of the queue and release them, then
+	// let the slots finish their in-flight points.
+	released := 0
+	var releaseIDs []string
+drainQueue:
+	for {
+		select {
+		case l := <-queue:
+			releaseIDs = append(releaseIDs, l.ID)
+			w.untrack(l.ID)
+			released++
+		default:
+			break drainQueue
+		}
+	}
+	close(queue)
+	if len(releaseIDs) > 0 && ctx.Err() == nil {
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		w.o.Client.Release(rctx, w.o.Name, releaseIDs) //nolint:errcheck // TTL expiry is the backstop
+		cancel()
+	}
+	slots.Wait()
+	hbCancel()
+	hb.Wait()
+	if w.o.Hooks != nil && w.o.Hooks.Drained != nil && err == nil {
+		w.o.Hooks.Drained(released)
+	}
+	return err
+}
+
+// dispatch keeps the queue fed until drain or context death.
+func (w *Worker) dispatch(ctx context.Context, queue chan<- Lease) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-w.drain:
+			return nil
+		default:
+		}
+		w.mu.Lock()
+		want := w.o.Slots + w.o.Prefetch - len(w.held)
+		w.mu.Unlock()
+		if want <= 0 {
+			if !w.sleep(ctx, w.o.Poll/4) {
+				continue // drain or death; loop re-checks
+			}
+			continue
+		}
+		leases, err := w.acquire(ctx, want)
+		if err != nil || len(leases) == 0 {
+			// Coordinator unreachable (acquire already backed off) or no
+			// pending work right now: idle-poll.
+			w.sleep(ctx, w.o.Poll)
+			continue
+		}
+		for _, l := range leases {
+			w.track(l)
+			if w.o.Hooks != nil && w.o.Hooks.LeaseAcquired != nil {
+				w.o.Hooks.LeaseAcquired(l)
+			}
+			queue <- l
+		}
+	}
+}
+
+// acquire pulls leases with retry + seeded backoff so a coordinator
+// bounce mid-sweep looks like a slow RPC, not a worker crash.
+func (w *Worker) acquire(ctx context.Context, max int) ([]Lease, error) {
+	var leases []Lease
+	_, err := backoff.Retry(ctx, w.o.Backoff, w.o.RPCAttempts, func(int) error {
+		var aerr error
+		leases, aerr = w.o.Client.Acquire(ctx, w.o.Name, max)
+		return aerr
+	})
+	return leases, err
+}
+
+// runLease executes one leased point and reports it.
+func (w *Worker) runLease(ctx context.Context, l Lease) {
+	defer w.untrack(l.ID)
+	exec := w.o.Runner.RunPoint(ctx, l.Spec, l.Rate)
+	if w.o.Hooks != nil && w.o.Hooks.PointFinished != nil {
+		w.o.Hooks.PointFinished(l, exec)
+	}
+	if exec.Canceled {
+		return // hard kill: the lease TTL requeues the point
+	}
+	// Report even when draining — the point is finished; dropping the
+	// row would waste the work.  The completion retries through
+	// transient coordinator outages; if the lease expired meanwhile the
+	// coordinator still accepts the first report for the point.
+	w.o.Client.CompleteWithRetry(ctx, w.o.Backoff, w.o.RPCAttempts, Completion{ //nolint:errcheck // TTL requeue is the backstop
+		Lease: l.ID, Job: l.Job, Point: l.Point,
+		Row: exec.Row, Status: exec.Status, Attempts: exec.Attempts, Failed: exec.Failed,
+	})
+}
+
+// heartbeat renews held leases until its context dies.  Lost leases
+// (coordinator bounced, or we were presumed dead) are dropped from the
+// held set; any simulation already running for them continues and its
+// completion is absorbed idempotently.
+func (w *Worker) heartbeat(ctx context.Context) {
+	w.mu.Lock()
+	ttl := DefaultLeaseTTL
+	w.mu.Unlock()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(ttl / 3):
+		}
+		ids := w.heldIDs()
+		if len(ids) == 0 {
+			continue
+		}
+		// Refresh the cadence from the newest lease before renewing.
+		w.mu.Lock()
+		for _, l := range w.held {
+			if l.TTLMS > 0 {
+				ttl = time.Duration(l.TTLMS) * time.Millisecond
+			}
+			break
+		}
+		w.mu.Unlock()
+		lost, err := w.o.Client.Renew(ctx, w.o.Name, ids)
+		if err != nil {
+			continue // transient; the next beat retries
+		}
+		for _, id := range lost {
+			w.untrack(id)
+		}
+	}
+}
+
+// sleep waits for d, cut short by drain or context death; it reports
+// whether the full duration elapsed.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-w.drain:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
