@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint staticcheck govulncheck build test race race-faults chaos fuzz fuzz-fault bench bench-smoke probe-overhead wcta-conformance experiments clean-cache
+.PHONY: ci vet lint staticcheck govulncheck build test race race-faults chaos fuzz fuzz-fault bench bench-smoke bench-shard probe-overhead wcta-conformance experiments clean-cache
 
-ci: vet lint build race race-faults chaos bench-smoke probe-overhead fuzz-fault wcta-conformance staticcheck govulncheck
+ci: vet lint build race race-faults chaos bench-smoke bench-shard probe-overhead fuzz-fault wcta-conformance staticcheck govulncheck
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +82,12 @@ fuzz-fault:
 bench-smoke:
 	$(GO) test -run='TestStepNoAlloc|TestRecvIntoReusesBuffer|TestRecvZeroesVacatedTail' -count=1 . ./internal/link
 	$(GO) test -race -run='TestParallelSweep' -count=1 ./cmd/sweep
+
+# Sharded-stepping gate (DESIGN.md §17): a 32×32 mesh stepped as four
+# tiles under -race must produce results and fingerprints bit-identical
+# to serial stepping, on every model with a sharded path.
+bench-shard:
+	$(GO) test -race -run 'TestShardMatchesSerialGiant' -count=1 ./internal/sim
 
 # Observability budget gate (DESIGN.md §15): probed Step must stay
 # within 1.10x of unprobed on the paper's fabrics.  The Overhead

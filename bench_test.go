@@ -308,6 +308,73 @@ func BenchmarkStepWHProbed(b *testing.B) { benchFabric(b, config.WH, true) }
 // BenchmarkStepSurfProbed is BenchmarkStepSurf with a probe armed.
 func BenchmarkStepSurfProbed(b *testing.B) { benchFabric(b, config.Surf, true) }
 
+// benchFabricGiant drives one fabric on a 32×32 mesh (16× the paper's
+// node count) for b.N cycles after the standard warm-up, optionally
+// stepping the mesh as parallel tiles.  The sharded entries are the
+// wall-clock counterpart of the bit-identity gate (`make bench-shard`,
+// DESIGN.md §17): same schedule, measured instead of compared.
+func benchFabricGiant(b *testing.B, model config.Model, shards int) {
+	cfg := config.Default(model)
+	cfg.Width, cfg.Height = 32, 32
+	cfg.Domains = 2
+	col := stats.NewCollector(2, 0, 0)
+	meter := power.NewMeter(cfg, power.Default45nm())
+	fl := &packet.FreeList{}
+	sink := network.Sink(func(_ int, p *packet.Packet, _ int64) { fl.Put(p) })
+	fab, err := sim.BuildFabric(cfg, nil, sink, col, meter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if shards > 1 {
+		ss, ok := fab.(interface {
+			SetShards(int) error
+			StopShards()
+		})
+		if !ok {
+			b.Fatalf("%v fabric has no sharded stepping", model)
+		}
+		if err := ss.SetShards(shards); err != nil {
+			b.Fatal(err)
+		}
+		defer ss.StopShards()
+	}
+	gen := traffic.New(cfg.Mesh(), traffic.UniformRandom, []traffic.Source{
+		{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
+		{Rate: 0.025, Class: packet.Ctrl, VNet: -1},
+	}, 1)
+	gen.SetFreeList(fl)
+	now := int64(0)
+	for ; now < benchWarmup; now++ {
+		gen.Tick(fab, now)
+		fab.Step(now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for end := now + int64(b.N); now < end; now++ {
+		gen.Tick(fab, now)
+		fab.Step(now)
+	}
+	b.ReportMetric(float64(cfg.Nodes()), "routers/cycle")
+}
+
+// BenchmarkStepSBGiant measures serial SB stepping at 32×32.
+func BenchmarkStepSBGiant(b *testing.B) { benchFabricGiant(b, config.SB, 1) }
+
+// BenchmarkStepSBGiantSharded is BenchmarkStepSBGiant on four tiles.
+func BenchmarkStepSBGiantSharded(b *testing.B) { benchFabricGiant(b, config.SB, 4) }
+
+// BenchmarkStepWHGiant measures serial WH stepping at 32×32.
+func BenchmarkStepWHGiant(b *testing.B) { benchFabricGiant(b, config.WH, 1) }
+
+// BenchmarkStepWHGiantSharded is BenchmarkStepWHGiant on four tiles.
+func BenchmarkStepWHGiantSharded(b *testing.B) { benchFabricGiant(b, config.WH, 4) }
+
+// BenchmarkStepSurfGiant measures serial Surf stepping at 32×32.
+func BenchmarkStepSurfGiant(b *testing.B) { benchFabricGiant(b, config.Surf, 1) }
+
+// BenchmarkStepSurfGiantSharded is BenchmarkStepSurfGiant on four tiles.
+func BenchmarkStepSurfGiantSharded(b *testing.B) { benchFabricGiant(b, config.Surf, 4) }
+
 // benchStepOverhead measures the probe's hot-path cost as a ratio: it
 // builds twin rigs — one probed, one not — and steps them in
 // alternating short chunks, reporting the median per-pair

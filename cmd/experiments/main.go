@@ -5,8 +5,13 @@
 // Usage:
 //
 //	experiments [-scale tiny|quick|full] [-fig all|table1|fig5|fig6|fig7|apps|ablations|extensions|faults|wcta] [-out DIR]
-//	            [-cache] [-cache-dir DIR] [-no-cache]
+//	            [-cache] [-cache-dir DIR] [-no-cache] [-shards N]
 //	            [-http ADDR] [-progress] [-probe-dir DIR] [-probe-every N]
+//
+// -shards N steps every synthetic point's mesh as N parallel tiles
+// (see DESIGN.md §17) — bit-identical to serial stepping, so tables,
+// cache keys and golden outputs are unchanged; it only helps wall-clock
+// on the big-mesh sweeps (ablations at -scale full).
 //
 // "apps" runs the §5.2 full-system matrix that produces Figs. 8, 9 and
 // 10 together.  At -scale full expect several minutes.  "faults" runs
@@ -57,6 +62,7 @@ func mainExperiments() int {
 	useCache := flag.Bool("cache", true, "reuse cached simulation results")
 	cacheDir := flag.String("cache-dir", filepath.Join("results", ".simcache"), "result-cache directory")
 	noCache := flag.Bool("no-cache", false, "run every simulation fresh (overrides -cache)")
+	shards := flag.Int("shards", 1, "mesh tiles stepped in parallel per synthetic point (bit-identical to serial)")
 	httpAddr := flag.String("http", "", "serve /progress, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 	progress := flag.Bool("progress", false, "print a structured progress line to stderr every 5s")
 	probeDir := flag.String("probe-dir", "", "write probed Fig. 5 time series (JSONL) and heatmaps (CSV) into this directory")
@@ -67,6 +73,10 @@ func mainExperiments() int {
 	if err != nil {
 		fatal(err)
 	}
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards %d, need ≥ 1", *shards))
+	}
+	experiments.SetShards(*shards)
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)

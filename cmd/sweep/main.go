@@ -5,7 +5,7 @@
 // Usage:
 //
 //	sweep [-model SB] [-domains 2] [-from 0.01] [-to 0.3] [-step 0.02]
-//	      [-cycles 10000] [-seed 1] [-workers 1]
+//	      [-cycles 10000] [-seed 1] [-workers 1] [-shards 1]
 //	      [-cache] [-cache-dir DIR] [-no-cache]
 //	      [-faults FILE] [-checkpoint FILE] [-resume]
 //	      [-attempts N] [-point-timeout DUR]
@@ -17,6 +17,12 @@
 // isolated deterministic simulation and rows are emitted in rate order
 // regardless of completion order, so the CSV is byte-identical to a
 // serial (-workers 1) sweep.
+//
+// -shards N steps each point's mesh as N parallel tiles (see DESIGN.md
+// §17) — useful for giant meshes where one point dominates wall-clock.
+// Sharded stepping is bit-identical to serial, so the CSV, cache keys
+// and checkpoint fingerprints are all unchanged.  Local runs only; a
+// -remote fleet picks its own execution knobs.
 //
 // -remote ADDR submits the sweep to a sweepd coordinator (see
 // cmd/sweepd) instead of simulating locally, polls until the worker
@@ -99,6 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cycles := fs.Int64("cycles", 10000, "measured cycles per point")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 1, "points simulated concurrently (rows stay in rate order)")
+	shards := fs.Int("shards", 1, "mesh tiles stepped in parallel inside each point (local runs only; bit-identical to serial)")
 	useCache := fs.Bool("cache", true, "reuse cached simulation results")
 	cacheDir := fs.String("cache-dir", filepath.Join("results", ".simcache"), "result-cache directory")
 	noCache := fs.Bool("no-cache", false, "run every simulation fresh (overrides -cache)")
@@ -129,6 +136,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *workers < 1 {
 		return fatal(fmt.Errorf("-workers %d, need ≥ 1", *workers))
+	}
+	if *shards < 1 {
+		return fatal(fmt.Errorf("-shards %d, need ≥ 1", *shards))
 	}
 
 	var plan *fault.Plan
@@ -244,6 +254,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if oerr != nil { // unreachable after Validate; keep the point isolated anyway
 			return outcome{row: sweepsvc.ErrorRow(rate, "error: "+sweepsvc.CSVSafe(oerr.Error())), err: oerr}, nil
 		}
+		// Execution knob, not part of the point's identity: Shards is
+		// fingerprint-exempt, so cache and checkpoint keys are unchanged.
+		o.Shards = *shards
 		out := outcome{}
 		key, keyErr := sim.Fingerprint(o)
 		if keyErr == nil {
@@ -326,10 +339,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 // client survives any bounce the fleet survives.
 const remoteRPCAttempts = 8
 
-// runRemote submits the spec to a sweepd coordinator, waits for the
-// fleet to finish it, and prints the assembled CSV.  Status polls ride
-// through transient coordinator outages (a crash-restart mid-sweep
-// loses no journaled work, so giving up would abandon a live job).
+// remotePollHook, when non-nil, runs after every poll (status and rows
+// fetched) and before freshly completed rows are printed — the seam
+// the regression test uses to bounce the coordinator mid-stream.
+var remotePollHook func(done, total int)
+
+// runRemote submits the spec to a sweepd coordinator and streams the
+// CSV as points complete: the header first, then each row as soon as
+// every earlier rate is also done, so stdout is byte-identical to a
+// local sweep.  Polls ride through transient coordinator outages (a
+// crash-restart mid-sweep loses no journaled work, so giving up would
+// abandon a live job).  Printed rows are deduplicated by point
+// fingerprint, not row index: a bounce with a torn WAL tail can revert
+// a completed point to pending and re-complete it later, so indexes
+// may go backwards between polls while fingerprints stay stable.
 func runRemote(spec sweepsvc.Spec, addr string, policy backoff.Policy, progress bool, stdout, stderr io.Writer) int {
 	client := sweepsvc.NewClient(addr)
 	ctx := context.Background()
@@ -339,6 +362,9 @@ func runRemote(spec sweepsvc.Spec, addr string, policy backoff.Policy, progress 
 		return 1
 	}
 	fmt.Fprintf(stderr, "remote: job %s (%d points) on %s\n", job, points, addr)
+	fmt.Fprintln(stdout, sweepsvc.CSVHeader)
+	printed := make(map[string]bool, points)
+	next := 0 // rows[:next] have been streamed; rate order never regresses
 	lastDone := -1
 	for {
 		st, err := client.StatusWithRetry(ctx, policy, remoteRPCAttempts, job)
@@ -350,13 +376,31 @@ func runRemote(spec sweepsvc.Spec, addr string, policy backoff.Policy, progress 
 			fmt.Fprintf(stderr, "remote: %d/%d done (%d leased, %d failed)\n", st.Done, st.Total, st.Leased, st.Failed)
 			lastDone = st.Done
 		}
-		if st.Complete {
-			csv, err := client.CSVWithRetry(ctx, policy, remoteRPCAttempts, job)
-			if err != nil {
-				fmt.Fprintln(stderr, "sweep:", err)
-				return 1
+		rows, err := client.RowsWithRetry(ctx, policy, remoteRPCAttempts, job)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
+		}
+		if remotePollHook != nil {
+			remotePollHook(st.Done, st.Total)
+		}
+		// Stream the contiguous done prefix.  The cursor keeps rate
+		// order; the fingerprint set keeps idempotence when a bounce
+		// replays completions the stream has already passed.
+		for next < len(rows) && rows[next].Done {
+			r := rows[next]
+			next++
+			key := r.Fingerprint
+			if key == "" {
+				key = fmt.Sprintf("point-%d", r.Point)
 			}
-			fmt.Fprint(stdout, csv)
+			if printed[key] {
+				continue
+			}
+			printed[key] = true
+			fmt.Fprintln(stdout, r.Row)
+		}
+		if st.Complete && next >= len(rows) {
 			if st.Failed > 0 {
 				fmt.Fprintf(stderr, "sweep: %d point(s) failed\n", st.Failed)
 				return 1

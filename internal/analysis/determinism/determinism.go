@@ -40,8 +40,12 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // Scope limits the analyzer to the packages whose behaviour feeds
-// simulation results.  Testdata modules mirror these path shapes.
-var Scope = regexp.MustCompile(`internal/(router(/[^/]+)?|sim|traffic|link)$`)
+// simulation results.  internal/shard is in scope because its worker
+// bodies run router pipeline stages: a wall-clock read or global-rand
+// draw there would vary with tile scheduling and break the sharded ==
+// serial fingerprint guarantee.  Testdata modules mirror these path
+// shapes.
+var Scope = regexp.MustCompile(`internal/(router(/[^/]+)?|sim|traffic|link|shard)$`)
 
 // wallClock lists the forbidden wall-clock reads.
 var wallClock = map[string]bool{"Now": true, "Since": true, "Until": true}

@@ -9,5 +9,5 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", determinism.Analyzer,
-		"./internal/sim", "./outofscope")
+		"./internal/sim", "./internal/shard", "./outofscope")
 }

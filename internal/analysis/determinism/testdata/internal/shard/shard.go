@@ -1,0 +1,38 @@
+// Package shard is determinism-analyzer testdata mirroring the tile
+// worker pool: a wall-clock read or a global-rand draw inside a worker
+// body varies with tile scheduling, which would break the sharded ==
+// serial fingerprint guarantee.
+package shard
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Run mimics the pool's dispatch shape: fn is a per-tile worker body.
+func Run(n int, fn func(int)) {
+	for t := 0; t < n; t++ {
+		fn(t)
+	}
+}
+
+// WorkerBodies exercises the forbidden constructs inside worker
+// closures — exactly where a nondeterministic read would hide from a
+// serial-path review.
+func WorkerBodies(tiles []int64) {
+	Run(len(tiles), func(t int) {
+		tiles[t] = time.Now().UnixNano() // want `time\.Now reads the wall clock`
+	})
+	Run(len(tiles), func(t int) {
+		tiles[t] = int64(rand.Intn(8)) // want `rand\.Intn draws from the global math/rand source`
+	})
+}
+
+// Seeded is the sanctioned pattern: per-tile streams seeded from the
+// options, independent of scheduling.
+func Seeded(tiles []int64, seed int64) {
+	Run(len(tiles), func(t int) {
+		rng := rand.New(rand.NewSource(seed + int64(t)))
+		tiles[t] = int64(rng.Intn(8))
+	})
+}

@@ -29,6 +29,21 @@ func SetCache(c *simcache.Cache) {
 // Cache returns the installed cache, or nil when caching is disabled.
 func Cache() *simcache.Cache { return cachePtr.Load() }
 
+// shardsVal holds the per-point mesh tile count every synthetic driver
+// passes to the simulator (≤1 = serial stepping).  Atomic for the same
+// reason as cachePtr: parmap workers read it concurrently.
+var shardsVal atomic.Int64
+
+// SetShards installs the sharded-stepping tile count applied to every
+// synthetic simulation point (see DESIGN.md §17).  Sharded stepping is
+// bit-identical to serial and sim.Options.Shards is fingerprint-exempt,
+// so results, cache keys and golden tables are unchanged; the knob only
+// trades cores for wall-clock on big meshes.  cmd/experiments sets it
+// from its -shards flag.
+func SetShards(n int) {
+	shardsVal.Store(int64(n))
+}
+
 // progressPtr holds the live-introspection point counter, shared the
 // same way as the cache: parmap workers bump it concurrently.
 var progressPtr atomic.Pointer[probe.Progress]
@@ -98,6 +113,9 @@ func addTotal(n int) {
 
 // runSim is the cached sim.Run every synthetic driver goes through.
 func runSim(o sim.Options) (sim.Result, error) {
+	if n := shardsVal.Load(); n > 1 && o.Shards == 0 {
+		o.Shards = int(n)
+	}
 	res, err := sim.RunCached(o, cachePtr.Load())
 	pointDone()
 	return res, err

@@ -87,3 +87,8 @@ func (l *Line[T]) RecvInto(now int64, buf []T) []T {
 
 // InFlight returns the number of items currently traversing the line.
 func (l *Line[T]) InFlight() int { return len(l.queue) }
+
+// Idle reports whether nothing is traversing the line.  It is a cheap
+// inlinable guard: receive paths test it before RecvInto to skip the
+// call overhead on the common empty line.
+func (l *Line[T]) Idle() bool { return len(l.queue) == 0 }

@@ -27,6 +27,13 @@
 // sets"), which makes window occupancy self-synchronizing — no
 // explicit output reservation is needed because mid-window waves never
 // satisfy CanStart for a new head.
+//
+// Stepping optionally shards across an internal/shard worker pool
+// (SetShards): collecting arrivals and resolving routes become two
+// barrier-separated phases over contiguous node tiles, with meters,
+// lifecycle events and the in-flight counter accumulated per tile and
+// replayed in tile order — results stay bit-identical to serial
+// stepping (DESIGN.md §17).
 package surfbless
 
 import (
@@ -41,6 +48,7 @@ import (
 	"surfbless/internal/power"
 	"surfbless/internal/probe"
 	"surfbless/internal/router"
+	"surfbless/internal/shard"
 	"surfbless/internal/stats"
 	"surfbless/internal/wave"
 )
@@ -74,10 +82,43 @@ type Fabric struct {
 	faults *fault.Injector  // nil = fault-free (hot path untouched)
 	recov  *router.Recovery // non-nil iff faults is
 
-	rbuf []*packet.Packet // per-link receive scratch, reused every cycle
+	fx0 tileFX // serial stepping context (direct effects)
+
+	pool      *shard.Pool // nil = serial stepping
+	tiles     int
+	fxs       []tileFX // one deferred context per tile
+	shNow     int64    // cycle being stepped, read by workers
+	collectFn func(int)
+	resolveFn func(int)
 
 	inFlight int
 	lastStep int64
+}
+
+// lifeEvt is one deferred packet lifecycle event (sharded stepping):
+// the collector call and sink hand-off a worker recorded for replay at
+// the cycle barrier, in tile order — the serial call order.
+type lifeEvt struct {
+	node  int32
+	eject bool
+	p     *packet.Packet
+}
+
+// tileFX is one stepping context: per-tile scratch plus the effect
+// channel.  Serial stepping uses the fabric's single direct context,
+// which applies meter/collector/counter effects inline; each shard
+// tile owns a deferred context that accumulates them for replay at the
+// cycle barrier.  Meter counters are linear, so deferral is exact; the
+// collector and sink see the same per-cycle call sequence because
+// tiles replay in node order.
+type tileFX struct {
+	direct bool
+
+	bufR, xbar, alloc, lnk int64
+	inFlight               int
+	evts                   []lifeEvt
+
+	rbuf []*packet.Packet // per-link receive scratch, reused every cycle
 }
 
 type node struct {
@@ -156,6 +197,7 @@ func NewWithPolicy(cfg config.Config, slotWidths []int, pol Policy, sink network
 		cfg: cfg, mesh: mesh, sched: sched, dec: dec, slot: slotWidths, pol: pol,
 		sink: sink, col: col, meter: meter, lastStep: -1,
 	}
+	f.fx0.direct = true
 	f.nodes = make([]*node, mesh.Nodes())
 	for id := range f.nodes {
 		f.nodes[id] = &node{
@@ -180,6 +222,37 @@ func NewWithPolicy(cfg config.Config, slotWidths []int, pol Policy, sink network
 // SetProbe attaches a hot-path observer recording per-router
 // traversals, deflections and link flits (nil to remove).
 func (f *Fabric) SetProbe(p *probe.Probe) { f.probe = p }
+
+// SetShards partitions the mesh into n contiguous node tiles stepped
+// by a persistent worker pool (n ≤ 1 restores serial stepping; n is
+// clamped to the node count).  Results are bit-identical to serial
+// stepping.  While a fault injector is armed the fabric falls back to
+// serial stepping: recovery paths mutate shared retry state.
+func (f *Fabric) SetShards(n int) error {
+	f.StopShards()
+	if nodes := len(f.nodes); n > nodes {
+		n = nodes
+	}
+	if n <= 1 {
+		return nil
+	}
+	f.tiles = n
+	f.fxs = make([]tileFX, n)
+	f.collectFn = f.collectTile
+	f.resolveFn = f.resolveTile
+	f.pool = shard.NewPool(n)
+	return nil
+}
+
+// StopShards releases the worker pool and restores serial stepping.
+func (f *Fabric) StopShards() {
+	if f.pool == nil {
+		return
+	}
+	f.pool.Close()
+	f.pool, f.fxs, f.tiles = nil, nil, 0
+	f.collectFn, f.resolveFn = nil, nil
+}
 
 // SetFaults arms a fault injector (nil to disarm).  Faults break the
 // wave-balance invariant on purpose, so while armed the fabric routes
@@ -232,9 +305,75 @@ func (f *Fabric) Step(now int64) {
 	if f.recov != nil {
 		f.relaunchRetries(now)
 	}
-	for id, n := range f.nodes {
-		f.stepNode(id, n, now)
+	if f.pool != nil && f.faults == nil {
+		f.stepSharded(now)
+		return
 	}
+	for id, n := range f.nodes {
+		f.collectNode(n, now, &f.fx0)
+		f.resolveNode(id, n, now, &f.fx0)
+	}
+}
+
+// stepSharded runs the cycle as two barrier-separated phases over the
+// node tiles: collect (drain inbound link lines) then resolve (route,
+// forward, inject — sending on outbound lines).  Every link line has
+// exactly one reader (collect) and one writer (resolve) and a delay of
+// at least one cycle, so neither phase observes a same-cycle write and
+// the schedule is bit-identical to serial stepping.  Deferred effects
+// replay in tile order — the serial node order.
+func (f *Fabric) stepSharded(now int64) {
+	f.shNow = now
+	f.pool.Run(f.tiles, f.collectFn)
+	f.pool.Run(f.tiles, f.resolveFn)
+	for t := range f.fxs {
+		f.applyFX(&f.fxs[t], now)
+	}
+	if f.probe != nil {
+		// Draining the probe ring every cycle keeps workers from ever
+		// hitting the flush-on-full path (shared aggregate state): a node
+		// appends a bounded handful of events per cycle, far below a
+		// segment's capacity.
+		f.probe.Flush()
+	}
+}
+
+func (f *Fabric) collectTile(t int) {
+	lo, hi := shard.Range(len(f.nodes), f.tiles, t)
+	for id := lo; id < hi; id++ {
+		f.collectNode(f.nodes[id], f.shNow, &f.fxs[t])
+	}
+}
+
+func (f *Fabric) resolveTile(t int) {
+	lo, hi := shard.Range(len(f.nodes), f.tiles, t)
+	for id := lo; id < hi; id++ {
+		f.resolveNode(id, f.nodes[id], f.shNow, &f.fxs[t])
+	}
+}
+
+// applyFX replays one tile's deferred effects at the cycle barrier.
+func (f *Fabric) applyFX(fx *tileFX, now int64) {
+	f.meter.BufferRead(int(fx.bufR))
+	f.meter.CrossbarTraversal(int(fx.xbar))
+	f.meter.Allocation(int(fx.alloc))
+	f.meter.LinkTraversal(int(fx.lnk))
+	fx.bufR, fx.xbar, fx.alloc, fx.lnk = 0, 0, 0, 0
+	f.inFlight += fx.inFlight
+	fx.inFlight = 0
+	for i := range fx.evts {
+		ev := &fx.evts[i]
+		if ev.eject {
+			f.col.Ejected(ev.p)
+			if f.sink != nil {
+				f.sink(int(ev.node), ev.p, now)
+			}
+		} else {
+			f.col.Injected(ev.p)
+		}
+		ev.p = nil
+	}
+	fx.evts = fx.evts[:0]
 }
 
 // relaunchRetries re-offers packets whose retransmission backoff
@@ -250,17 +389,18 @@ func (f *Fabric) relaunchRetries(now int64) {
 	}
 }
 
-func (f *Fabric) stepNode(id int, n *node, now int64) {
-	// Collect arrivals into the node's dense scratch array and check
-	// the confinement invariant: a packet must arrive on a wave owned
-	// by its own domain, at a window start.
+// collectNode is the cycle's receive phase for one router: arrivals
+// drain into the node's dense scratch array under the confinement
+// invariant — a packet must arrive on a wave owned by its own domain,
+// at a window start.
+func (f *Fabric) collectNode(n *node, now int64, fx *tileFX) {
 	n.nArr = 0
 	for _, d := range geom.LinkDirs {
-		if n.in[d] == nil {
+		if n.in[d] == nil || n.in[d].Idle() {
 			continue
 		}
-		f.rbuf = n.in[d].RecvInto(now, f.rbuf[:0])
-		for _, p := range f.rbuf {
+		fx.rbuf = n.in[d].RecvInto(now, fx.rbuf[:0])
+		for _, p := range fx.rbuf {
 			w := f.sched.InputWave(n.c, d, now)
 			if dom := f.dec.Domain(w); dom != p.Domain {
 				//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
@@ -276,6 +416,12 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 			n.nArr++
 		}
 	}
+}
+
+// resolveNode is the cycle's routing phase for one router: ejection,
+// old-first arbitration, output selection/forwarding and SE injection
+// over the arrivals collectNode gathered.
+func (f *Fabric) resolveNode(id int, n *node, now int64, fx *tileFX) {
 	arrivals := n.arrivals[:n.nArr]
 
 	// A frozen router's pipeline is dead: the links above were still
@@ -305,7 +451,7 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 		}
 	}
 	if ejected >= 0 {
-		f.eject(n, arrivals[ejected].p, now)
+		f.eject(id, arrivals[ejected].p, now, fx)
 		arrivals = append(arrivals[:ejected], arrivals[ejected+1:]...)
 	}
 
@@ -330,7 +476,7 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 			panic(fmt.Sprintf("surfbless: no same-domain output at %v cycle %d for %v (arrived %v) — wave balance violated",
 				n.c, now, a.p, a.from))
 		}
-		f.forward(n, a.p, d, now, &taken)
+		f.forward(n, a.p, d, now, &taken, fx)
 	}
 
 	// Injection: only on the SE sub-wave, only for the domain owning it,
@@ -342,10 +488,18 @@ func (f *Fabric) stepNode(id int, n *node, now int64) {
 				n.ni.Pop(seDom)
 				if p.InjectedAt < 0 { // a retransmission keeps its first stamp
 					p.InjectedAt = now
-					f.col.Injected(p)
+					if fx.direct {
+						f.col.Injected(p)
+					} else {
+						fx.evts = append(fx.evts, lifeEvt{node: int32(id), p: p})
+					}
 				}
-				f.meter.BufferRead(p.Size)
-				f.forward(n, p, d, now, &taken)
+				if fx.direct {
+					f.meter.BufferRead(p.Size)
+				} else {
+					fx.bufR += int64(p.Size)
+				}
+				f.forward(n, p, d, now, &taken, fx)
 			}
 		}
 	}
@@ -409,11 +563,12 @@ func (f *Fabric) pickOutput(n *node, p *packet.Packet, now int64, taken *[geom.N
 	return free[router.Hash64(p.ID, uint64(now))%uint64(nf)]
 }
 
-func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool) {
+func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64, taken *[geom.NumLinkDirs]bool, fx *tileFX) {
 	taken[d] = true
 	// Single-flit corruption is modeled at link entry: the worm burned
 	// the wire but fails its CRC, so it never reaches the neighbor and
-	// the wave invariant at the receiver stays intact.
+	// the wave invariant at the receiver stays intact.  Faults force
+	// serial stepping, so this branch always runs in the direct context.
 	if f.faults != nil && f.faults.Corrupt(p, f.mesh.ID(n.c), d, now) {
 		f.meter.LinkTraversal(p.Size)
 		f.dropOrRetry(p, now)
@@ -424,23 +579,35 @@ func (f *Fabric) forward(n *node, p *packet.Packet, d geom.Dir, now int64, taken
 	if deflected {
 		p.Deflections++
 	}
-	f.meter.Allocation(1)
-	f.meter.CrossbarTraversal(p.Size)
-	f.meter.LinkTraversal(p.Size)
+	if fx.direct {
+		f.meter.Allocation(1)
+		f.meter.CrossbarTraversal(p.Size)
+		f.meter.LinkTraversal(p.Size)
+	} else {
+		fx.alloc++
+		fx.xbar += int64(p.Size)
+		fx.lnk += int64(p.Size)
+	}
 	if f.probe != nil {
 		f.probe.Traverse(f.mesh.ID(n.c), d, p, p.Size, deflected, now)
 	}
 	n.out[d].Send(p, now)
 }
 
-func (f *Fabric) eject(n *node, p *packet.Packet, now int64) {
+func (f *Fabric) eject(id int, p *packet.Packet, now int64, fx *tileFX) {
 	p.EjectedAt = now
-	f.meter.CrossbarTraversal(p.Size)
-	f.col.Ejected(p)
-	f.inFlight--
-	if f.sink != nil {
-		f.sink(f.mesh.ID(n.c), p, now)
+	if fx.direct {
+		f.meter.CrossbarTraversal(p.Size)
+		f.col.Ejected(p)
+		f.inFlight--
+		if f.sink != nil {
+			f.sink(id, p, now)
+		}
+		return
 	}
+	fx.xbar += int64(p.Size)
+	fx.inFlight--
+	fx.evts = append(fx.evts, lifeEvt{node: int32(id), eject: true, p: p})
 }
 
 // dropOrRetry hands a fault-stricken packet to NI-level recovery:

@@ -16,10 +16,26 @@
 // VC experiences exactly P cycles per hop — which is what lets Surf
 // packets "surf" their waves with zero slot-waiting in the steady
 // direction.
+//
+// State layout is structure-of-arrays (DESIGN.md §17): each router
+// keeps its VC FIFOs in one flat ring-buffer backing, credits and VC
+// ownership in dense arrays indexed by (link dir, VC), and the
+// per-cycle scan sets — which VCs hold a routable head, which VCs want
+// each output — as bitmasks.  Allocation and switch arbitration then
+// walk a handful of mask words per router instead of every VC struct,
+// while visiting candidates in exactly the (dir, VC) order of the
+// reference implementation, so arbitration outcomes are bit-identical.
+//
+// Stepping optionally shards across an internal/shard worker pool
+// (SetShards): receive and allocate/traverse become two barrier-
+// separated phases over contiguous node tiles, with meters, lifecycle
+// events and global counters accumulated per tile and replayed in tile
+// order — results stay bit-identical to serial stepping.
 package wormhole
 
 import (
 	"fmt"
+	"math/bits"
 
 	"surfbless/internal/config"
 	"surfbless/internal/fault"
@@ -30,6 +46,7 @@ import (
 	"surfbless/internal/power"
 	"surfbless/internal/probe"
 	"surfbless/internal/router"
+	"surfbless/internal/shard"
 	"surfbless/internal/stats"
 	"surfbless/internal/wave"
 )
@@ -118,16 +135,7 @@ type creditMsg struct {
 	vc int
 }
 
-type inVC struct {
-	spec   VCSpec
-	fifo   []packet.Flit
-	active bool // a packet holds this VC (head routed, tail not yet forwarded)
-	outDir geom.Dir
-	outVC  int
-}
-
 type inPort struct {
-	vcs       []inVC
 	flitsIn   *link.Line[flitMsg]   // nil for absent ports
 	creditOut *link.Line[creditMsg] // credits back upstream
 }
@@ -135,8 +143,6 @@ type inPort struct {
 type outPort struct {
 	flitsOut *link.Line[flitMsg]   // nil for Local and absent ports
 	creditIn *link.Line[creditMsg] // credits from downstream
-	credits  []int                 // free downstream buffer slots per VC
-	owner    []*packet.Packet      // downstream VC holder, nil = allocatable
 }
 
 type injState struct {
@@ -146,16 +152,83 @@ type injState struct {
 	sent   int
 }
 
+// node is one router.  All per-VC state lives in flat arrays indexed
+// pv = dir·V + vc over the four link dirs (Local has no input VCs):
+//
+//	fifo     one ring-buffer backing for all input VC FIFOs; the FIFO
+//	         of (d, v) occupies fifo[d·sumDepth+off[v] : … + depth[v]]
+//	         with head/cnt cursors in head[pv]/cnt[pv]
+//	outVC    downstream VC granted to the worm holding input VC pv
+//	credits  free downstream buffer slots, indexed outDir·V + vc
+//	owner    downstream VC holder (nil = allocatable), same index
+//
+// The scan sets are bitmasks with one bit per input VC, laid out
+// dir-major ((V+63)/64 words per dir, ascending word order = ascending
+// (dir, VC) order): act marks VCs held by a routed worm, occ marks
+// non-empty FIFOs, and want has one block per output dir marking the
+// active VCs routed to it.  occ &^ act is exactly the allocation scan;
+// want[o] & occ is exactly output o's switch-allocation candidates.
 type node struct {
-	c   geom.Coord
-	ni  *router.NI
-	inj []injState
+	c  geom.Coord
+	id int
+	ni *router.NI
+
+	inj       []injState
+	injActive int // live injState count; skips the arbitration fallback scan
+
 	in  [geom.NumDirs]inPort // Local unused (injection is the NI)
 	out [geom.NumDirs]outPort
 
-	// per-cycle scratch, reset in step
-	inUsed  [geom.NumDirs][]bool // [port][lane]: input bandwidth consumed
-	injUsed []bool               // [lane]: injection bandwidth consumed
+	fifo    []packet.Flit
+	head    []int32
+	cnt     []int32
+	outVC   []int32
+	credits []int32
+	owner   []*packet.Packet
+
+	act  []uint64
+	occ  []uint64
+	want []uint64 // geom.NumDirs blocks of wper words
+
+	// Bandwidth-lane consumption, stamped with the cycle instead of
+	// cleared: lane l of port d is used this cycle iff
+	// inUsed[d·lanes+l] == now, so no per-cycle reset loop runs.
+	inUsed  []int64 // [port·lanes+lane]: input bandwidth consumed
+	injUsed []int64 // [lane]: injection bandwidth consumed
+}
+
+// lifeEvt is one deferred packet lifecycle event (sharded stepping):
+// the collector call and sink hand-off a worker recorded for replay at
+// the cycle barrier, in tile order — the serial call order.
+type lifeEvt struct {
+	node  int32
+	eject bool
+	p     *packet.Packet
+}
+
+// tileFX is one stepping context: per-cycle scratch plus the effect
+// channel.  Serial stepping uses the engine's single direct context,
+// which applies meter/collector/counter effects inline; each shard
+// tile owns a deferred context that accumulates them for replay at the
+// barrier.  Deferral is exact: the meter is five linear counters, the
+// collector consumes packet stamps set before the event is recorded,
+// and replay preserves the serial (node-ascending) call order.
+type tileFX struct {
+	direct bool
+
+	// deferred effect accumulators (unused when direct)
+	bufW, bufR, xbar, alloc, lnk int64
+	flitsIn, flitsOut            int64
+	inFlight                     int
+	evts                         []lifeEvt
+
+	// per-cycle scratch, engine/tile-owned and reused across cycles
+	// (DESIGN.md §12)
+	credBuf []creditMsg
+	flitBuf []flitMsg
+	reqs    []request
+	domReqs [][]request // per-domain ejection candidates (lanes > 1 only)
+	domList []int       // domains present this arbitration, in arrival order
 }
 
 // Engine is a mesh of VC routers.  It implements network.Fabric.
@@ -176,13 +249,23 @@ type Engine struct {
 	flitsOut int64 // flits ejected
 	lastStep int64
 
-	// Per-cycle scratch buffers, engine-owned and reused across cycles
-	// (DESIGN.md §12).  Nodes step sequentially, so one set suffices.
-	credBuf []creditMsg
-	flitBuf []flitMsg
-	reqs    []request
-	domReqs [][]request // per-domain ejection candidates (lanes > 1 only)
-	domList []int       // domains present this arbitration, in arrival order
+	// SoA geometry shared by every node.
+	nvc      int     // V: VCs per input port
+	words    int     // mask words per dir, (V+63)/64
+	wper     int     // mask words per scan set, NumLinkDirs·words
+	sumDepth int     // flit slots per input port
+	depth    []int32 // per-VC ring capacity
+	vcOff    []int   // per-VC slot offset within a port's backing
+
+	fx0 tileFX // serial stepping context (direct effects)
+
+	// Sharded stepping (nil pool = serial).
+	pool   *shard.Pool
+	tiles  int
+	fxs    []tileFX
+	shNow  int64
+	recvFn func(int)
+	moveFn func(int)
 }
 
 // New builds the engine.  The caller provides the VC layout and gating;
@@ -212,6 +295,7 @@ func New(opt Options, sink network.Sink, col *stats.Collector, meter *power.Mete
 	}
 
 	e := &Engine{opt: opt, mesh: cfg.Mesh(), sink: sink, col: col, meter: meter, lanes: 1, lastStep: -1}
+	e.fx0.direct = true
 	if opt.WaveGated {
 		// Per-domain input bandwidth removes cross-domain contention at
 		// input ports; output TDM already bounds aggregate switch use.
@@ -219,23 +303,47 @@ func New(opt Options, sink network.Sink, col *stats.Collector, meter *power.Mete
 		e.lanes = cfg.Domains
 	}
 	if e.lanes > 1 {
-		e.domReqs = make([][]request, cfg.Domains)
+		e.fx0.domReqs = make([][]request, cfg.Domains)
+	}
+	e.nvc = len(opt.VCs)
+	e.words = (e.nvc + 63) / 64
+	e.wper = geom.NumLinkDirs * e.words
+	e.depth = make([]int32, e.nvc)
+	e.vcOff = make([]int, e.nvc)
+	for v, s := range opt.VCs {
+		e.depth[v] = int32(s.Depth)
+		e.vcOff[v] = e.sumDepth
+		e.sumDepth += s.Depth
 	}
 	e.nodes = make([]*node, e.mesh.Nodes())
 	for id := range e.nodes {
 		n := &node{
-			c:   e.mesh.CoordOf(id),
-			ni:  router.NewNI(cfg.Domains, cfg.InjectionQueueCap),
-			inj: make([]injState, cfg.Domains),
+			c:       e.mesh.CoordOf(id),
+			id:      id,
+			ni:      router.NewNI(cfg.Domains, cfg.InjectionQueueCap),
+			inj:     make([]injState, cfg.Domains),
+			fifo:    make([]packet.Flit, geom.NumLinkDirs*e.sumDepth),
+			head:    make([]int32, geom.NumLinkDirs*e.nvc),
+			cnt:     make([]int32, geom.NumLinkDirs*e.nvc),
+			outVC:   make([]int32, geom.NumLinkDirs*e.nvc),
+			credits: make([]int32, geom.NumLinkDirs*e.nvc),
+			owner:   make([]*packet.Packet, geom.NumLinkDirs*e.nvc),
+			act:     make([]uint64, e.wper),
+			occ:     make([]uint64, e.wper),
+			want:    make([]uint64, geom.NumDirs*e.wper),
 		}
-		for d := geom.Dir(0); d < geom.NumDirs; d++ {
-			n.inUsed[d] = make([]bool, e.lanes)
+		n.inUsed = make([]int64, geom.NumDirs*e.lanes)
+		n.injUsed = make([]int64, e.lanes)
+		for i := range n.inUsed {
+			n.inUsed[i] = -1 // cycle 0 must not read as "used"
 		}
-		n.injUsed = make([]bool, e.lanes)
+		for i := range n.injUsed {
+			n.injUsed[i] = -1
+		}
 		e.nodes[id] = n
 	}
-	// Wire flit and credit lines, and initialize per-output credit and
-	// ownership state mirroring the downstream VC layout.
+	// Wire flit and credit lines, and initialize per-output credit state
+	// mirroring the downstream VC layout.
 	hop := cfg.HopDelay()
 	for _, n := range e.nodes {
 		for _, d := range geom.LinkDirs {
@@ -247,17 +355,11 @@ func New(opt Options, sink network.Sink, col *stats.Collector, meter *power.Mete
 			cl := link.New[creditMsg](1)
 			n.out[d].flitsOut = fl
 			n.out[d].creditIn = cl
-			n.out[d].credits = make([]int, len(opt.VCs))
-			n.out[d].owner = make([]*packet.Packet, len(opt.VCs))
 			for v, s := range opt.VCs {
-				n.out[d].credits[v] = s.Depth
+				n.credits[int(d)*e.nvc+v] = int32(s.Depth)
 			}
 			peer.in[d.Opposite()].flitsIn = fl
 			peer.in[d.Opposite()].creditOut = cl
-			peer.in[d.Opposite()].vcs = make([]inVC, len(opt.VCs))
-			for v, s := range opt.VCs {
-				peer.in[d.Opposite()].vcs[v] = inVC{spec: s, fifo: make([]packet.Flit, 0, s.Depth)}
-			}
 		}
 	}
 	return e, nil
@@ -277,8 +379,48 @@ func (e *Engine) SetProbe(p *probe.Probe) { e.probe = p }
 // would need an end-to-end protocol the paper's comparators don't
 // have; a permanent fault on a used route therefore wedges the network
 // by design, which the sim-level watchdog converts into a
-// DegradedError.
+// DegradedError.  While an injector is armed, stepping stays serial
+// even if shards are configured (freeze/link-down checks are ordered
+// against the serial node walk).
 func (e *Engine) SetFaults(inj *fault.Injector) { e.faults = inj }
+
+// SetShards partitions stepping across n contiguous node tiles driven
+// by a persistent worker pool (n ≤ 1 restores serial stepping).
+// Results are bit-identical to serial stepping — see DESIGN.md §17 for
+// the two-phase boundary-exchange argument.  Call StopShards (sim.Run
+// does) to release the pool's goroutines.
+func (e *Engine) SetShards(n int) error {
+	if n > len(e.nodes) {
+		n = len(e.nodes)
+	}
+	e.StopShards()
+	if n <= 1 {
+		return nil
+	}
+	e.tiles = n
+	e.fxs = make([]tileFX, n)
+	if e.lanes > 1 {
+		for i := range e.fxs {
+			e.fxs[i].domReqs = make([][]request, e.opt.Cfg.Domains)
+		}
+	}
+	e.pool = shard.NewPool(n)
+	e.recvFn = e.recvTile
+	e.moveFn = e.moveTile
+	return nil
+}
+
+// StopShards releases the sharding worker pool and returns the engine
+// to serial stepping.
+func (e *Engine) StopShards() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
+	e.tiles = 0
+	e.fxs = nil
+	e.recvFn, e.moveFn = nil, nil
+}
 
 // key returns the packet field VC groups match against.
 func (e *Engine) key(p *packet.Packet) int {
@@ -343,8 +485,13 @@ func (e *Engine) Step(now int64) {
 		panic(fmt.Sprintf("wormhole: Step(%d) after Step(%d)", now, e.lastStep))
 	}
 	e.lastStep = now
+	if e.pool != nil && e.faults == nil {
+		e.stepSharded(now)
+		return
+	}
+	fx := &e.fx0
 	for _, n := range e.nodes {
-		e.receive(n, now)
+		e.receive(n, now, fx)
 	}
 	for id, n := range e.nodes {
 		// A frozen router still receives (upstream credits bound what can
@@ -352,54 +499,151 @@ func (e *Engine) Step(now int64) {
 		if e.faults != nil && e.faults.Frozen(id, now) {
 			continue
 		}
-		e.allocate(n, now)
-		e.switchTraversal(id, n, now)
+		e.allocate(n, now, fx)
+		e.switchTraversal(n, now, fx)
 	}
 }
 
+// stepSharded is Step's two-phase tiled schedule: every tile drains
+// its inbound lines (phase R), barrier, every tile allocates and
+// traverses (phase F, sending on outbound lines), barrier, then the
+// tiles' deferred effects replay in tile order.  Each link line has
+// one reader (phase R) and one writer (phase F) and ≥1 cycle of delay,
+// so no phase observes a same-cycle write and the result is
+// bit-identical to the serial walk.
+func (e *Engine) stepSharded(now int64) {
+	e.shNow = now
+	e.pool.Run(e.tiles, e.recvFn)
+	e.pool.Run(e.tiles, e.moveFn)
+	for t := range e.fxs {
+		e.applyFX(&e.fxs[t], now)
+	}
+	// Drain the probe's per-router ring segments at the barrier, every
+	// cycle: workers only ever append to their own tiles' segments, and
+	// a cycle adds at most one event per output port — far below the
+	// minimum segment capacity — so the flush-on-full path (which folds
+	// into shared state) can never run inside a worker.
+	if e.probe != nil {
+		e.probe.Flush()
+	}
+}
+
+func (e *Engine) recvTile(t int) {
+	lo, hi := shard.Range(len(e.nodes), e.tiles, t)
+	fx := &e.fxs[t]
+	for _, n := range e.nodes[lo:hi] {
+		e.receive(n, e.shNow, fx)
+	}
+}
+
+func (e *Engine) moveTile(t int) {
+	lo, hi := shard.Range(len(e.nodes), e.tiles, t)
+	fx := &e.fxs[t]
+	for _, n := range e.nodes[lo:hi] {
+		e.allocate(n, e.shNow, fx)
+		e.switchTraversal(n, e.shNow, fx)
+	}
+}
+
+// applyFX merges one tile's deferred effects: meter counters, global
+// flit/packet accounting, then the lifecycle replay (collector calls
+// and sink hand-offs in recorded order — tile order equals the serial
+// node order, so observers see the exact serial event sequence).
+func (e *Engine) applyFX(fx *tileFX, now int64) {
+	e.meter.BufferWrite(int(fx.bufW))
+	e.meter.BufferRead(int(fx.bufR))
+	e.meter.CrossbarTraversal(int(fx.xbar))
+	e.meter.Allocation(int(fx.alloc))
+	e.meter.LinkTraversal(int(fx.lnk))
+	fx.bufW, fx.bufR, fx.xbar, fx.alloc, fx.lnk = 0, 0, 0, 0, 0
+	e.flitsIn += fx.flitsIn
+	e.flitsOut += fx.flitsOut
+	e.inFlight += fx.inFlight
+	fx.flitsIn, fx.flitsOut, fx.inFlight = 0, 0, 0
+	for i := range fx.evts {
+		ev := &fx.evts[i]
+		if ev.eject {
+			e.col.Ejected(ev.p)
+			if e.sink != nil {
+				e.sink(int(ev.node), ev.p, now)
+			}
+		} else {
+			e.col.Injected(ev.p)
+		}
+	}
+	fx.evts = fx.evts[:0]
+}
+
 // receive drains credit and flit lines into router state.
-func (e *Engine) receive(n *node, now int64) {
-	for d := geom.Dir(0); d < geom.NumDirs; d++ {
-		if cl := n.out[d].creditIn; cl != nil {
-			e.credBuf = cl.RecvInto(now, e.credBuf[:0])
-			for _, m := range e.credBuf {
-				n.out[d].credits[m.vc]++
-				if n.out[d].credits[m.vc] > e.opt.VCs[m.vc].Depth {
+func (e *Engine) receive(n *node, now int64, fx *tileFX) {
+	for _, d := range geom.LinkDirs {
+		if cl := n.out[d].creditIn; cl != nil && !cl.Idle() {
+			fx.credBuf = cl.RecvInto(now, fx.credBuf[:0])
+			for _, m := range fx.credBuf {
+				cr := &n.credits[int(d)*e.nvc+m.vc]
+				*cr++
+				if *cr > e.depth[m.vc] {
 					//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 					panic(fmt.Sprintf("wormhole: credit overflow at %v/%v vc %d", n.c, d, m.vc))
 				}
 			}
 		}
-		if fl := n.in[d].flitsIn; fl != nil {
-			e.flitBuf = fl.RecvInto(now, e.flitBuf[:0])
-			for _, m := range e.flitBuf {
-				vc := &n.in[d].vcs[m.vc]
-				if len(vc.fifo) >= vc.spec.Depth {
+		if fl := n.in[d].flitsIn; fl != nil && !fl.Idle() {
+			fx.flitBuf = fl.RecvInto(now, fx.flitBuf[:0])
+			for _, m := range fx.flitBuf {
+				pv := int(d)*e.nvc + m.vc
+				dep := e.depth[m.vc]
+				if n.cnt[pv] >= dep {
 					//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 					panic(fmt.Sprintf("wormhole: buffer overflow at %v/%v vc %d", n.c, d, m.vc))
 				}
-				vc.fifo = append(vc.fifo, m.f)
-				e.meter.BufferWrite(1)
+				slot := int(n.head[pv]) + int(n.cnt[pv])
+				if slot >= int(dep) {
+					slot -= int(dep)
+				}
+				n.fifo[int(d)*e.sumDepth+e.vcOff[m.vc]+slot] = m.f
+				n.cnt[pv]++
+				n.occ[int(d)*e.words+m.vc>>6] |= 1 << uint(m.vc&63)
+				if fx.direct {
+					e.meter.BufferWrite(1)
+				} else {
+					fx.bufW++
+				}
 			}
 		}
 	}
 }
 
+// vcHead returns the flit at the front of input VC pv.
+func (e *Engine) vcHead(n *node, d geom.Dir, v int) packet.Flit {
+	pv := int(d)*e.nvc + v
+	return n.fifo[int(d)*e.sumDepth+e.vcOff[v]+int(n.head[pv])]
+}
+
 // allocate performs route computation and downstream-VC allocation for
 // every head flit at the front of an idle VC, and for NI head packets.
-func (e *Engine) allocate(n *node, now int64) {
-	for d := geom.Dir(0); d < geom.NumDirs; d++ {
-		for v := range n.in[d].vcs {
-			vc := &n.in[d].vcs[v]
-			if vc.active || len(vc.fifo) == 0 {
-				continue
-			}
-			head := vc.fifo[0]
+// The scan walks occ &^ act — exactly the idle non-empty VCs — in
+// ascending (dir, VC) order, matching the reference nested loop.
+func (e *Engine) allocate(n *node, now int64, fx *tileFX) {
+	for wi := 0; wi < e.wper; wi++ {
+		m := n.occ[wi] &^ n.act[wi]
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			d := geom.Dir(wi / e.words)
+			v := (wi%e.words)*64 + b
+			head := e.vcHead(n, d, v)
 			if !head.Head() {
 				//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 				panic(fmt.Sprintf("wormhole: body flit of %v at idle VC head (%v/%v vc %d)", head.Pkt, n.c, d, v))
 			}
-			e.tryAllocate(n, head.Pkt, &vc.active, &vc.outDir, &vc.outVC, now)
+			if o, ovc, ok := e.routeClaim(n, head.Pkt, fx); ok {
+				pv := int(d)*e.nvc + v
+				bit := uint64(1) << uint(v&63)
+				n.act[wi] |= bit
+				n.want[int(o)*e.wper+wi] |= bit
+				n.outVC[pv] = int32(ovc)
+			}
 		}
 	}
 	for dom := range n.inj {
@@ -412,30 +656,36 @@ func (e *Engine) allocate(n *node, now int64) {
 			continue
 		}
 		st.sent = 0
-		e.tryAllocate(n, p, &st.active, &st.outDir, &st.outVC, now)
+		if o, ovc, ok := e.routeClaim(n, p, fx); ok {
+			st.active, st.outDir, st.outVC = true, o, ovc
+			n.injActive++
+		}
 	}
 }
 
-// tryAllocate routes p and claims a downstream VC; on success it sets
-// the provided allocation fields.
-func (e *Engine) tryAllocate(n *node, p *packet.Packet, active *bool, outDir *geom.Dir, outVC *int, now int64) {
+// routeClaim routes p and claims a downstream VC; on success it
+// returns the output dir and downstream VC (-1 for Local).
+func (e *Engine) routeClaim(n *node, p *packet.Packet, fx *tileFX) (geom.Dir, int, bool) {
 	d := geom.XYFirst(n.c, p.Dst)
 	if d == geom.Local {
-		*active, *outDir, *outVC = true, geom.Local, -1
-		e.meter.Allocation(1)
-		return
+		if fx.direct {
+			e.meter.Allocation(1)
+		} else {
+			fx.alloc++
+		}
+		return geom.Local, -1, true
 	}
-	out := &n.out[d]
-	if out.flitsOut == nil {
+	if n.out[d].flitsOut == nil {
 		//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 		panic(fmt.Sprintf("wormhole: X-Y route of %v leaves the mesh at %v", p, n.c))
 	}
 	// Prefer a VC deep enough to hold the whole packet — parking a
 	// 5-flit worm in a 1-flit control VC would throttle it to one flit
 	// per credit round-trip.  Fall back to any admitting VC.
+	base := int(d) * e.nvc
 	pick := -1
 	for v, s := range e.opt.VCs {
-		if out.owner[v] != nil || !e.vcAdmits(s, p) {
+		if n.owner[base+v] != nil || !e.vcAdmits(s, p) {
 			continue
 		}
 		if s.Depth >= p.Size {
@@ -446,22 +696,30 @@ func (e *Engine) tryAllocate(n *node, p *packet.Packet, active *bool, outDir *ge
 			pick = v
 		}
 	}
-	if pick >= 0 {
-		out.owner[pick] = p
-		*active, *outDir, *outVC = true, d, pick
-		e.meter.Allocation(1)
+	if pick < 0 {
+		return 0, 0, false
 	}
+	n.owner[base+pick] = p
+	if fx.direct {
+		e.meter.Allocation(1)
+	} else {
+		fx.alloc++
+	}
+	return d, pick, true
 }
 
 // switchTraversal arbitrates each output port and moves winning flits.
-func (e *Engine) switchTraversal(id int, n *node, now int64) {
-	for d := geom.Dir(0); d < geom.NumDirs; d++ {
-		for l := range n.inUsed[d] {
-			n.inUsed[d][l] = false
-		}
+func (e *Engine) switchTraversal(n *node, now int64, fx *tileFX) {
+	// Idle fast path: with every input FIFO empty there are no VC
+	// candidates (arbitration needs want ∧ occ), and with no active
+	// injection worm there are no NI candidates either — nothing can be
+	// granted, so skip the per-output scans entirely.
+	occAny := uint64(0)
+	for _, w := range n.occ {
+		occAny |= w
 	}
-	for l := range n.injUsed {
-		n.injUsed[l] = false
+	if occAny == 0 && n.injActive == 0 {
+		return
 	}
 
 	for _, o := range geom.OutputDirs {
@@ -470,10 +728,10 @@ func (e *Engine) switchTraversal(id int, n *node, now int64) {
 		}
 		// A killed output link wins no allocation: flits wait in their
 		// VCs and credit backpressure spreads the stall upstream.
-		if o != geom.Local && e.faults != nil && e.faults.LinkDown(id, o, now) {
+		if o != geom.Local && e.faults != nil && e.faults.LinkDown(n.id, o, now) {
 			continue
 		}
-		e.arbitrateOutput(n, o, now)
+		e.arbitrateOutput(n, o, now, fx)
 	}
 }
 
@@ -484,19 +742,21 @@ type request struct {
 	vc      int      // input VC index (or NI domain for injection)
 }
 
-func (e *Engine) arbitrateOutput(n *node, o geom.Dir, now int64) {
-	reqs := e.reqs[:0]
-	for _, d := range geom.LinkDirs {
-		for v := range n.in[d].vcs {
-			vc := &n.in[d].vcs[v]
-			if !vc.active || vc.outDir != o || len(vc.fifo) == 0 {
+func (e *Engine) arbitrateOutput(n *node, o geom.Dir, now int64, fx *tileFX) {
+	reqs := fx.reqs[:0]
+	base := int(o) * e.wper
+	for wi := 0; wi < e.wper; wi++ {
+		m := n.want[base+wi] & n.occ[wi]
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			d := geom.Dir(wi / e.words)
+			v := (wi%e.words)*64 + b
+			p := e.vcHead(n, d, v).Pkt
+			if n.inUsed[int(d)*e.lanes+e.lane(p)] == now || !e.gate(n.c, o, p, now) {
 				continue
 			}
-			p := vc.fifo[0].Pkt
-			if n.inUsed[d][e.lane(p)] || !e.gate(n.c, o, p, now) {
-				continue
-			}
-			if o != geom.Local && n.out[o].credits[vc.outVC] == 0 {
+			if o != geom.Local && n.credits[int(o)*e.nvc+int(n.outVC[int(d)*e.nvc+v])] == 0 {
 				continue
 			}
 			reqs = append(reqs, request{port: d, vc: v})
@@ -504,7 +764,7 @@ func (e *Engine) arbitrateOutput(n *node, o geom.Dir, now int64) {
 	}
 	// In-network flits outrank injection (injection has the lowest
 	// priority); consider NI candidates only when no VC wants o.
-	if len(reqs) == 0 {
+	if len(reqs) == 0 && n.injActive > 0 {
 		for dom := range n.inj {
 			st := &n.inj[dom]
 			if !st.active || st.outDir != o {
@@ -515,16 +775,16 @@ func (e *Engine) arbitrateOutput(n *node, o geom.Dir, now int64) {
 				//nocvet:alloc panic-path formatting on a falsified invariant; runs at most once, while dying
 				panic(fmt.Sprintf("wormhole: injection state active with empty queue (%v dom %d)", n.c, dom))
 			}
-			if n.injUsed[e.lane(p)] || !e.gate(n.c, o, p, now) {
+			if n.injUsed[e.lane(p)] == now || !e.gate(n.c, o, p, now) {
 				continue
 			}
-			if o != geom.Local && n.out[o].credits[st.outVC] == 0 {
+			if o != geom.Local && n.credits[int(o)*e.nvc+st.outVC] == 0 {
 				continue
 			}
 			reqs = append(reqs, request{fromInj: true, vc: dom})
 		}
 	}
-	e.reqs = reqs // hand the (possibly grown) scratch back to the engine
+	fx.reqs = reqs // hand the (possibly grown) scratch back to the context
 	if len(reqs) == 0 {
 		return
 	}
@@ -532,28 +792,28 @@ func (e *Engine) arbitrateOutput(n *node, o geom.Dir, now int64) {
 		// Ungated ejection with one grant lane per domain: pick at most
 		// one flit per domain, rotating within each domain's candidates
 		// so the choice never depends on other domains' presence.  The
-		// per-domain buckets are pre-sized engine scratch (a map here
-		// would allocate on every ejection-contended cycle).
-		doms := e.domList[:0]
+		// per-domain buckets are pre-sized scratch (a map here would
+		// allocate on every ejection-contended cycle).
+		doms := fx.domList[:0]
 		for _, r := range reqs {
 			d := e.reqPacket(n, r).Domain
-			if len(e.domReqs[d]) == 0 {
+			if len(fx.domReqs[d]) == 0 {
 				doms = append(doms, d)
 			}
-			e.domReqs[d] = append(e.domReqs[d], r)
+			fx.domReqs[d] = append(fx.domReqs[d], r)
 		}
-		e.domList = doms
+		fx.domList = doms
 		for _, d := range doms {
-			cand := e.domReqs[d]
-			e.grant(n, o, cand[int(now%int64(len(cand)))], now)
-			e.domReqs[d] = cand[:0]
+			cand := fx.domReqs[d]
+			e.grant(n, o, cand[int(now%int64(len(cand)))], now, fx)
+			fx.domReqs[d] = cand[:0]
 		}
 		return
 	}
 	// One grant per output per cycle, rotating priority for fairness.
 	// Under wave gating all candidates belong to the wave's one domain,
 	// so the shared rotation cannot couple domains.
-	e.grant(n, o, reqs[int(now%int64(len(reqs)))], now)
+	e.grant(n, o, reqs[int(now%int64(len(reqs)))], now, fx)
 }
 
 // reqPacket returns the packet a request would move.
@@ -561,11 +821,11 @@ func (e *Engine) reqPacket(n *node, r request) *packet.Packet {
 	if r.fromInj {
 		return n.ni.Head(r.vc)
 	}
-	return n.in[r.port].vcs[r.vc].fifo[0].Pkt
+	return e.vcHead(n, r.port, r.vc).Pkt
 }
 
 // grant moves one flit of request r through output o.
-func (e *Engine) grant(n *node, o geom.Dir, r request, now int64) {
+func (e *Engine) grant(n *node, o geom.Dir, r request, now int64, fx *tileFX) {
 	var f packet.Flit
 	var outVC int
 	if r.fromInj {
@@ -575,57 +835,98 @@ func (e *Engine) grant(n *node, o geom.Dir, r request, now int64) {
 		outVC = st.outVC
 		if f.Head() {
 			p.InjectedAt = now
-			e.col.Injected(p)
+			if fx.direct {
+				e.col.Injected(p)
+			} else {
+				fx.evts = append(fx.evts, lifeEvt{node: int32(n.id), p: p})
+			}
 		}
 		st.sent++
-		e.meter.BufferRead(1)
-		e.flitsIn++
-		n.injUsed[e.lane(p)] = true
+		if fx.direct {
+			e.meter.BufferRead(1)
+			e.flitsIn++
+		} else {
+			fx.bufR++
+			fx.flitsIn++
+		}
+		n.injUsed[e.lane(p)] = now
 		if f.Tail() {
 			n.ni.Pop(r.vc)
 			st.active = false
+			n.injActive--
 		}
 	} else {
-		in := &n.in[r.port]
-		vc := &in.vcs[r.vc]
-		f = vc.fifo[0]
-		outVC = vc.outVC
-		nf := copy(vc.fifo, vc.fifo[1:])
-		vc.fifo[nf] = packet.Flit{} // unpin the forwarded flit's packet
-		vc.fifo = vc.fifo[:nf]
-		e.meter.BufferRead(1)
-		in.creditOut.Send(creditMsg{vc: r.vc}, now)
-		n.inUsed[r.port][e.lane(f.Pkt)] = true
+		pv := int(r.port)*e.nvc + r.vc
+		dep := e.depth[r.vc]
+		slot := int(r.port)*e.sumDepth + e.vcOff[r.vc] + int(n.head[pv])
+		f = n.fifo[slot]
+		outVC = int(n.outVC[pv])
+		n.fifo[slot] = packet.Flit{} // unpin the forwarded flit's packet
+		h := n.head[pv] + 1
+		if h == dep {
+			h = 0
+		}
+		n.head[pv] = h
+		n.cnt[pv]--
+		wi := int(r.port)*e.words + r.vc>>6
+		bit := uint64(1) << uint(r.vc&63)
+		if n.cnt[pv] == 0 {
+			n.occ[wi] &^= bit
+		}
+		if fx.direct {
+			e.meter.BufferRead(1)
+		} else {
+			fx.bufR++
+		}
+		n.in[r.port].creditOut.Send(creditMsg{vc: r.vc}, now)
+		n.inUsed[int(r.port)*e.lanes+e.lane(f.Pkt)] = now
 		if f.Tail() {
-			vc.active = false
+			n.act[wi] &^= bit
+			n.want[int(o)*e.wper+wi] &^= bit
 		}
 	}
-	e.meter.CrossbarTraversal(1)
+	if fx.direct {
+		e.meter.CrossbarTraversal(1)
+	} else {
+		fx.xbar++
+	}
 
 	if o == geom.Local {
-		e.flitsOut++
+		if fx.direct {
+			e.flitsOut++
+		} else {
+			fx.flitsOut++
+		}
 		if f.Tail() {
 			p := f.Pkt
 			p.EjectedAt = now
 			p.Hops = e.mesh.Hops(p.Src, p.Dst)
-			e.col.Ejected(p)
-			e.inFlight--
-			if e.sink != nil {
-				e.sink(e.mesh.ID(n.c), p, now)
+			if fx.direct {
+				e.col.Ejected(p)
+				e.inFlight--
+				if e.sink != nil {
+					e.sink(n.id, p, now)
+				}
+			} else {
+				fx.inFlight--
+				fx.evts = append(fx.evts, lifeEvt{node: int32(n.id), eject: true, p: p})
 			}
 		}
 		return
 	}
 
-	out := &n.out[o]
-	out.credits[outVC]--
-	e.meter.LinkTraversal(1)
-	if e.probe != nil {
-		e.probe.Traverse(e.mesh.ID(n.c), o, f.Pkt, 1, false, now)
+	n.credits[int(o)*e.nvc+outVC]--
+	if fx.direct {
+		e.meter.LinkTraversal(1)
+	} else {
+		fx.lnk++
 	}
-	out.flitsOut.Send(flitMsg{f: f, vc: outVC}, now)
+	if e.probe != nil {
+		e.probe.Traverse(n.id, o, f.Pkt, 1, false, now)
+	}
+	n.out[o].flitsOut.Send(flitMsg{f: f, vc: outVC}, now)
 	if f.Tail() {
-		out.owner[outVC] = nil
+		n.owner[int(o)*e.nvc+outVC] = nil
 	}
 }
 
@@ -638,10 +939,10 @@ func (e *Engine) InFlight() int { return e.inFlight }
 func (e *Engine) Audit() error {
 	buffered := int64(0)
 	for _, n := range e.nodes {
+		for _, c := range n.cnt {
+			buffered += int64(c)
+		}
 		for d := geom.Dir(0); d < geom.NumDirs; d++ {
-			for v := range n.in[d].vcs {
-				buffered += int64(len(n.in[d].vcs[v].fifo))
-			}
 			if fl := n.in[d].flitsIn; fl != nil {
 				buffered += int64(fl.InFlight())
 			}

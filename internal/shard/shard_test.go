@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRangeCoversExactly(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{64, 4}, {1024, 16}, {7, 3}, {5, 5}, {1, 1}} {
+		prev := 0
+		total := 0
+		for tile := 0; tile < tc.k; tile++ {
+			lo, hi := Range(tc.n, tc.k, tile)
+			if lo != prev {
+				t.Fatalf("Range(%d,%d,%d): lo %d, want %d (gap or overlap)", tc.n, tc.k, tile, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("Range(%d,%d,%d): hi %d < lo %d", tc.n, tc.k, tile, hi, lo)
+			}
+			total += hi - lo
+			prev = hi
+		}
+		if prev != tc.n || total != tc.n {
+			t.Fatalf("Range(%d,%d,·) covers %d nodes ending at %d, want %d", tc.n, tc.k, total, prev, tc.n)
+		}
+	}
+}
+
+func TestPoolRunsEveryTile(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var hits [4]atomic.Int64
+	for round := 0; round < 100; round++ {
+		p.Run(4, func(tile int) { hits[tile].Add(1) })
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 100 {
+			t.Fatalf("tile %d ran %d times, want 100", i, got)
+		}
+	}
+}
+
+func TestPoolFewerTilesThanWorkers(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var sum atomic.Int64
+	p.Run(3, func(tile int) { sum.Add(int64(tile) + 1) })
+	if got := sum.Load(); got != 6 {
+		t.Fatalf("sum %d, want 6", got)
+	}
+}
+
+func TestPoolRepanicsLowestTile(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for round := 0; round < 20; round++ {
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			p.Run(4, func(tile int) {
+				if tile == 1 || tile == 3 {
+					panic(tile)
+				}
+			})
+			return nil
+		}()
+		if got != 1 {
+			t.Fatalf("round %d: recovered %v, want tile 1's panic", round, got)
+		}
+		// The pool must stay usable after a captured panic.
+		p.Run(4, func(int) {})
+	}
+}
+
+func TestPoolClosedRunPanics(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run on a closed pool did not panic")
+		}
+	}()
+	p.Run(2, func(int) {})
+}

@@ -108,6 +108,13 @@ func (e *DegradedError) Unwrap() error { return e.Cause }
 type CanceledError struct {
 	Cycle int64 // cycle at which cancellation was observed
 	Cause error // the context's Err()
+
+	// Partial carries the statistics accumulated up to the cancellation,
+	// with MeasuredCycles clamped to the covered window (zero when the
+	// run was canceled inside warm-up) — mirroring DegradedError so
+	// harnesses that record canceled points never divide by the full
+	// measure window.
+	Partial Result
 }
 
 func (e *CanceledError) Error() string {

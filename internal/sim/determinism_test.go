@@ -95,6 +95,75 @@ func TestRecycleMatchesFresh(t *testing.T) {
 	}
 }
 
+// Sharded stepping must be observably equivalent to serial stepping on
+// every model: bit-identical results and an unchanged cache fingerprint
+// (Shards is fingerprint-exempt).  Models without sharded stepping are
+// included deliberately — there Shards must be a no-op.
+func TestShardMatchesSerial(t *testing.T) {
+	for _, model := range []config.Model{
+		config.WH, config.BLESS, config.Surf, config.SB, config.CHIPPER, config.RUNAHEAD,
+	} {
+		serial := determinismOptions(model, 7)
+		sharded := serial
+		sharded.Shards = 4
+		rs, err := Run(serial)
+		if err != nil {
+			t.Fatalf("%v serial: %v", model, err)
+		}
+		rp, err := Run(sharded)
+		if err != nil {
+			t.Fatalf("%v sharded: %v", model, err)
+		}
+		if !reflect.DeepEqual(rs, rp) {
+			t.Errorf("%v: sharding changed the result:\n%+v\n%+v", model, rs, rp)
+		}
+		ks, err := Fingerprint(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kp, err := Fingerprint(sharded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ks != kp {
+			t.Errorf("%v: Shards leaked into the cache fingerprint", model)
+		}
+	}
+}
+
+// TestShardMatchesSerialGiant is the CI gate for the headline claim: a
+// 32×32 mesh stepped with Shards=4 produces results bit-identical to
+// Shards=1.  It runs on the VC fabrics and SB (the sharded models) with
+// a shortened window so `make bench-shard` stays a smoke test under
+// -race.
+func TestShardMatchesSerialGiant(t *testing.T) {
+	for _, model := range []config.Model{config.WH, config.Surf, config.SB} {
+		cfg := config.Default(model)
+		cfg.Width, cfg.Height = 32, 32
+		cfg.Domains = 2
+		o := Options{
+			Cfg:     cfg,
+			Pattern: traffic.UniformRandom,
+			Sources: ctrlSources(2, 0.02),
+			Warmup:  50, Measure: 300, Drain: 20000,
+			Seed: 9,
+		}
+		sharded := o
+		sharded.Shards = 4
+		rs, err := Run(o)
+		if err != nil {
+			t.Fatalf("%v serial: %v", model, err)
+		}
+		rp, err := Run(sharded)
+		if err != nil {
+			t.Fatalf("%v sharded: %v", model, err)
+		}
+		if !reflect.DeepEqual(rs, rp) {
+			t.Errorf("%v: 32×32 sharding changed the result:\n%+v\n%+v", model, rs, rp)
+		}
+	}
+}
+
 // TestRunDeterminismAcrossOrderings executes the same batch of runs
 // serially, concurrently in submission order, and concurrently in
 // reverse order; every ordering must produce the identical result set.

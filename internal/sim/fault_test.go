@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -199,6 +200,47 @@ func TestDegradedRunClampsMeasuredCycles(t *testing.T) {
 	if res.Throughput(0) == 0 {
 		t.Error("degraded run reports zero throughput despite ejections")
 	}
+
+	// The same clamp must hold when the run ends by context cancellation
+	// instead of degradation — and in the harshest spot: inside warm-up,
+	// where the covered measurement window is empty.  The cycle loop
+	// polls the context every 1024th cycle, so a pre-canceled context
+	// stops the run well before a 5000-cycle warm-up completes.
+	t.Run("canceled-in-warmup", func(t *testing.T) {
+		cfg := config.Default(config.WH)
+		cfg.Width, cfg.Height = 4, 4
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := Run(Options{
+			Cfg:     cfg,
+			Pattern: traffic.UniformRandom,
+			Sources: ctrlSources(1, 0.05),
+			Warmup:  5000,
+			Measure: 10000,
+			Drain:   10000,
+			Seed:    3,
+			Ctx:     ctx,
+		})
+		var ce *CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("expected CanceledError, got %v", err)
+		}
+		if ce.Cycle >= 5000 {
+			t.Fatalf("canceled at cycle %d, want inside the 5000-cycle warm-up", ce.Cycle)
+		}
+		if res.MeasuredCycles != 0 {
+			t.Errorf("MeasuredCycles = %d, want 0 (cancellation landed inside warm-up)", res.MeasuredCycles)
+		}
+		if got := res.Throughput(0); got != 0 {
+			t.Errorf("Throughput(0) = %g, want 0 with an empty measurement window", got)
+		}
+		if !reflect.DeepEqual(res, ce.Partial) {
+			t.Errorf("returned Result differs from CanceledError.Partial")
+		}
+		if res.Cycles != ce.Cycle {
+			t.Errorf("Cycles = %d, want the cancellation cycle %d", res.Cycles, ce.Cycle)
+		}
+	})
 }
 
 // The starvation (age-ceiling) check must fire even while unrelated

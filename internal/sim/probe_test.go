@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"surfbless/internal/config"
@@ -13,8 +14,9 @@ import (
 
 // probedRun executes one SB run with a probe attached and a drain
 // budget generous enough to empty the network, so probe totals must
-// reconcile with the collector exactly.
-func probedRun(t *testing.T, sources []traffic.Source, every int64) (Result, *probe.Probe) {
+// reconcile with the collector exactly.  shards > 1 steps the mesh on
+// the sharded path.
+func probedRun(t *testing.T, sources []traffic.Source, every int64, shards int) (Result, *probe.Probe) {
 	t.Helper()
 	cfg := config.Default(config.SB)
 	cfg.Domains = len(sources)
@@ -30,6 +32,7 @@ func probedRun(t *testing.T, sources []traffic.Source, every int64) (Result, *pr
 		AuditEvery: 500,
 		Probe:      p,
 		ProbeEvery: every,
+		Shards:     shards,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -42,10 +45,29 @@ func probedRun(t *testing.T, sources []traffic.Source, every int64) (Result, *pr
 
 // TestProbeReconciliation is the exactness contract: on a drained 8×8
 // SB run, the probe's per-domain time-series totals and its heatmap
-// sums must equal the collector's aggregate stats to the packet.
+// sums must equal the collector's aggregate stats to the packet — on
+// the serial path and, identically, on the sharded path (router
+// segments are tile-local and drained at the per-cycle barrier, so
+// their contents interleave deterministically across tiles).
 func TestProbeReconciliation(t *testing.T) {
-	res, p := probedRun(t, ctrlSources(2, 0.05), 100)
+	res, p := probedRun(t, ctrlSources(2, 0.05), 100, 1)
+	reconcileProbe(t, res, p)
 
+	resSh, pSh := probedRun(t, ctrlSources(2, 0.05), 100, 4)
+	reconcileProbe(t, resSh, pSh)
+	if !reflect.DeepEqual(res, resSh) {
+		t.Errorf("sharding changed the probed result:\n%+v\n%+v", res, resSh)
+	}
+	if !reflect.DeepEqual(p.Totals(), pSh.Totals()) {
+		t.Errorf("sharding changed probe totals:\nserial %+v\nsharded %+v", p.Totals(), pSh.Totals())
+	}
+	if !reflect.DeepEqual(p.Heatmap(), pSh.Heatmap()) {
+		t.Error("sharding changed the probe heatmap")
+	}
+}
+
+func reconcileProbe(t *testing.T, res Result, p *probe.Probe) {
+	t.Helper()
 	tot := p.Totals()
 	for d := range res.Domains {
 		want := res.Domains[d]
@@ -84,6 +106,42 @@ func TestProbeReconciliation(t *testing.T) {
 	}
 	if routerFlits == 0 {
 		t.Error("no traversals recorded — router hook not wired")
+	}
+}
+
+// TestFlightRecorderShardedDeterministic: under sharded stepping the
+// probe ring is drained once per cycle at the barrier, router segment
+// by router segment in node order, so the event stream a flight
+// recorder consumes — and therefore its dump — is a pure function of
+// the run: two identical sharded runs must snapshot identically.
+func TestFlightRecorderShardedDeterministic(t *testing.T) {
+	record := func() []probe.Event {
+		cfg := config.Default(config.SB)
+		cfg.Domains = 2
+		rec := probe.NewFlightRecorder(256)
+		_, err := Run(Options{
+			Cfg:      cfg,
+			Pattern:  traffic.UniformRandom,
+			Sources:  ctrlSources(2, 0.05),
+			Warmup:   100,
+			Measure:  1000,
+			Drain:    20000,
+			Seed:     7,
+			Recorder: rec,
+			Shards:   4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := rec.Snapshot()
+		if len(snap) == 0 {
+			t.Fatal("flight recorder captured nothing")
+		}
+		return snap
+	}
+	a, b := record(), record()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical sharded runs produced different flight snapshots (%d vs %d events)", len(a), len(b))
 	}
 }
 
@@ -130,7 +188,7 @@ func TestProbeQuietDomainFlat(t *testing.T) {
 	res, p := probedRun(t, []traffic.Source{
 		{Rate: 0.05, Class: packet.Ctrl, VNet: -1},
 		{Rate: 0.30, Class: packet.Ctrl, VNet: -1},
-	}, 100)
+	}, 100, 1)
 
 	// The hostile domain must actually saturate: backpressure shows up
 	// as refusals and its latency dwarfs the victim's.

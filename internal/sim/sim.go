@@ -105,10 +105,13 @@ type Options struct {
 	// cycle loop polls it on the watchdog's cadence (every 1024th
 	// cycle) and returns a CanceledError wrapping ctx.Err() — the sweep
 	// service's per-point timeouts and worker drains ride on it.  A
-	// cancelled run returns no partial statistics (the caller asked the
-	// work to stop, so there is no point to report).  Cancellation is
-	// an execution-control concern, not a simulation parameter, so the
-	// field is fingerprint-exempt like the observers.
+	// cancelled run carries partial statistics on the error (and returns
+	// them as the Result) with MeasuredCycles clamped to the window the
+	// run actually covered — zero when cancellation lands inside warm-up
+	// — so harnesses that record the point anyway never divide by the
+	// full measure window.  Cancellation is an execution-control
+	// concern, not a simulation parameter, so the field is
+	// fingerprint-exempt like the observers.
 	Ctx context.Context `json:"-"`
 
 	// Recycle arms a packet free list: ejected packets are returned to
@@ -118,6 +121,15 @@ type Options struct {
 	// option is fingerprint-exempt.  Ignored for RUNAHEAD, whose retry
 	// timers legitimately hold packet pointers past ejection.
 	Recycle bool `json:"-"`
+
+	// Shards > 1 partitions the mesh into that many contiguous node
+	// tiles stepped in parallel by a persistent worker pool (fabrics
+	// without sharded stepping silently ignore it; the tile count is
+	// clamped to the node count).  The two-phase barrier schedule is
+	// bit-identical to serial stepping — see DESIGN.md §17 — so the
+	// option is fingerprint-exempt like Recycle.  Ignored while fault
+	// injection is armed (recovery paths force serial stepping).
+	Shards int `json:"-"`
 }
 
 // Observed reports whether the run carries an observer that requires a
@@ -164,6 +176,13 @@ type probeSetter interface {
 // injector on its hot path (mirroring probeSetter).
 type faultSetter interface {
 	SetFaults(*fault.Injector)
+}
+
+// shardSetter is implemented by every fabric that can step its mesh in
+// parallel tiles (mirroring probeSetter).
+type shardSetter interface {
+	SetShards(n int) error
+	StopShards()
 }
 
 // BuildFabric constructs the fabric for cfg.Model.  slotWidths applies
@@ -266,6 +285,14 @@ func Run(o Options) (Result, error) {
 		}
 		fs.SetFaults(inj)
 	}
+	if o.Shards > 1 {
+		if ss, ok := fab.(shardSetter); ok {
+			if err := ss.SetShards(o.Shards); err != nil {
+				return Result{}, err
+			}
+			defer ss.StopShards()
+		}
+	}
 	gen := traffic.New(o.Cfg.Mesh(), o.Pattern, o.Sources, o.Seed)
 	if fl != nil {
 		gen.SetFreeList(fl)
@@ -323,6 +350,14 @@ func Run(o Options) (Result, error) {
 			de.Partial = snapshot()
 			de.Flight = flight(de.Reason, de.Cycle)
 			return de.Partial, de
+		case *CanceledError:
+			// A canceled run reports the window it actually covered, just
+			// like a degraded one: snapshot() clamps MeasuredCycles (zero
+			// when the cancellation landed inside warm-up), so a harness
+			// recording the point anyway sees honest rates, not statistics
+			// scaled to a window that never ran.
+			e.Partial = snapshot()
+			return e.Partial, e
 		default:
 			return Result{}, loopErr
 		}

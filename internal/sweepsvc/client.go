@@ -110,6 +110,29 @@ func (c *Client) CSV(ctx context.Context, job string) (string, error) {
 	return string(b), nil
 }
 
+// Rows fetches a job's per-point output state in rate order — readable
+// while the job is still running, for incremental row printing.
+func (c *Client) Rows(ctx context.Context, job string) ([]PointRow, error) {
+	var rows []PointRow
+	err := c.call(ctx, http.MethodGet, "/api/jobs/"+job+"/rows", nil, &rows)
+	return rows, err
+}
+
+// RowsWithRetry fetches a job's rows through transient coordinator
+// outages (a bounce mid-sweep) under the given backoff policy, stopping
+// early on a 404.
+func (c *Client) RowsWithRetry(ctx context.Context, p backoff.Policy, attempts int, job string) (rows []PointRow, err error) {
+	_, err = backoff.Retry(ctx, p, attempts, func(int) error {
+		var rerr error
+		rows, rerr = c.Rows(ctx, job)
+		if rerr != nil && isNotFound(rerr) {
+			return backoff.Stop(rerr)
+		}
+		return rerr
+	})
+	return rows, err
+}
+
 // Acquire pulls up to max leases for worker.
 func (c *Client) Acquire(ctx context.Context, worker string, max int) ([]Lease, error) {
 	var resp LeaseResponse

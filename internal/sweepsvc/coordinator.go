@@ -121,6 +121,21 @@ type Completion struct {
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
+// PointRow is the wire form of one point's streamed output: its rate,
+// stable fingerprint, completion state and CSV row.  Rows are reported
+// in rate order; the fingerprint — not the row index — is the dedup
+// key a streaming client must use, because a coordinator bounce with a
+// torn WAL tail can revert a completed point to pending and re-complete
+// it later, shifting which indexes are done between two polls.
+type PointRow struct {
+	Point       int     `json:"point"`
+	Rate        float64 `json:"rate"`
+	Fingerprint string  `json:"fingerprint,omitempty"` // empty when the rate cannot fingerprint
+	Done        bool    `json:"done"`
+	Failed      bool    `json:"failed,omitempty"`
+	Row         string  `json:"row,omitempty"` // valid once Done
+}
+
 // JobStatus is the wire form of a job's progress.
 type JobStatus struct {
 	Job      string `json:"job"`
@@ -161,6 +176,13 @@ type Coordinator struct {
 	// are held back from leasing and completed from the first result.
 	inflight map[simcache.Key]string
 	seq      int64 // job / lease ID source
+	// epoch scopes lease IDs to this coordinator incarnation.  WAL
+	// replay rebuilds jobs without advancing seq, so after a bounce a
+	// bare l<seq> counter would re-mint IDs that pre-bounce workers
+	// still heartbeat — and a renewal (or completion) against such a
+	// recycled ID would act on an unrelated lease.  Stamping the open
+	// time into the ID keeps incarnations disjoint.
+	epoch    int64
 	counters coordCounters
 	hooks    *Hooks
 	closed   bool
@@ -190,6 +212,7 @@ func OpenCoordinator(o CoordinatorOptions) (*Coordinator, error) {
 		jobs:     make(map[string]*job),
 		leases:   make(map[string]*lease),
 		inflight: make(map[simcache.Key]string),
+		epoch:    o.Clock().UnixNano(),
 		hooks:    o.Hooks,
 	}
 	if m := o.Metrics; m != nil {
@@ -302,7 +325,9 @@ func (c *Coordinator) SubmitJob(spec Spec) (string, int, error) {
 	return id, len(j.points), nil
 }
 
-// expireLocked requeues every lease whose TTL lapsed before now.
+// expireLocked requeues every lease whose TTL lapsed at or before now
+// (a lease expiring exactly now is lapsed: ties between expiry and
+// renewal go to expiry — see RenewLeases).
 func (c *Coordinator) expireLocked(now time.Time) {
 	for id, l := range c.leases {
 		if now.Before(l.expires) {
@@ -376,7 +401,7 @@ func (c *Coordinator) AcquireLeases(worker string, max int) ([]Lease, error) {
 					continue // singleflight: ride the in-flight execution
 				}
 			}
-			id := fmt.Sprintf("l%d-%s", func() int64 { c.seq++; return c.seq }(), worker)
+			id := fmt.Sprintf("l%d.%d-%s", c.epoch, func() int64 { c.seq++; return c.seq }(), worker)
 			l := &lease{id: id, worker: worker, jobID: jobID, point: i, expires: now.Add(c.opts.LeaseTTL)}
 			c.leases[id] = l
 			p.state = pointLeased
@@ -400,14 +425,39 @@ func (c *Coordinator) AcquireLeases(worker string, max int) ([]Lease, error) {
 // RenewLeases extends the TTL of the given leases and reports which of
 // them are no longer held (expired and possibly re-leased): the worker
 // should stop counting on those.
+//
+// A renewal arriving in the same tick as expiry — the worker's
+// heartbeat lands at exactly TTL, whether the lapse is noticed lazily
+// here or by the server's ticker — resolves deterministically in
+// expiry's favor: the sweep runs before the renewal is considered, so
+// the renewal comes back lost instead of resurrecting a lease whose
+// point may already be re-leased to another worker.  Two workers can
+// therefore never hold the same lease.
 func (c *Coordinator) RenewLeases(worker string, ids []string) (lost []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		// Every lease dies with this incarnation; reporting them lost now
+		// beats letting the worker heartbeat IDs the next incarnation
+		// will never honor.
+		return append(lost, ids...)
+	}
 	now := c.opts.Clock()
 	c.expireLocked(now)
 	for _, id := range ids {
 		l, ok := c.leases[id]
 		if !ok || l.worker != worker {
+			lost = append(lost, id)
+			continue
+		}
+		// Stale-binding guard: extend a lease only while its point still
+		// acknowledges it.  A lease record whose point moved on (done, or
+		// re-leased under a newer ID) is a zombie — renewing it would let
+		// a second worker believe it holds live work.
+		j := c.jobs[l.jobID]
+		if j == nil || l.point < 0 || l.point >= len(j.points) ||
+			j.points[l.point].state != pointLeased || j.points[l.point].leaseID != id {
+			delete(c.leases, id)
 			lost = append(lost, id)
 			continue
 		}
@@ -551,6 +601,30 @@ func (c *Coordinator) Status(jobID string) (JobStatus, error) {
 		Job: j.id, Total: len(j.points), Done: j.done, Failed: j.failed,
 		Leased: leased, Complete: j.complete(),
 	}, nil
+}
+
+// Rows reports every point of jobID in rate order with its completion
+// state — the streaming complement of CSV, readable while the job is
+// still running so clients can print finished rows incrementally.
+func (c *Coordinator) Rows(jobID string) ([]PointRow, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.jobs[jobID]
+	if j == nil {
+		return nil, fmt.Errorf("sweepsvc: unknown job %q", jobID)
+	}
+	out := make([]PointRow, len(j.points))
+	for i, p := range j.points {
+		r := PointRow{Point: i, Rate: p.rate, Done: p.state == pointDone, Failed: p.failed}
+		if p.keyOK {
+			r.Fingerprint = p.key.String()
+		}
+		if r.Done {
+			r.Row = p.row
+		}
+		out[i] = r
+	}
+	return out, nil
 }
 
 // Jobs lists admitted job IDs in admission order.

@@ -286,3 +286,135 @@ func TestCoordinatorSingleflightSkipsFailures(t *testing.T) {
 	}
 	_ = jobA
 }
+
+// At exactly TTL a heartbeat renewal and lease expiry collide.  The
+// tie must resolve deterministically in expiry's favor — whether the
+// lapse is noticed lazily by the renewal's own sweep or by the
+// server's ticker in the same tick — because a renewal that resurrects
+// a just-expired lease could overlap the new lease its point was
+// requeued into: two workers, one work unit.
+func TestCoordinatorRenewExpireAtExactTTL(t *testing.T) {
+	for _, tickerFirst := range []bool{false, true} {
+		name := "lazy-expiry-first"
+		if tickerFirst {
+			name = "ticker-sweep-first"
+		}
+		t.Run(name, func(t *testing.T) {
+			clk := &fakeClock{now: time.Unix(1000, 0)}
+			c := openTestCoordinator(t, filepath.Join(t.TempDir(), "wal"), clk)
+			if _, _, err := c.SubmitJob(testSpec()); err != nil {
+				t.Fatalf("SubmitJob: %v", err)
+			}
+			leases, err := c.AcquireLeases("w1", 1)
+			if err != nil || len(leases) != 1 {
+				t.Fatalf("AcquireLeases = %v, %v; want 1 lease", leases, err)
+			}
+			l := leases[0]
+			clk.Advance(10 * time.Second) // exactly the lease TTL
+			if tickerFirst {
+				c.ExpireLeases()
+			}
+			if lost := c.RenewLeases("w1", []string{l.ID}); len(lost) != 1 || lost[0] != l.ID {
+				t.Fatalf("renewal at exactly TTL lost %v, want [%s] (expiry wins ties)", lost, l.ID)
+			}
+			// The point is pending again and goes to a second worker.
+			release, err := c.AcquireLeases("w2", 1)
+			if err != nil || len(release) != 1 || release[0].Point != l.Point {
+				t.Fatalf("expired point not re-leased: %v, %v", release, err)
+			}
+			// The original worker keeps heartbeating its dead ID: it must
+			// stay lost, and w2's live lease must be untouched by it.
+			if lost := c.RenewLeases("w1", []string{l.ID}); len(lost) != 1 {
+				t.Errorf("dead lease resurrected: lost %v, want it reported lost", lost)
+			}
+			if lost := c.RenewLeases("w2", []string{release[0].ID}); len(lost) != 0 {
+				t.Errorf("w2's live lease reported lost: %v", lost)
+			}
+		})
+	}
+}
+
+// A renewal strictly inside the TTL keeps the lease: a ticker sweep
+// arriving at the original expiry instant must see the extended
+// deadline, not requeue the point under its old one.
+func TestCoordinatorRenewJustInsideTTL(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	c := openTestCoordinator(t, filepath.Join(t.TempDir(), "wal"), clk)
+	if _, _, err := c.SubmitJob(testSpec()); err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	leases, _ := c.AcquireLeases("w1", 1)
+	if len(leases) != 1 {
+		t.Fatal("no lease granted")
+	}
+	l := leases[0]
+	clk.Advance(10*time.Second - time.Nanosecond)
+	if lost := c.RenewLeases("w1", []string{l.ID}); len(lost) != 0 {
+		t.Fatalf("renewal inside TTL lost %v, want none", lost)
+	}
+	clk.Advance(time.Nanosecond) // the lease's pre-renewal expiry instant
+	c.ExpireLeases()
+	if lost := c.RenewLeases("w1", []string{l.ID}); len(lost) != 0 {
+		t.Fatalf("renewed lease expired at its old deadline: lost %v", lost)
+	}
+	got, _ := c.AcquireLeases("w2", 10)
+	for _, g := range got {
+		if g.Point == l.Point {
+			t.Errorf("renewed point %d re-leased to w2", g.Point)
+		}
+	}
+}
+
+// Lease IDs must be disjoint across coordinator incarnations: WAL
+// replay rebuilds jobs without advancing the sequence counter, so a
+// bare counter would re-mint IDs that pre-bounce workers still
+// heartbeat — and those heartbeats would extend (or their completions
+// resolve) an unrelated post-bounce lease.
+func TestCoordinatorLeaseIDsDisjointAcrossRestart(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "wal")
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	c1 := openTestCoordinator(t, wal, clk)
+	if _, _, err := c1.SubmitJob(testSpec()); err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	pre, _ := c1.AcquireLeases("w1", 1)
+	if len(pre) != 1 {
+		t.Fatal("no lease granted")
+	}
+	c1.Close()
+
+	clk.Advance(time.Second) // restarts take nonzero wall time
+	c2 := openTestCoordinator(t, wal, clk)
+	post, _ := c2.AcquireLeases("w1", 1)
+	if len(post) != 1 {
+		t.Fatal("no lease granted after resume")
+	}
+	if pre[0].ID == post[0].ID {
+		t.Fatalf("lease ID %q reused across incarnations", pre[0].ID)
+	}
+	// The pre-bounce heartbeat must come back lost without touching the
+	// live lease.
+	if lost := c2.RenewLeases("w1", []string{pre[0].ID}); len(lost) != 1 {
+		t.Errorf("pre-bounce lease renewal lost %v, want it reported lost", lost)
+	}
+	if lost := c2.RenewLeases("w1", []string{post[0].ID}); len(lost) != 0 {
+		t.Errorf("live lease reported lost: %v", lost)
+	}
+}
+
+// RenewLeases on a closed coordinator reports every lease lost instead
+// of silently extending soft state the next incarnation will not have.
+func TestCoordinatorRenewAfterCloseReportsLost(t *testing.T) {
+	c := openTestCoordinator(t, filepath.Join(t.TempDir(), "wal"), nil)
+	if _, _, err := c.SubmitJob(testSpec()); err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	leases, _ := c.AcquireLeases("w1", 1)
+	if len(leases) != 1 {
+		t.Fatal("no lease granted")
+	}
+	c.Close()
+	if lost := c.RenewLeases("w1", []string{leases[0].ID}); len(lost) != 1 || lost[0] != leases[0].ID {
+		t.Errorf("renew after close lost %v, want [%s]", lost, leases[0].ID)
+	}
+}

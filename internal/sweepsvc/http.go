@@ -179,6 +179,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rest := strings.TrimPrefix(r.URL.Path, "/api/jobs/")
+	if id, ok := strings.CutSuffix(rest, "/rows"); ok {
+		rows, err := s.coord.Rows(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		reply(w, rows)
+		return
+	}
 	if id, ok := strings.CutSuffix(rest, "/csv"); ok {
 		csv, err := s.coord.CSV(id)
 		if err != nil {
