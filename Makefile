@@ -6,18 +6,28 @@
 
 GO ?= go
 
-.PHONY: ci vet lint staticcheck govulncheck build test race race-faults chaos fuzz fuzz-fault bench bench-smoke bench-shard probe-overhead wcta-conformance experiments clean-cache
+.PHONY: ci vet lint lint-baseline staticcheck govulncheck build test race race-faults chaos fuzz fuzz-fault bench bench-smoke bench-shard probe-overhead wcta-conformance experiments clean-cache
 
-ci: vet lint build race race-faults chaos bench-smoke bench-shard probe-overhead fuzz-fault wcta-conformance staticcheck govulncheck
+ci: vet lint lint-baseline build race race-faults chaos bench-smoke bench-shard probe-overhead fuzz-fault wcta-conformance staticcheck govulncheck
 
 vet:
 	$(GO) vet ./...
 
 # Repo-specific invariants: hot-path allocations, determinism hazards,
-# fingerprint completeness, unguarded hook calls (DESIGN.md §13).
-# Exits nonzero on any unsuppressed finding.
+# fingerprint completeness, unguarded hook calls, tile-confined writes
+# in sharded phases, stale waivers (DESIGN.md §13/§18).  Exits nonzero
+# on any unsuppressed finding and leaves a SARIF log for CI annotation
+# surfaces.
 lint:
-	$(GO) run ./cmd/nocvet ./...
+	$(GO) run ./cmd/nocvet -sarif nocvet.sarif ./...
+
+# Ratchet gate: fail on any finding whose stable ID is absent from the
+# committed nocvet.baseline.json.  Redundant with `lint` while the
+# baseline is empty; the two diverge only if a finding is ever
+# deliberately baselined instead of fixed.  Refresh with
+#   go run ./cmd/nocvet -write-baseline ./...
+lint-baseline:
+	$(GO) run ./cmd/nocvet -baseline nocvet.baseline.json ./...
 
 # External analyzers run when the host has them; the hermetic CI image
 # is offline (no module proxy), so a missing binary is a loud skip, not

@@ -1,40 +1,55 @@
 // Command nocvet is the multichecker driver for this repository's
-// custom static analyzers (see internal/analysis and DESIGN.md §13):
+// custom static analyzers (see internal/analysis and DESIGN.md §13/§18):
 //
-//	hotalloc          no heap allocation reachable from any fabric's Step
 //	determinism       no wall clock, global RNG, or unordered map range
 //	                  in replay-critical packages
 //	fingerprintcheck  every options field feeds the simcache fingerprint
 //	                  or carries an explicit json:"-" exemption
-//	nilhook           probe/fault/tracer/sink hook calls are nil-guarded
+//	hotalloc          no heap allocation reachable from any fabric's Step
+//	                  or //shard:phase function
+//	nilhook           calls through //hook:nil-disabled typed fields are
+//	                  nil-guarded
+//	shardsafe         tile-parallel //shard:phase functions write only
+//	                  tile-confined state
 //
 // Usage:
 //
-//	nocvet [-list] [packages...]
+//	nocvet [-C dir] [-list] [-json] [-sarif file]
+//	       [-baseline file] [-write-baseline] [packages...]
 //
 // With no package patterns it analyzes ./... of the module in the
-// current directory.  Findings print as file:line:col: [analyzer]
-// message; the exit status is 1 when any unsuppressed finding exists
-// (including unknown //nocvet: directives), 2 on driver errors.
+// current (or -C) directory — the full-module run, which additionally
+// reports stale //nocvet: waivers (staleness is only meaningful when
+// every analyzer has seen every package).  Findings print as
+// file:line:col: [analyzer] message; -json replaces that with the
+// machine-readable report (stable finding IDs, byte-identical across
+// runs), and -sarif additionally writes a SARIF 2.1.0 log for CI
+// annotation surfaces.  -baseline suppresses findings whose ID the
+// baseline file records, so only new findings fail;
+// -write-baseline rewrites that file from the current run.  The exit
+// status is 1 when any (new) finding exists, 2 on driver errors.
 // Intentional exceptions are waived in source with
-// `//nocvet:<category> <why>` — see internal/analysis/directive.go
-// for the policy.
+// `//nocvet:<category> <why>` — see internal/analysis/directive.go.
 //
-// Run it over the whole module: hotalloc follows the Step call graph
-// across packages and only sees what is loaded.
+// Run it over the whole module: hotalloc, shardsafe, and nilhook
+// follow calls or marker declarations across packages and only see
+// what is loaded.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"surfbless/internal/analysis"
 	"surfbless/internal/analysis/determinism"
 	"surfbless/internal/analysis/fingerprintcheck"
 	"surfbless/internal/analysis/hotalloc"
 	"surfbless/internal/analysis/nilhook"
+	"surfbless/internal/analysis/shardsafe"
 )
 
 // analyzers is the suite `make lint` enforces.
@@ -43,40 +58,137 @@ var analyzers = []*analysis.Analyzer{
 	fingerprintcheck.Analyzer,
 	hotalloc.Analyzer,
 	nilhook.Analyzer,
+	shardsafe.Analyzer,
 }
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: nocvet [-list] [packages...]\n\n")
-		flag.PrintDefaults()
-		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
-		printAnalyzers(flag.CommandLine.Output())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies at the surface so tests can drive
+// the CLI end to end: args are the raw command-line arguments, and the
+// return value is the process exit status (0 clean, 1 findings, 2
+// driver error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nocvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir           = fs.String("C", ".", "analyze the module in `dir`")
+		list          = fs.Bool("list", false, "list the analyzers and exit")
+		jsonOut       = fs.Bool("json", false, "write the machine-readable JSON report to stdout instead of the text listing")
+		sarifPath     = fs.String("sarif", "", "also write a SARIF 2.1.0 log to `file`")
+		baselinePath  = fs.String("baseline", "", "fail only on findings absent from baseline `file`")
+		writeBaseline = fs.Bool("write-baseline", false, "rewrite the -baseline file (default nocvet.baseline.json) from this run and exit 0")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: nocvet [flags] [packages...]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "\nanalyzers:\n")
+		printAnalyzers(fs.Output())
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *list {
-		printAnalyzers(os.Stdout)
-		return
+		printAnalyzers(stdout)
+		return 0
+	}
+	if *writeBaseline && *baselinePath == "" {
+		*baselinePath = "nocvet.baseline.json"
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
+	full := len(patterns) == 0 || (len(patterns) == 1 && patterns[0] == "./...")
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	fset, units, err := analysis.Load(".", patterns...)
+
+	fset, units, err := analysis.Load(*dir, patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nocvet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "nocvet: %v\n", err)
+		return 2
 	}
-	findings, err := analysis.RunAnalyzers(fset, units, analyzers)
+	// Stale-waiver reporting needs the whole module analyzed: on a
+	// subset run an unexercised waiver is not evidence of anything.
+	findings, err := analysis.RunAnalyzersWith(fset, units, analyzers, analysis.Options{ReportStale: full})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nocvet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "nocvet: %v\n", err)
+		return 2
 	}
-	if n := analysis.Print(os.Stdout, findings); n > 0 {
-		fmt.Fprintf(os.Stderr, "nocvet: %d finding(s) in %d package(s)\n", n, len(units))
-		os.Exit(1)
+
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "nocvet: %v\n", err)
+		return 2
 	}
+	report := analysis.NewReport(root, findings)
+
+	if *sarifPath != "" {
+		var buf bytes.Buffer
+		if err := report.WriteSARIF(&buf, analyzers); err == nil {
+			err = os.WriteFile(*sarifPath, buf.Bytes(), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "nocvet: writing SARIF: %v\n", err)
+			return 2
+		}
+	}
+
+	if *writeBaseline {
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf); err == nil {
+			err = os.WriteFile(joinIfRelative(root, *baselinePath), buf.Bytes(), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "nocvet: writing baseline: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "nocvet: baseline %s records %d finding(s)\n", *baselinePath, len(report.Findings))
+		return 0
+	}
+
+	// fresh is what fails the run: everything, or — against a baseline —
+	// only findings whose ID the baseline does not record.
+	fresh := report.Findings
+	if *baselinePath != "" {
+		base, err := analysis.LoadBaseline(joinIfRelative(root, *baselinePath))
+		if err != nil {
+			fmt.Fprintf(stderr, "nocvet: loading baseline: %v\n", err)
+			return 2
+		}
+		fresh = analysis.NewAgainstBaseline(report, base)
+	}
+
+	if *jsonOut {
+		// The full report, baseline-independent: consumers diff it
+		// themselves, and two runs over the same tree are byte-identical.
+		if err := report.WriteJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "nocvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range fresh {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", filepath.Join(root, filepath.FromSlash(f.File)), f.Line, f.Column, f.Analyzer, f.Message)
+		}
+	}
+	if len(fresh) > 0 {
+		what := "finding(s)"
+		if *baselinePath != "" {
+			what = "finding(s) not in baseline"
+		}
+		fmt.Fprintf(stderr, "nocvet: %d %s in %d package(s)\n", len(fresh), what, len(units))
+		return 1
+	}
+	return 0
+}
+
+// joinIfRelative anchors a relative path at the module root so
+// -baseline works the same with and without -C.
+func joinIfRelative(root, path string) string {
+	if filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(root, path)
 }
 
 func printAnalyzers(w io.Writer) {

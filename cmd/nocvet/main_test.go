@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"surfbless/internal/analysis"
+)
+
+// runCLI drives the real CLI entry point against the testdata module.
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(append([]string{"-C", "testdata"}, args...), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestListExitsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, stderr.String())
+	}
+	for _, a := range analyzers {
+		if !bytes.Contains(stdout.Bytes(), []byte(a.Name)) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+}
+
+func TestFindingsFailAndPrint(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (the testdata module has one deliberate finding); stderr: %s", code, stderr)
+	}
+	if !bytes.Contains([]byte(stdout), []byte("make allocates")) {
+		t.Errorf("text listing missing the hotalloc finding:\n%s", stdout)
+	}
+}
+
+// TestJSONByteStable is the acceptance criterion: two runs over the
+// same tree produce byte-identical machine output, and it round-trips
+// through the Report schema.
+func TestJSONByteStable(t *testing.T) {
+	code1, out1, _ := runCLI(t, "-json", "./...")
+	code2, out2, _ := runCLI(t, "-json", "./...")
+	if code1 != 1 || code2 != 1 {
+		t.Fatalf("exits = %d, %d, want 1, 1", code1, code2)
+	}
+	if out1 != out2 {
+		t.Fatalf("-json output differs across runs:\n--- run 1\n%s\n--- run 2\n%s", out1, out2)
+	}
+	var r analysis.Report
+	if err := json.Unmarshal([]byte(out1), &r); err != nil {
+		t.Fatalf("-json output is not a Report: %v", err)
+	}
+	if r.Version != analysis.ReportVersion || len(r.Findings) != 1 {
+		t.Fatalf("report = %+v, want version %d with exactly 1 finding", r, analysis.ReportVersion)
+	}
+	f := r.Findings[0]
+	if f.Analyzer != "hotalloc" || f.File != "pkg/pkg.go" || f.ID == "" {
+		t.Errorf("finding = %+v, want a hotalloc finding in pkg/pkg.go with a stable ID", f)
+	}
+}
+
+func TestSARIFByteStable(t *testing.T) {
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "a.sarif"), filepath.Join(dir, "b.sarif")
+	runCLI(t, "-sarif", p1, "./...")
+	runCLI(t, "-sarif", p2, "./...")
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("SARIF output differs across runs")
+	}
+	var log struct {
+		Version string `json:"version"`
+	}
+	if err := json.Unmarshal(b1, &log); err != nil || log.Version != "2.1.0" {
+		t.Errorf("SARIF log malformed (version %q, err %v)", log.Version, err)
+	}
+}
+
+// TestBaselineFlow exercises the ratchet: -write-baseline records the
+// current findings, after which -baseline passes; a baseline missing
+// the finding fails with exactly it reported as new.
+func TestBaselineFlow(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if code, _, stderr := runCLI(t, "-write-baseline", "-baseline", base, "./..."); code != 0 {
+		t.Fatalf("-write-baseline exited %d, stderr: %s", code, stderr)
+	}
+	if code, stdout, stderr := runCLI(t, "-baseline", base, "./..."); code != 0 {
+		t.Fatalf("against a full baseline: exit %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+
+	if err := os.WriteFile(base, []byte(`{"version": 1, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t, "-baseline", base, "./...")
+	if code != 1 {
+		t.Fatalf("against an empty baseline: exit %d, want 1; stderr: %s", code, stderr)
+	}
+	if !bytes.Contains([]byte(stdout), []byte("make allocates")) {
+		t.Errorf("new-finding listing missing the hotalloc finding:\n%s", stdout)
+	}
+}

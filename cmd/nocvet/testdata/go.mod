@@ -1,0 +1,3 @@
+module nocvet.example
+
+go 1.22

@@ -1,0 +1,9 @@
+// Package pkg is cmd/nocvet CLI-test fodder: one deliberate hotalloc
+// finding (the make below is reachable from Step) and nothing else.
+package pkg
+
+// Fabric is a minimal stand-in for a stepping fabric.
+type Fabric struct{ buf []int }
+
+// Step allocates every cycle — the finding the CLI tests assert on.
+func (f *Fabric) Step(now int64) { f.buf = make([]int, 8) }

@@ -1,0 +1,96 @@
+package callgraph_test
+
+import (
+	"testing"
+
+	"surfbless/internal/analysis"
+	"surfbless/internal/analysis/callgraph"
+)
+
+func load(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	_, units, err := analysis.Load("testdata", "./...")
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	return callgraph.Build(units)
+}
+
+func TestBuildIndexesAllDecls(t *testing.T) {
+	g := load(t)
+	for _, key := range []string{
+		"nocvet.example/fab.Eng.Step",
+		"nocvet.example/fab.Eng.tile",
+		"nocvet.example/fab.orphan",
+		"nocvet.example/lib.Helper",
+		"nocvet.example/lib.Deep",
+		"nocvet.example/lib.leaf",
+	} {
+		if g.Node(key) == nil {
+			t.Errorf("Node(%q) = nil, want indexed", key)
+		}
+	}
+}
+
+func TestCallAndReferenceEdges(t *testing.T) {
+	g := load(t)
+	edges := g.Callees("nocvet.example/fab.Eng.Step")
+	var call, ref []string
+	for _, e := range edges {
+		if e.Ref {
+			ref = append(ref, e.Callee)
+		} else {
+			call = append(call, e.Callee)
+		}
+	}
+	if len(call) != 1 || call[0] != "nocvet.example/lib.Helper" {
+		t.Errorf("call edges = %v, want [nocvet.example/lib.Helper]", call)
+	}
+	if len(ref) != 1 || ref[0] != "nocvet.example/fab.Eng.tile" {
+		t.Errorf("ref edges = %v, want [nocvet.example/fab.Eng.tile]", ref)
+	}
+}
+
+func TestReachFollowsReferences(t *testing.T) {
+	g := load(t)
+	r := g.Reach([]string{"nocvet.example/fab.Eng.Step"})
+	for _, key := range []string{
+		"nocvet.example/fab.Eng.tile", // via the method-value reference
+		"nocvet.example/lib.Helper",
+		"nocvet.example/lib.Deep",
+		"nocvet.example/lib.leaf",
+	} {
+		if !r.Visited(key) {
+			t.Errorf("Visited(%q) = false, want reached", key)
+		}
+	}
+	if r.Visited("nocvet.example/fab.orphan") {
+		t.Error("orphan reached; want unreachable")
+	}
+}
+
+func TestChainRendersShortestPath(t *testing.T) {
+	g := load(t)
+	r := g.Reach([]string{"nocvet.example/fab.Eng.Step"})
+	got := r.Chain(g, "nocvet.example/lib.leaf")
+	want := "fab.(*Eng).Step → fab.(*Eng).tile → lib.Deep → lib.leaf"
+	if got != want {
+		t.Errorf("Chain(leaf) = %q, want %q", got, want)
+	}
+}
+
+func TestReachIsDeterministic(t *testing.T) {
+	g := load(t)
+	first := g.Reach([]string{"nocvet.example/fab.Eng.Step"}).Order()
+	for i := 0; i < 5; i++ {
+		again := g.Reach([]string{"nocvet.example/fab.Eng.Step"}).Order()
+		if len(again) != len(first) {
+			t.Fatalf("run %d: order length %d, want %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("run %d: order[%d] = %q, want %q", i, j, again[j], first[j])
+			}
+		}
+	}
+}

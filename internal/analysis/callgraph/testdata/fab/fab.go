@@ -1,0 +1,27 @@
+// Fixture for the callgraph tests: a miniature fabric whose tile
+// function is reachable only through a method-value reference, plus a
+// cross-package call chain into lib.
+package fab
+
+import "nocvet.example/lib"
+
+// Eng mirrors the sharded-fabric shape: the tile closure is assigned
+// to a field once and invoked dynamically by a pool.
+type Eng struct {
+	fn func(int)
+	n  int
+}
+
+func (e *Eng) Step(now int64) {
+	if e.fn == nil {
+		e.fn = e.tile
+	}
+	lib.Helper(e.n)
+}
+
+func (e *Eng) tile(t int) {
+	lib.Deep(t)
+}
+
+// orphan is declared but never called or referenced.
+func orphan() {}

@@ -1,0 +1,9 @@
+package lib
+
+var sink int
+
+func Helper(n int) { sink += n }
+
+func Deep(t int) { leaf(t) }
+
+func leaf(t int) { sink += t }

@@ -23,12 +23,28 @@ type Finding struct {
 	Suppressed bool
 }
 
+// Options tunes one checker run.
+type Options struct {
+	// ReportStale reports well-formed //nocvet: directives that waived
+	// no finding as findings themselves, so waivers die with the code
+	// they excused.  Staleness is relative to the analyzer set that
+	// ran: only the full-suite run (cmd/nocvet) may enable this —
+	// under a single analyzer (analysistest) every other analyzer's
+	// waivers would look stale.
+	ReportStale bool
+}
+
 // RunAnalyzers executes every analyzer over the units and returns all
 // findings sorted by position.  Malformed or unknown //nocvet:
 // directives are reported as findings of the pseudo-analyzer
 // "directive" — a typo must fail loudly rather than silently
 // suppressing nothing.
 func RunAnalyzers(fset *token.FileSet, units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
+	return RunAnalyzersWith(fset, units, analyzers, Options{})
+}
+
+// RunAnalyzersWith is RunAnalyzers with explicit Options.
+func RunAnalyzersWith(fset *token.FileSet, units []*Unit, analyzers []*Analyzer, opts Options) ([]Finding, error) {
 	var findings []Finding
 	indexes := make(map[*Unit]*DirectiveIndex, len(units))
 	for _, u := range units {
@@ -83,6 +99,23 @@ func RunAnalyzers(fset *token.FileSet, units []*Unit, analyzers []*Analyzer) ([]
 			}
 		default:
 			return nil, fmt.Errorf("analyzer %s has neither Run nor RunModule", a.Name)
+		}
+	}
+
+	if opts.ReportStale {
+		for _, u := range units {
+			for _, d := range indexes[u].Stale() {
+				msg := fmt.Sprintf("stale //nocvet:%s directive waives nothing; delete it", d.Name)
+				if d.Reason != "" {
+					msg += fmt.Sprintf(" (reason was: %s)", d.Reason)
+				}
+				findings = append(findings, Finding{
+					Analyzer: "directive",
+					Position: fset.Position(d.Pos),
+					Category: "directive",
+					Message:  msg,
+				})
+			}
 		}
 	}
 

@@ -18,13 +18,22 @@
 //
 //	for k := range m { //nocvet:ordered keys are sorted below
 //
+// Coverage is strictly line-based — the directive's column never
+// matters — so waivers survive gofmt re-indentation, leading tabs and
+// multi-byte runes earlier on the line.  Stable finding identities
+// (report.go) are column-free for the same reason.
+//
 // Unknown categories are themselves findings (category "directive"):
-// a typo must fail the build, not silently suppress nothing.
+// a typo must fail the build, not silently suppress nothing.  A
+// well-formed directive that waives nothing is stale; the checker can
+// report those too (Options.ReportStale) so waivers die with the code
+// they excused.
 package analysis
 
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -40,6 +49,7 @@ var KnownDirectives = map[string]string{
 	"alloc":       "allocation on a proven cold path reachable from Step (hotalloc)",
 	"hook":        "hook invocation whose guard the analyzer cannot see (nilhook)",
 	"fingerprint": "fingerprint payload field audited by hand (fingerprintcheck)",
+	"shard":       "write in a tile-parallel phase proven tile-confined by hand (shardsafe)",
 }
 
 // Directive is one parsed //nocvet: comment.
@@ -50,6 +60,9 @@ type Directive struct {
 	Reason string
 	// Pos is the comment's position.
 	Pos token.Pos
+	// Used records whether the directive waived at least one finding
+	// during a checker run; an unused directive is stale.
+	Used bool
 }
 
 // ParseDirective parses a single comment.  ok reports whether the
@@ -57,11 +70,17 @@ type Directive struct {
 // malformed category still returns ok=true with Name=="" so the
 // checker can flag it.
 func ParseDirective(c *ast.Comment) (d Directive, ok bool) {
-	text, found := strings.CutPrefix(c.Text, directivePrefix)
+	// Line comments in CRLF files keep their trailing \r; strip it so
+	// `//nocvet:alloc\r` parses as "alloc", not an invalid "alloc\r".
+	text, found := strings.CutPrefix(strings.TrimSuffix(c.Text, "\r"), directivePrefix)
 	if !found {
 		return Directive{}, false
 	}
-	name, reason, _ := strings.Cut(text, " ")
+	name, reason := text, ""
+	// The category ends at the first space or tab.
+	if i := strings.IndexAny(text, " \t"); i >= 0 {
+		name, reason = text[:i], text[i+1:]
+	}
 	if !validDirectiveName(name) {
 		name = ""
 	}
@@ -87,32 +106,38 @@ func validDirectiveName(s string) bool {
 // position waived?
 type DirectiveIndex struct {
 	fset  *token.FileSet
-	lines map[string]map[int][]Directive
+	lines map[string]map[int][]*Directive
+	// all holds every well-formed directive once, in scan order, for
+	// the stale-waiver sweep (a directive covers two lines but must be
+	// reported stale at most once).
+	all []*Directive
 	// Bad collects malformed or unknown-category directives, in file
 	// order; the checker reports each as a finding.
-	Bad []Directive
+	Bad []*Directive
 }
 
 // NewDirectiveIndex scans every comment of every file and builds the
 // suppression index for one package.
 func NewDirectiveIndex(fset *token.FileSet, files []*ast.File) *DirectiveIndex {
-	idx := &DirectiveIndex{fset: fset, lines: make(map[string]map[int][]Directive)}
+	idx := &DirectiveIndex{fset: fset, lines: make(map[string]map[int][]*Directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			groupEnd := fset.Position(cg.End()).Line
 			for _, c := range cg.List {
-				d, ok := ParseDirective(c)
+				parsed, ok := ParseDirective(c)
 				if !ok {
 					continue
 				}
+				d := &parsed
 				if _, known := KnownDirectives[d.Name]; !known {
 					idx.Bad = append(idx.Bad, d)
 					continue
 				}
+				idx.all = append(idx.all, d)
 				pos := fset.Position(c.Pos())
 				byLine := idx.lines[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]Directive)
+					byLine = make(map[int][]*Directive)
 					idx.lines[pos.Filename] = byLine
 				}
 				// A directive covers its own line and the line right
@@ -130,13 +155,35 @@ func NewDirectiveIndex(fset *token.FileSet, files []*ast.File) *DirectiveIndex {
 
 // Suppressed reports whether a finding of the given category at pos is
 // waived by a directive covering that line, returning the waiving
-// directive when so.
-func (idx *DirectiveIndex) Suppressed(pos token.Pos, category string) (Directive, bool) {
+// directive when so and marking it used.
+func (idx *DirectiveIndex) Suppressed(pos token.Pos, category string) (*Directive, bool) {
 	p := idx.fset.Position(pos)
 	for _, d := range idx.lines[p.Filename][p.Line] {
 		if d.Name == category {
+			d.Used = true
 			return d, true
 		}
 	}
-	return Directive{}, false
+	return nil, false
+}
+
+// Stale returns the well-formed directives that waived nothing, in
+// position order.  Meaningful only after a full checker run: a
+// directive is stale relative to the analyzer set that executed, so
+// single-analyzer runs (analysistest) must not consult it.
+func (idx *DirectiveIndex) Stale() []*Directive {
+	var stale []*Directive
+	for _, d := range idx.all {
+		if !d.Used {
+			stale = append(stale, d)
+		}
+	}
+	sort.SliceStable(stale, func(i, j int) bool {
+		pi, pj := idx.fset.Position(stale[i].Pos), idx.fset.Position(stale[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+	return stale
 }

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 )
 
@@ -29,6 +30,14 @@ func TestParseDirective(t *testing.T) {
 		{"//nocvet:Ordered", true, "", ""},
 		{"//nocvet:-bad-", true, "", ""},
 		{"//nocvet:bogus reason", true, "bogus", "reason"},
+		// CRLF files keep the \r in the comment text; it must not
+		// corrupt the category or the reason.
+		{"//nocvet:alloc\r", true, "alloc", ""},
+		{"//nocvet:alloc cold path\r", true, "alloc", "cold path"},
+		// A tab may separate category and reason (editors do this).
+		{"//nocvet:alloc\tpanic-only", true, "alloc", "panic-only"},
+		// Trailing prose after the reason is just more reason.
+		{"//nocvet:ordered sorted below -- see DESIGN.md §13", true, "ordered", "sorted below -- see DESIGN.md §13"},
 	}
 	for _, c := range cases {
 		d, ok := ParseDirective(comment(c.text))
@@ -103,6 +112,78 @@ func TestDirectiveIndexSuppression(t *testing.T) {
 	check(12, "hook", false)   // interior group lines get only their own directive
 }
 
+// A build-tag file: the constraint comments are not directives, and a
+// directive below them indexes against the correct (unshifted) lines.
+const buildTagSrc = "//go:build linux || darwin\n// +build linux darwin\n\npackage p\n\n//nocvet:alloc under a build tag\nvar a = 1\n"
+
+func TestDirectiveIndexBuildTagFile(t *testing.T) {
+	fset, f := parseFile(t, buildTagSrc)
+	idx := NewDirectiveIndex(fset, []*ast.File{f})
+	if len(idx.Bad) != 0 {
+		t.Fatalf("Bad = %+v, want none (build constraints are not directives)", idx.Bad)
+	}
+	if _, ok := idx.Suppressed(posAtLine(fset, f, 7), "alloc"); !ok {
+		t.Error("directive under build tags does not cover the next line")
+	}
+}
+
+// A CRLF file end to end: the parser keeps \r in comment text, and the
+// directive must still suppress.
+func TestDirectiveIndexCRLFFile(t *testing.T) {
+	src := strings.ReplaceAll(directiveSrc, "\n", "\r\n")
+	fset, f := parseFile(t, src)
+	idx := NewDirectiveIndex(fset, []*ast.File{f})
+	if len(idx.Bad) != 1 || idx.Bad[0].Name != "bogus" {
+		t.Fatalf("Bad = %+v, want exactly the bogus directive", idx.Bad)
+	}
+	if _, ok := idx.Suppressed(posAtLine(fset, f, 4), "ordered"); !ok {
+		t.Error("CRLF directive does not cover the next line")
+	}
+	if _, ok := idx.Suppressed(posAtLine(fset, f, 6), "alloc"); !ok {
+		t.Error("CRLF same-line directive does not suppress")
+	}
+}
+
+// Suppression is line-based, so leading tabs and multi-byte runes
+// before the comment must not matter (the "column drift" hazard:
+// gofmt re-indents, golden positions move, waivers must not).
+const columnSrc = "package p\n\nfunc f() {\n\tπ := \"π≈3\" //nocvet:alloc after tab and multi-byte runes\n\t_ = π\n}\n"
+
+func TestDirectiveIndexIgnoresColumns(t *testing.T) {
+	fset, f := parseFile(t, columnSrc)
+	idx := NewDirectiveIndex(fset, []*ast.File{f})
+	if len(idx.Bad) != 0 {
+		t.Fatalf("Bad = %+v, want none", idx.Bad)
+	}
+	// Any position on line 4 is covered, regardless of column.
+	tf := fset.File(f.Pos())
+	for _, off := range []int{0, 1, 2} {
+		pos := tf.LineStart(4) + token.Pos(off)
+		if _, ok := idx.Suppressed(pos, "alloc"); !ok {
+			t.Errorf("Suppressed(line 4 + %d cols) = false, want true", off)
+		}
+	}
+}
+
+func TestDirectiveIndexStale(t *testing.T) {
+	fset, f := parseFile(t, directiveSrc)
+	idx := NewDirectiveIndex(fset, []*ast.File{f})
+	// Nothing consulted yet: every well-formed directive is stale.
+	if got := len(idx.Stale()); got != 4 {
+		t.Fatalf("Stale() before any run = %d directives, want 4", got)
+	}
+	// Consult two; they drop out, in position order.
+	idx.Suppressed(posAtLine(fset, f, 4), "ordered")
+	idx.Suppressed(posAtLine(fset, f, 13), "hook")
+	stale := idx.Stale()
+	if len(stale) != 2 {
+		t.Fatalf("Stale() = %d directives, want 2", len(stale))
+	}
+	if stale[0].Name != "alloc" || stale[1].Name != "ordered" {
+		t.Errorf("Stale() = [%s %s], want [alloc ordered]", stale[0].Name, stale[1].Name)
+	}
+}
+
 // TestKnownDirectivesCoverReportedCategories pins the registry: every
 // category the analyzers report must be waivable, and the registry
 // must not accumulate dead entries without a description.
@@ -115,7 +196,7 @@ func TestKnownDirectivesCoverReportedCategories(t *testing.T) {
 			t.Errorf("registered directive %q has no description", name)
 		}
 	}
-	for _, want := range []string{"ordered", "determinism", "alloc", "hook", "fingerprint"} {
+	for _, want := range []string{"ordered", "determinism", "alloc", "hook", "fingerprint", "shard"} {
 		if _, ok := KnownDirectives[want]; !ok {
 			t.Errorf("directive %q missing from registry", want)
 		}

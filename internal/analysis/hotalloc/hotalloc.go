@@ -4,10 +4,20 @@
 // The simulator's steady-state stepping is exactly zero-alloc (the
 // TestStepNoAlloc guard and the BenchmarkStep* suite prove it at run
 // time), but those checks fire per-benchmark and only on exercised
-// paths.  This analyzer enforces the property per-commit: it roots at
-// every fabric's `Step(now int64)` method, walks the static call
-// graph across all analyzed packages, and flags source constructs
-// that heap-allocate:
+// paths.  This analyzer enforces the property per-commit.  It roots at
+//
+//   - every fabric's `Step(now int64)` method, and
+//   - every function carrying a //shard:phase annotation — the sharded
+//     stepping tile bodies run every cycle but are invoked through
+//     method values handed to the worker pool, so no static call
+//     reaches them from Step;
+//
+// then walks the interprocedural call graph
+// (internal/analysis/callgraph) across all analyzed packages —
+// following both static calls and references (method values bound to
+// fields or passed as arguments), so a tile function handed to a
+// dispatcher stays hot one call deep and beyond — and flags source
+// constructs that heap-allocate:
 //
 //   - make, new, and &T{...} / slice / map composite literals
 //   - append whose result is not reassigned to its own first operand
@@ -19,11 +29,11 @@
 //     concatenation
 //   - go and defer statements
 //
-// The walk is intentionally static and conservative: calls through
-// interfaces, func values and method values are not followed (the
-// hook calls the nilhook analyzer covers are exactly of that shape,
-// and their implementations live behind nil guards off the steady
-// path).  Run it over the whole module (`nocvet ./...`) so
+// Calls through interfaces and func values remain unresolved (the hook
+// calls the nilhook analyzer covers are exactly of that shape, and
+// their implementations live behind nil guards off the steady path) —
+// but the functions such values name are reachable via their reference
+// edges.  Run it over the whole module (`nocvet ./...`) so
 // cross-package callees — link receive, NI scheduling, stats
 // recording — are in the graph.
 //
@@ -36,16 +46,15 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
-	"strings"
 
 	"surfbless/internal/analysis"
+	"surfbless/internal/analysis/callgraph"
 )
 
 // Analyzer is the hot-path allocation checker.
 var Analyzer = &analysis.Analyzer{
 	Name:      "hotalloc",
-	Doc:       "forbid heap-allocating constructs in code reachable from any fabric's Step method",
+	Doc:       "forbid heap-allocating constructs in code reachable from any fabric's Step method or //shard:phase function",
 	RunModule: run,
 }
 
@@ -56,70 +65,21 @@ var flaggedCalls = map[string]map[string]bool{
 	"sort": {"Slice": true, "SliceStable": true, "SliceIsSorted": true, "Sort": true, "Stable": true, "Strings": true, "Ints": true, "Float64s": true},
 }
 
-// funcInfo ties one function declaration to the unit owning it.
-type funcInfo struct {
-	decl *ast.FuncDecl
-	unit *analysis.Unit
-	obj  *types.Func
-}
-
 func run(pass *analysis.ModulePass) error {
-	// Index every function declaration by a cross-package-stable key:
-	// objects for the same method differ between a package's own
-	// type-check and an importer's export data, but their printed
-	// identity does not.
-	index := make(map[string]*funcInfo)
-	var roots []*funcInfo
-	for _, u := range pass.Units {
-		for _, file := range u.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, ok := u.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				fi := &funcInfo{decl: fd, unit: u, obj: obj}
-				index[funcKey(obj)] = fi
-				if isStepRoot(fd, obj) {
-					roots = append(roots, fi)
-				}
-			}
+	g := callgraph.Build(pass.Units)
+	// Funcs is key-sorted, so the root order — and with it BFS layering
+	// and chain choice — is deterministic.
+	var roots []string
+	for _, n := range g.Funcs() {
+		if isStepRoot(n.Decl, n.Obj) {
+			roots = append(roots, n.Key)
+		} else if _, _, ok := analysis.ParsePhase(n.Decl.Doc); ok {
+			roots = append(roots, n.Key)
 		}
 	}
-	sort.Slice(roots, func(i, j int) bool { return funcKey(roots[i].obj) < funcKey(roots[j].obj) })
-
-	// Breadth-first reachability, remembering one shortest call chain
-	// per function for the finding messages.
-	parent := make(map[string]string)
-	visited := make(map[string]bool)
-	var queue []*funcInfo
-	for _, r := range roots {
-		k := funcKey(r.obj)
-		if !visited[k] {
-			visited[k] = true
-			queue = append(queue, r)
-		}
-	}
-	reported := make(map[token.Pos]bool)
-	for len(queue) > 0 {
-		fi := queue[0]
-		queue = queue[1:]
-		callees := scanFunc(pass, fi, chain(parent, funcKey(fi.obj), index), reported)
-		for _, calleeKey := range callees {
-			if visited[calleeKey] {
-				continue
-			}
-			callee, ok := index[calleeKey]
-			if !ok {
-				continue // no syntax loaded for it (out of the analyzed set)
-			}
-			visited[calleeKey] = true
-			parent[calleeKey] = funcKey(fi.obj)
-			queue = append(queue, callee)
-		}
+	r := g.Reach(roots)
+	for _, key := range r.Order() {
+		scanFunc(pass, g.Node(key), "reachable via "+r.Chain(g, key))
 	}
 	return nil
 }
@@ -138,65 +98,59 @@ func isStepRoot(fd *ast.FuncDecl, obj *types.Func) bool {
 	return ok && b.Kind() == types.Int64
 }
 
-// scanFunc reports allocating constructs in one reachable function and
-// returns the keys of its statically resolvable callees.
-func scanFunc(pass *analysis.ModulePass, fi *funcInfo, via string, reported map[token.Pos]bool) []string {
-	var callees []string
+// scanFunc reports allocating constructs in one reachable function.
+func scanFunc(pass *analysis.ModulePass, n *callgraph.Node, via string) {
 	report := func(pos token.Pos, what string) {
-		if reported[pos] {
-			return
-		}
-		reported[pos] = true
 		pass.Reportf(pos, "alloc", "%s on the Step hot path (%s); hoist it onto the router struct, reuse a scratch buffer, or waive a proven-cold site with //nocvet:alloc", what, via)
 	}
-	info := fi.unit.Info
-	appendTargets := collectAppendTargets(fi.decl.Body)
+	info := n.Unit.Info
+	appendTargets := collectAppendTargets(n.Decl.Body)
 
-	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
 		case *ast.FuncLit:
-			report(n.Pos(), "closure literal allocates")
+			report(node.Pos(), "closure literal allocates")
 			return false // the closure body is not on the steady path until called
 		case *ast.GoStmt:
-			report(n.Pos(), "go statement allocates a goroutine")
+			report(node.Pos(), "go statement allocates a goroutine")
 		case *ast.DeferStmt:
-			report(n.Pos(), "defer allocates its frame record")
+			report(node.Pos(), "defer allocates its frame record")
 		case *ast.CompositeLit:
-			switch types.Unalias(info.Types[n].Type).Underlying().(type) {
+			switch types.Unalias(info.Types[node].Type).Underlying().(type) {
 			case *types.Slice:
-				report(n.Pos(), "slice literal allocates")
+				report(node.Pos(), "slice literal allocates")
 			case *types.Map:
-				report(n.Pos(), "map literal allocates")
+				report(node.Pos(), "map literal allocates")
 			}
 		case *ast.UnaryExpr:
-			if n.Op == token.AND {
-				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-					report(n.Pos(), "&composite literal escapes to the heap")
+			if node.Op == token.AND {
+				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					report(node.Pos(), "&composite literal escapes to the heap")
 				}
 			}
 		case *ast.BinaryExpr:
-			if n.Op == token.ADD && info.Types[n].Value == nil {
-				if b, ok := types.Unalias(info.Types[n].Type).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-					report(n.Pos(), "string concatenation allocates")
+			if node.Op == token.ADD && info.Types[node].Value == nil {
+				if b, ok := types.Unalias(info.Types[node].Type).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					report(node.Pos(), "string concatenation allocates")
 				}
 			}
 		case *ast.CallExpr:
-			callees = append(callees, scanCall(info, n, appendTargets, report)...)
+			scanCall(info, node, appendTargets, report)
 		}
 		return true
 	})
-	return callees
 }
 
-// scanCall classifies one call: a flagged construct, a flagged stdlib
-// allocator, a conversion, or a statically resolvable callee to walk.
-func scanCall(info *types.Info, call *ast.CallExpr, appendTargets map[*ast.CallExpr]string, report func(token.Pos, string)) []string {
+// scanCall classifies one call: a flagged builtin, a flagged stdlib
+// allocator, or an allocating conversion.  Traversal into callees is
+// the call graph's job, not this function's.
+func scanCall(info *types.Info, call *ast.CallExpr, appendTargets map[*ast.CallExpr]string, report func(token.Pos, string)) {
 	// Type conversions: string<->[]byte/[]rune copy their operand.
 	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
 		if len(call.Args) == 1 && conversionAllocates(tv.Type, info.Types[ast.Unparen(call.Args[0])].Type) {
 			report(call.Pos(), "string conversion allocates a copy")
 		}
-		return nil
+		return
 	}
 
 	var id *ast.Ident
@@ -206,7 +160,7 @@ func scanCall(info *types.Info, call *ast.CallExpr, appendTargets map[*ast.CallE
 	case *ast.SelectorExpr:
 		id = fun.Sel
 	default:
-		return nil
+		return
 	}
 
 	switch obj := info.Uses[id].(type) {
@@ -224,17 +178,14 @@ func scanCall(info *types.Info, call *ast.CallExpr, appendTargets map[*ast.CallE
 	case *types.Func:
 		obj = obj.Origin()
 		if obj.Pkg() == nil {
-			return nil
+			return
 		}
 		if names, ok := flaggedCalls[obj.Pkg().Path()]; ok {
 			if names["*"] || names[obj.Name()] {
 				report(call.Pos(), fmt.Sprintf("%s.%s allocates", obj.Pkg().Name(), obj.Name()))
 			}
-			return nil
 		}
-		return []string{funcKey(obj)}
 	}
-	return nil
 }
 
 // selfAppend recognizes the amortized-growth idioms whose steady
@@ -301,80 +252,4 @@ func isByteOrRuneSlice(t types.Type) bool {
 	}
 	b, ok := types.Unalias(s.Elem()).Underlying().(*types.Basic)
 	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
-}
-
-// funcKey is a cross-package-stable identity for a function or
-// method: the defining package path, receiver type name if any, and
-// function name.
-func funcKey(fn *types.Func) string {
-	fn = fn.Origin()
-	sig, _ := fn.Type().(*types.Signature)
-	if sig != nil && sig.Recv() != nil {
-		t := types.Unalias(sig.Recv().Type())
-		if p, ok := t.(*types.Pointer); ok {
-			t = types.Unalias(p.Elem())
-		}
-		if n, ok := t.(*types.Named); ok {
-			n = n.Origin()
-			if pkg := n.Obj().Pkg(); pkg != nil {
-				return pkg.Path() + "." + n.Obj().Name() + "." + fn.Name()
-			}
-		}
-		return types.TypeString(t, nil) + "." + fn.Name()
-	}
-	if fn.Pkg() != nil {
-		return fn.Pkg().Path() + "." + fn.Name()
-	}
-	return fn.Name()
-}
-
-// displayName renders a function for messages: pkg.(*Recv).Name.
-func displayName(fn *types.Func) string {
-	sig, _ := fn.Type().(*types.Signature)
-	if sig != nil && sig.Recv() != nil {
-		t := types.Unalias(sig.Recv().Type())
-		star := ""
-		if p, ok := t.(*types.Pointer); ok {
-			t = types.Unalias(p.Elem())
-			star = "*"
-		}
-		if n, ok := t.(*types.Named); ok {
-			pkgName := ""
-			if pkg := n.Obj().Pkg(); pkg != nil {
-				pkgName = pkg.Name() + "."
-			}
-			return fmt.Sprintf("%s(%s%s).%s", pkgName, star, n.Obj().Name(), fn.Name())
-		}
-	}
-	if fn.Pkg() != nil {
-		return fn.Pkg().Name() + "." + fn.Name()
-	}
-	return fn.Name()
-}
-
-// chain renders the shortest discovered call path from a Step root to
-// key, for finding messages.
-func chain(parent map[string]string, key string, index map[string]*funcInfo) string {
-	var names []string
-	for k := key; ; {
-		if fi, ok := index[k]; ok {
-			names = append(names, displayName(fi.obj))
-		} else {
-			names = append(names, k)
-		}
-		p, ok := parent[k]
-		if !ok {
-			break
-		}
-		k = p
-	}
-	// names is leaf..root; render root → leaf, capped for sanity.
-	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
-		names[i], names[j] = names[j], names[i]
-	}
-	const maxHops = 6
-	if len(names) > maxHops {
-		names = append([]string{names[0], "…"}, names[len(names)-maxHops+2:]...)
-	}
-	return "reachable via " + strings.Join(names, " → ")
 }

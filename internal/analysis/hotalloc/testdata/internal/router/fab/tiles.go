@@ -1,0 +1,50 @@
+// Sharded exercises the interprocedural roots the call-only walk used
+// to miss: tile functions reached through a reference edge (a method
+// value handed to a dispatcher) and functions rooted purely by their
+// //shard:phase annotation.
+package fab
+
+// Sharded is a second fabric whose Step dispatches tiles dynamically.
+type Sharded struct {
+	scratch []int
+	evts    []int
+	tiles   int
+}
+
+// runEach mimics the worker pool: it sees only a func value, so no
+// static call edge reaches the tile body — the reference at the call
+// site below is what keeps it hot.
+func runEach(k int, fn func(int)) {
+	for t := 0; t < k; t++ {
+		fn(t)
+	}
+}
+
+// Step hands drainTile to the dispatcher by method value.
+func (s *Sharded) Step(now int64) {
+	runEach(s.tiles, s.drainTile)
+}
+
+// drainTile is never called by name anywhere in the module.
+func (s *Sharded) drainTile(t int) {
+	s.scratch = append(s.scratch, t) // self-append: amortized, allowed
+	s.fill(t)
+}
+
+// fill is one call deeper; the chain must thread the reference edge.
+func (s *Sharded) fill(t int) {
+	s.scratch = make([]int, t) // want `make allocates on the Step hot path \(reachable via fab\.\(\*Sharded\)\.Step → fab\.\(\*Sharded\)\.drainTile → fab\.\(\*Sharded\)\.fill\)`
+}
+
+// applyFX is rooted by its phase annotation alone: nothing in this
+// module calls or references it.
+//
+//shard:phase(effects)
+func (s *Sharded) applyFX(now int64) {
+	s.evts = append(s.evts, int(now)) // self-append: amortized, allowed
+	s.flush()
+}
+
+func (s *Sharded) flush() {
+	_ = new(Sharded) // want `new allocates on the Step hot path \(reachable via fab\.\(\*Sharded\)\.applyFX → fab\.\(\*Sharded\)\.flush\)`
+}

@@ -12,6 +12,22 @@
 // benchmarks and most tests run.  This analyzer makes the guard a
 // compile-time obligation.
 //
+// Hook types are not listed here: a type declares itself a hook by
+// carrying the `//hook:nil-disabled` marker in its doc comment:
+//
+//	// Probe is a hot-path observer.
+//	//hook:nil-disabled — nil means tracing is off.
+//	type Probe struct{ ... }
+//
+// The analyzer discovers every marked type across the loaded module
+// in a first pass, then checks calls through fields of those types in
+// a second.  New hook kinds therefore need no analyzer change — mark
+// the type where it is declared and every hot-path call site is
+// checked from then on.  The caveat is the flip side: discovery only
+// sees packages loaded with syntax, so run nocvet over the whole
+// module (`nocvet ./...`); a subset run that omits a hook's defining
+// package silently skips that hook's call sites.
+//
 // A call through a hook-typed struct field is accepted when the
 // analyzer can see the guard in the enclosing function:
 //
@@ -30,15 +46,16 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"strings"
 
 	"surfbless/internal/analysis"
 )
 
 // Analyzer is the nil-guard checker.
 var Analyzer = &analysis.Analyzer{
-	Name: "nilhook",
-	Doc:  "require nil guards on probe/fault/tracer/sink hook-field calls in hot-path packages",
-	Run:  run,
+	Name:      "nilhook",
+	Doc:       "require nil guards on calls through //hook:nil-disabled typed fields in hot-path packages",
+	RunModule: run,
 }
 
 // Scope limits the analyzer to the packages holding router hot paths
@@ -47,50 +64,106 @@ var Analyzer = &analysis.Analyzer{
 // contract and fire on every lease transition.
 var Scope = regexp.MustCompile(`internal/(router(/[^/]+)?|sim|link|stats|network|traffic|system|sweepsvc)$`)
 
-// HookTypes matches the type (pointers stripped) of fields whose nil
-// state means "hook disabled".  Matched against the fully qualified
-// type string so the testdata module's probe/fault packages match the
-// same way the real ones do.
-var HookTypes = regexp.MustCompile(`(^|/)(probe\.Probe|probe\.FlightRecorder|fault\.Injector|stats\.Tracer|stats\.FlowTracker|network\.Sink|sweepsvc\.Hooks|sweepsvc\.WorkerHooks|sweepsvc\.RetryHook)$`)
+// nilDisabledMarker is the doc-comment marker declaring "a nil value
+// of this type means the hook is disabled".  Prose may follow after a
+// space; it is an annotation stating a fact about the type, not a
+// //nocvet: directive (those waive findings at call sites).
+const nilDisabledMarker = "//hook:nil-disabled"
 
-func run(pass *analysis.Pass) error {
-	if !Scope.MatchString(pass.Unit.Path) {
-		return nil
-	}
-	for _, file := range pass.Unit.Files {
-		var stack []ast.Node
-		ast.Inspect(file, func(n ast.Node) bool {
-			if n == nil {
-				stack = stack[:len(stack)-1]
+func run(pass *analysis.ModulePass) error {
+	hooks := discoverHookTypes(pass.Units)
+	for _, unit := range pass.Units {
+		if !Scope.MatchString(unit.Path) {
+			continue
+		}
+		c := &checker{pass: pass, unit: unit, hooks: hooks}
+		for _, file := range unit.Files {
+			var stack []ast.Node
+			ast.Inspect(file, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					c.checkCall(call, stack)
+				}
+				stack = append(stack, n)
 				return true
-			}
-			if call, ok := n.(*ast.CallExpr); ok {
-				checkCall(pass, call, stack)
-			}
-			stack = append(stack, n)
-			return true
-		})
+			})
+		}
 	}
 	return nil
+}
+
+// discoverHookTypes collects every type declaration carrying the
+// //hook:nil-disabled marker, keyed "pkgpath.Name".  The marker may
+// sit in the TypeSpec's own doc or, for the common single-spec
+// `type X ...` form, in the GenDecl's.
+func discoverHookTypes(units []*analysis.Unit) map[string]bool {
+	hooks := make(map[string]bool)
+	for _, unit := range units {
+		for _, file := range unit.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					doc := ts.Doc
+					if doc == nil && len(gd.Specs) == 1 {
+						doc = gd.Doc
+					}
+					if markedNilDisabled(doc) {
+						hooks[unit.Pkg.Path()+"."+ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return hooks
+}
+
+// markedNilDisabled reports whether any line of doc is the
+// //hook:nil-disabled marker, bare or followed by prose.
+func markedNilDisabled(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimRight(c.Text, "\r")
+		rest, ok := strings.CutPrefix(text, nilDisabledMarker)
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}
+
+// checker holds the per-unit state for the guard pass.
+type checker struct {
+	pass  *analysis.ModulePass
+	unit  *analysis.Unit
+	hooks map[string]bool
 }
 
 // checkCall flags an unguarded invocation through a hook field: either
 // a method call whose receiver is a hook-typed field selection, or a
 // direct call of a func-typed hook field.
-func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+func (c *checker) checkCall(call *ast.CallExpr, stack []ast.Node) {
 	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return
 	}
 	var hook ast.Expr // the expression that must be nil-checked
-	if sel := pass.Unit.Info.Selections[fun]; sel != nil && sel.Kind() == types.FieldVal && hookType(sel.Obj().Type()) {
+	if sel := c.unit.Info.Selections[fun]; sel != nil && sel.Kind() == types.FieldVal && c.hookType(sel.Obj().Type()) {
 		// c.tracer(...): the callee itself is a hook-typed func field.
 		hook = fun
 	} else if recv, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
 		// f.probe.Traverse(...) or h.hooks.Fired(...): a method — or an
 		// anonymous func field — reached through a hook-typed field.
-		rsel := pass.Unit.Info.Selections[recv]
-		if rsel == nil || rsel.Kind() != types.FieldVal || !hookType(rsel.Obj().Type()) {
+		rsel := c.unit.Info.Selections[recv]
+		if rsel == nil || rsel.Kind() != types.FieldVal || !c.hookType(rsel.Obj().Type()) {
 			return
 		}
 		hook = recv
@@ -101,17 +174,26 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
 	if guarded(call, stack, target) {
 		return
 	}
-	pass.Reportf(call.Pos(), "hook",
+	c.pass.Reportf(call.Pos(), "hook",
 		"call through hook field %s is not nil-guarded; nil means the hook is disabled — guard with `if %s != nil`, or waive with //nocvet:hook naming the caller that holds the guard", target, target)
 }
 
-// hookType reports whether t (pointers stripped) is a registered hook
-// type.
-func hookType(t types.Type) bool {
+// hookType reports whether t (pointers and aliases stripped) names a
+// type discovered to carry the //hook:nil-disabled marker.
+func (c *checker) hookType(t types.Type) bool {
+	t = types.Unalias(t)
 	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
+		t = types.Unalias(p.Elem())
 	}
-	return HookTypes.MatchString(types.TypeString(t, nil))
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Origin().Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return c.hooks[obj.Pkg().Path()+"."+obj.Name()]
 }
 
 // guarded walks the ancestor chain of call looking for a dominating

@@ -8,6 +8,9 @@ import (
 )
 
 func TestNilHook(t *testing.T) {
-	analysistest.Run(t, "testdata", nilhook.Analyzer,
-		"./internal/router", "./internal/sweepsvc", "./outofscope")
+	// The whole testdata module: hook types are discovered from their
+	// //hook:nil-disabled markers, so the defining packages (probe,
+	// fault, stats, network, trace) must be loaded with syntax — the
+	// analyzer's "run nocvet over the whole module" caveat, exercised.
+	analysistest.Run(t, "testdata", nilhook.Analyzer, "./...")
 }

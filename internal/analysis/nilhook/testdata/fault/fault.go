@@ -2,6 +2,8 @@
 package fault
 
 // Injector schedules faults; nil means fault-free.
+//
+//hook:nil-disabled
 type Injector struct{}
 
 // Frozen reports whether router id is frozen.

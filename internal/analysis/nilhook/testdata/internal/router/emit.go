@@ -1,0 +1,30 @@
+// Hook types are discovered from their //hook:nil-disabled markers,
+// not a registry: trace.Emitter is marked (and was never listed
+// anywhere), trace.Logger is not.
+package router
+
+import "nocvet.example/trace"
+
+// Traced carries a marked hook and an unmarked lookalike.
+type Traced struct {
+	emit *trace.Emitter
+	log  *trace.Logger
+}
+
+// UnguardedEmit must be flagged purely off the marker.
+func (t *Traced) UnguardedEmit(id int) {
+	t.emit.Emit(id) // want `call through hook field t\.emit is not nil-guarded`
+}
+
+// GuardedEmit is accepted.
+func (t *Traced) GuardedEmit(id int) {
+	if t.emit != nil {
+		t.emit.Emit(id)
+	}
+}
+
+// UnmarkedLogger stays silent: Logger carries no marker, so the
+// analyzer makes no claim about its nil contract.
+func (t *Traced) UnmarkedLogger(id int) {
+	t.log.Log(id)
+}

@@ -5,17 +5,23 @@
 package sweepsvc
 
 // Hooks mirrors the coordinator's observation points.
+//
+//hook:nil-disabled
 type Hooks struct {
 	LeaseGranted   func(job string, point int, worker string)
 	PointCompleted func(job string, point int, dup bool)
 }
 
 // WorkerHooks mirrors the worker's observation points.
+//
+//hook:nil-disabled
 type WorkerHooks struct {
 	Drained func(released int)
 }
 
 // RetryHook mirrors the runner's per-attempt observer.
+//
+//hook:nil-disabled — nil means retries go unobserved.
 type RetryHook func(rate float64, attempt int, err error)
 
 // Coordinator carries hook fields the way the real service does.

@@ -2,4 +2,6 @@
 package network
 
 // Sink receives ejected packets; nil means discard-and-count.
+//
+//hook:nil-disabled
 type Sink func(node int)

@@ -2,6 +2,8 @@
 package probe
 
 // Probe is a hot-path observer; nil means disabled.
+//
+//hook:nil-disabled
 type Probe struct{ n int }
 
 // Traverse records one router traversal.

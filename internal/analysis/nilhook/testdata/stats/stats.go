@@ -2,4 +2,6 @@
 package stats
 
 // Tracer observes packet lifecycle events; nil means untraced.
+//
+//hook:nil-disabled
 type Tracer func(ev int)

@@ -1,0 +1,20 @@
+// Package trace proves the marker discovery: Emitter was never in any
+// hand-maintained registry — the //hook:nil-disabled marker alone
+// makes it a hook type — and Logger, nilable the same way but
+// unmarked, is not one.
+package trace
+
+// Emitter streams span events; nil means tracing is off.
+//
+//hook:nil-disabled
+type Emitter struct{ n int }
+
+// Emit records one span.
+func (e *Emitter) Emit(id int) { e.n++ }
+
+// Logger is deliberately unmarked: calls through Logger fields are
+// outside the analyzer's contract even when unguarded.
+type Logger struct{ n int }
+
+// Log records one line.
+func (l *Logger) Log(id int) { l.n++ }

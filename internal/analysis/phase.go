@@ -1,0 +1,71 @@
+// Phase annotations.  A fabric opts its sharded stepping entry points
+// into static phase checking with a directive-style doc comment:
+//
+//	//shard:phase(receive)
+//	func (e *Engine) recvTile(t int) { ... }
+//
+// The name in parentheses is the phase of DESIGN.md §17's two-phase
+// barrier schedule the function implements:
+//
+//	receive — tile-parallel; drains inbound link lines into tile state
+//	resolve — tile-parallel; allocates/arbitrates/forwards, sends on
+//	          outbound lines
+//	effects — serial, after the barriers; replays deferred per-tile
+//	          effects (meters, collector lifecycle, probe flush)
+//
+// The shardsafe analyzer roots its interprocedural walk at these
+// annotations, and hotalloc treats them as hot-path roots (annotated
+// functions run every cycle).  The prefix deliberately is not
+// "//nocvet:" — annotations declare facts, directives waive findings,
+// and mixing the namespaces would make every annotation an unknown
+// directive.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// phasePrefix introduces a phase annotation.
+const phasePrefix = "//shard:phase("
+
+// Phase names of the two-phase barrier schedule.
+const (
+	PhaseReceive = "receive"
+	PhaseResolve = "resolve"
+	PhaseEffects = "effects"
+)
+
+// ValidPhase reports whether name is a registered phase.
+func ValidPhase(name string) bool {
+	return name == PhaseReceive || name == PhaseResolve || name == PhaseEffects
+}
+
+// TileParallel reports whether the phase runs tiles concurrently (and
+// so falls under shardsafe's confinement rules).
+func TileParallel(name string) bool {
+	return name == PhaseReceive || name == PhaseResolve
+}
+
+// ParsePhase scans a declaration's doc comment group for a phase
+// annotation.  ok reports whether one was present; name may still be
+// invalid (caller flags it — a typo'd phase must fail loudly, exactly
+// like an unknown directive).  Only the first annotation counts.
+func ParsePhase(doc *ast.CommentGroup) (name string, pos token.Pos, ok bool) {
+	if doc == nil {
+		return "", token.NoPos, false
+	}
+	for _, c := range doc.List {
+		text, found := strings.CutPrefix(strings.TrimSuffix(c.Text, "\r"), phasePrefix)
+		if !found {
+			continue
+		}
+		name, _, closed := strings.Cut(text, ")")
+		if !closed {
+			return "", c.Pos(), true
+		}
+		return strings.TrimSpace(name), c.Pos(), true
+	}
+	return "", token.NoPos, false
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+)
+
+func docGroup(lines ...string) *ast.CommentGroup {
+	cg := &ast.CommentGroup{}
+	for i, l := range lines {
+		cg.List = append(cg.List, &ast.Comment{Slash: token.Pos(1 + i*200), Text: l})
+	}
+	return cg
+}
+
+func TestParsePhase(t *testing.T) {
+	cases := []struct {
+		doc  *ast.CommentGroup
+		ok   bool
+		name string
+	}{
+		{nil, false, ""},
+		{docGroup("// ordinary doc comment"), false, ""},
+		{docGroup("//shard:phase(receive)"), true, "receive"},
+		{docGroup("//shard:phase(resolve)"), true, "resolve"},
+		{docGroup("//shard:phase(effects)"), true, "effects"},
+		// Doc prose around the annotation is fine.
+		{docGroup("// recvTile drains one tile.", "//shard:phase(receive)"), true, "receive"},
+		// Trailing commentary after the closing paren is ignored.
+		{docGroup("//shard:phase(resolve) allocate/arbitrate/forward"), true, "resolve"},
+		// CRLF survives.
+		{docGroup("//shard:phase(receive)\r"), true, "receive"},
+		// Present but malformed or unknown: ok=true so callers flag it.
+		{docGroup("//shard:phase(bogus)"), true, "bogus"},
+		{docGroup("//shard:phase(receive"), true, ""},
+	}
+	for _, c := range cases {
+		name, pos, ok := ParsePhase(c.doc)
+		if ok != c.ok || name != c.name {
+			t.Errorf("ParsePhase(%v) = (%q, %v), want (%q, %v)", c.doc, name, ok, c.name, c.ok)
+		}
+		if ok && !pos.IsValid() {
+			t.Errorf("ParsePhase(%v): annotation present but position invalid", c.doc)
+		}
+	}
+}
+
+func TestPhasePredicates(t *testing.T) {
+	for _, p := range []string{PhaseReceive, PhaseResolve, PhaseEffects} {
+		if !ValidPhase(p) {
+			t.Errorf("ValidPhase(%q) = false", p)
+		}
+	}
+	if ValidPhase("bogus") || ValidPhase("") {
+		t.Error("ValidPhase accepts unknown names")
+	}
+	if !TileParallel(PhaseReceive) || !TileParallel(PhaseResolve) {
+		t.Error("receive/resolve must be tile-parallel")
+	}
+	if TileParallel(PhaseEffects) {
+		t.Error("effects is serial, not tile-parallel")
+	}
+}

@@ -1,0 +1,223 @@
+// Machine-readable output.  cmd/nocvet emits findings three ways: the
+// human one-per-line text (checker.go Print), a JSON report, and SARIF
+// 2.1.0 for CI annotation surfaces.  Both machine forms share one
+// finding identity:
+//
+//	ID = first 16 hex digits of
+//	     SHA-256(analyzer ␀ category ␀ file ␀ message ␀ occurrence)
+//
+// Line and column are deliberately excluded: a gofmt pass, an added
+// import, or a comment above the site must not churn every ID in the
+// committed baseline.  The occurrence index (how many identical
+// analyzer/category/file/message tuples precede this one in position
+// order) keeps duplicates distinct while staying stable under
+// unrelated edits.  Files are stored slash-separated and relative to
+// the module root, so reports are byte-identical across checkouts.
+//
+// The baseline file (nocvet.baseline.json, same schema as the JSON
+// report) pins the set of known findings: `nocvet -baseline` fails
+// only on findings whose ID is absent from it, so legacy findings are
+// tracked without blocking CI while new ones fail it.
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ReportVersion is the schema version of the JSON report and baseline.
+const ReportVersion = 1
+
+// ReportFinding is one active finding in machine-readable form.
+type ReportFinding struct {
+	ID       string `json:"id"`
+	Analyzer string `json:"analyzer"`
+	Category string `json:"category"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// Report is the machine-readable result of one checker run.
+type Report struct {
+	Version  int             `json:"version"`
+	Findings []ReportFinding `json:"findings"`
+}
+
+// NewReport converts the active findings into a report with stable
+// IDs, file paths relativized against root (the module directory).
+func NewReport(root string, findings []Finding) Report {
+	r := Report{Version: ReportVersion, Findings: []ReportFinding{}}
+	occurrence := make(map[string]int)
+	for _, f := range Active(findings) {
+		file := f.Position.Filename
+		if rel, err := filepath.Rel(root, file); err == nil {
+			file = rel
+		}
+		file = filepath.ToSlash(file)
+		identity := fmt.Sprintf("%s\x00%s\x00%s\x00%s", f.Analyzer, f.Category, file, f.Message)
+		n := occurrence[identity]
+		occurrence[identity] = n + 1
+		sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d", identity, n)))
+		r.Findings = append(r.Findings, ReportFinding{
+			ID:       hex.EncodeToString(sum[:8]),
+			Analyzer: f.Analyzer,
+			Category: f.Category,
+			File:     file,
+			Line:     f.Position.Line,
+			Column:   f.Position.Column,
+			Message:  f.Message,
+		})
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.  Output depends only
+// on the findings, so two runs over the same tree are byte-identical.
+func (r Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// Minimal SARIF 2.1.0 model — just the slice CI annotation surfaces
+// consume.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription map[string]string `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	Level               string            `json:"level"`
+	Message             map[string]string `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF writes the report as a SARIF 2.1.0 log.  Rule IDs are
+// analyzer names; each result carries the stable finding ID as a
+// partial fingerprint so annotation dedup follows the baseline's
+// identity, not positions.
+func (r Report) WriteSARIF(w io.Writer, analyzers []*Analyzer) error {
+	docs := map[string]string{"directive": "malformed, unknown, or stale //nocvet: suppression directives"}
+	for _, a := range analyzers {
+		docs[a.Name] = a.Doc
+	}
+	seen := make(map[string]bool)
+	var rules []sarifRule
+	for _, f := range r.Findings {
+		if seen[f.Analyzer] {
+			continue
+		}
+		seen[f.Analyzer] = true
+		rules = append(rules, sarifRule{ID: f.Analyzer, ShortDescription: map[string]string{"text": docs[f.Analyzer]}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: map[string]string{"text": f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+			}}},
+			PartialFingerprints: map[string]string{"nocvetFinding/v1": f.ID},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "nocvet", Rules: rules}}, Results: results}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// LoadBaseline reads a baseline file (a Report, typically written by
+// `nocvet -write-baseline`).
+func LoadBaseline(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var b Report
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Report{}, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if b.Version != ReportVersion {
+		return Report{}, fmt.Errorf("baseline %s has version %d, want %d (regenerate with -write-baseline)", path, b.Version, ReportVersion)
+	}
+	return b, nil
+}
+
+// NewAgainstBaseline returns the report findings whose IDs are absent
+// from the baseline — the ones that must fail CI.
+func NewAgainstBaseline(r Report, baseline Report) []ReportFinding {
+	known := make(map[string]bool, len(baseline.Findings))
+	for _, f := range baseline.Findings {
+		known[f.ID] = true
+	}
+	var fresh []ReportFinding
+	for _, f := range r.Findings {
+		if !known[f.ID] {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fabricate findings at synthetic positions under root.
+func testFindings(root string) []Finding {
+	pos := func(file string, line, col int) token.Position {
+		return token.Position{Filename: filepath.Join(root, file), Line: line, Column: col}
+	}
+	return []Finding{
+		{Analyzer: "hotalloc", Position: pos("internal/a/a.go", 10, 2), Category: "alloc", Message: "make allocates"},
+		{Analyzer: "hotalloc", Position: pos("internal/a/a.go", 20, 6), Category: "alloc", Message: "make allocates"},
+		{Analyzer: "shardsafe", Position: pos("internal/b/b.go", 5, 1), Category: "shard", Message: "shared write"},
+		{Analyzer: "nilhook", Position: pos("internal/b/b.go", 7, 1), Category: "hook", Message: "unguarded", Suppressed: true},
+	}
+}
+
+func TestReportIDsStableUnderLineShifts(t *testing.T) {
+	root := "/tmp/mod"
+	a := NewReport(root, testFindings(root))
+	// The same findings, shifted down 100 lines and re-indented: IDs
+	// must not move (they exclude line and column by design).
+	shifted := testFindings(root)
+	for i := range shifted {
+		shifted[i].Position.Line += 100
+		shifted[i].Position.Column += 3
+	}
+	b := NewReport(root, shifted)
+	if len(a.Findings) != len(b.Findings) {
+		t.Fatalf("finding counts differ: %d vs %d", len(a.Findings), len(b.Findings))
+	}
+	for i := range a.Findings {
+		if a.Findings[i].ID != b.Findings[i].ID {
+			t.Errorf("finding %d: ID changed across line shift: %s vs %s", i, a.Findings[i].ID, b.Findings[i].ID)
+		}
+	}
+}
+
+func TestReportDisambiguatesDuplicates(t *testing.T) {
+	root := "/tmp/mod"
+	r := NewReport(root, testFindings(root))
+	// Two identical hotalloc messages in the same file must get
+	// distinct IDs via the occurrence index.
+	if r.Findings[0].ID == r.Findings[1].ID {
+		t.Errorf("duplicate findings share ID %s", r.Findings[0].ID)
+	}
+}
+
+func TestReportExcludesSuppressedAndRelativizes(t *testing.T) {
+	root := "/tmp/mod"
+	r := NewReport(root, testFindings(root))
+	if len(r.Findings) != 3 {
+		t.Fatalf("got %d findings, want 3 (suppressed excluded)", len(r.Findings))
+	}
+	for _, f := range r.Findings {
+		if filepath.IsAbs(f.File) || strings.Contains(f.File, "\\") {
+			t.Errorf("file %q not a slash-relative path", f.File)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	root := "/tmp/mod"
+	r := NewReport(root, testFindings(root))
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("unmarshalling report: %v", err)
+	}
+	if back.Version != ReportVersion || len(back.Findings) != len(r.Findings) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	for i := range r.Findings {
+		if back.Findings[i] != r.Findings[i] {
+			t.Errorf("finding %d changed in round trip:\n  out: %+v\n  in:  %+v", i, r.Findings[i], back.Findings[i])
+		}
+	}
+	// Byte-identical across runs.
+	var again bytes.Buffer
+	if err := NewReport(root, testFindings(root)).WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two JSON renderings of the same findings differ")
+	}
+}
+
+func TestSARIFStableAndWellFormed(t *testing.T) {
+	root := "/tmp/mod"
+	r := NewReport(root, testFindings(root))
+	var buf, again bytes.Buffer
+	if err := r.WriteSARIF(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSARIF(&again, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two SARIF renderings of the same findings differ")
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID              string            `json:"ruleId"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "nocvet" {
+		t.Fatalf("SARIF shape wrong: %+v", log)
+	}
+	if got := len(log.Runs[0].Results); got != 3 {
+		t.Fatalf("SARIF has %d results, want 3", got)
+	}
+	if got := len(log.Runs[0].Tool.Driver.Rules); got != 2 {
+		t.Fatalf("SARIF has %d rules, want 2 (hotalloc, shardsafe; the nilhook finding is suppressed)", got)
+	}
+	for _, res := range log.Runs[0].Results {
+		if res.PartialFingerprints["nocvetFinding/v1"] == "" {
+			t.Errorf("result %s missing stable fingerprint", res.RuleID)
+		}
+	}
+}
+
+func TestBaselineDiff(t *testing.T) {
+	root := "/tmp/mod"
+	r := NewReport(root, testFindings(root))
+
+	// Baseline covering everything: nothing new.
+	if fresh := NewAgainstBaseline(r, r); len(fresh) != 0 {
+		t.Errorf("full baseline still reports %d new findings", len(fresh))
+	}
+
+	// Baseline missing the shardsafe finding: exactly it is new.
+	var partial Report
+	partial.Version = ReportVersion
+	for _, f := range r.Findings {
+		if f.Analyzer != "shardsafe" {
+			partial.Findings = append(partial.Findings, f)
+		}
+	}
+	fresh := NewAgainstBaseline(r, partial)
+	if len(fresh) != 1 || fresh[0].Analyzer != "shardsafe" {
+		t.Fatalf("NewAgainstBaseline = %+v, want exactly the shardsafe finding", fresh)
+	}
+
+	// Round trip through disk.
+	path := filepath.Join(t.TempDir(), "nocvet.baseline.json")
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh := NewAgainstBaseline(r, back); len(fresh) != 0 {
+		t.Errorf("reloaded baseline reports %d new findings", len(fresh))
+	}
+}
+
+func TestLoadBaselineRejectsWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("LoadBaseline accepted a future schema version")
+	}
+}

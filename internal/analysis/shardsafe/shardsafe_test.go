@@ -1,0 +1,16 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"surfbless/internal/analysis/analysistest"
+	"surfbless/internal/analysis/shardsafe"
+)
+
+// TestGolden runs the analyzer over the whole multi-package testdata
+// module at once: the mini instrumentation packages, the clean fabric
+// (zero findings), the racy fabric, and the aux package a racy chain
+// crosses into.
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", shardsafe.Analyzer, "./...")
+}

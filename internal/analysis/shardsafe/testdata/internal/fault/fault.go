@@ -1,0 +1,12 @@
+// Package fault is the testdata stand-in for the fault injector; a
+// non-nil injector forces the serial walk, so `X != nil` guards mark
+// serial-only code.
+package fault
+
+type Injector struct {
+	down map[int]bool
+}
+
+func (i *Injector) LinkDown(a, b int) bool { return i.down[a*64+b] }
+
+func (i *Injector) Frozen(id int, now int64) bool { return i.down[id] }

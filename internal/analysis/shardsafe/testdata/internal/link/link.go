@@ -1,0 +1,17 @@
+// Package link is the testdata stand-in for the repository's delay≥1
+// link lines: the sanctioned cross-tile channel (policy: safe).
+package link
+
+type Line struct {
+	buf []int
+}
+
+func (l *Line) Send(v int, now int64) { l.buf = append(l.buf, v) }
+
+func (l *Line) RecvInto(dst []int, now int64) []int {
+	dst = append(dst, l.buf...)
+	l.buf = l.buf[:0]
+	return dst
+}
+
+func (l *Line) Idle() bool { return len(l.buf) == 0 }

@@ -1,0 +1,22 @@
+// Package packet is the testdata stand-in for packets and the
+// free-list (FreeList methods: effects-only).
+package packet
+
+type Packet struct {
+	Hops int
+}
+
+type FreeList struct {
+	free []*Packet
+}
+
+func (f *FreeList) Put(p *Packet) { f.free = append(f.free, p) }
+
+func (f *FreeList) Get() *Packet {
+	if n := len(f.free); n > 0 {
+		p := f.free[n-1]
+		f.free = f.free[:n-1]
+		return p
+	}
+	return &Packet{}
+}

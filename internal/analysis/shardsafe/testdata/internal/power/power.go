@@ -1,0 +1,11 @@
+// Package power is the testdata stand-in for the energy meter
+// (policy: effects-only).
+package power
+
+type Meter struct {
+	e float64
+}
+
+func (m *Meter) BufferWrite(n int) { m.e += float64(n) }
+
+func (m *Meter) Allocation(n int) { m.e += float64(n) }

@@ -1,0 +1,13 @@
+// Package probe is the testdata stand-in for the event probe: Traverse
+// appends to per-tile ring segments (safe), Flush folds them into the
+// shared aggregate (effects-only).
+package probe
+
+type Probe struct {
+	n     int
+	total int
+}
+
+func (p *Probe) Traverse(a, b int) { p.n++ }
+
+func (p *Probe) Flush() { p.total += p.n; p.n = 0 }

@@ -1,0 +1,5 @@
+// Package shard is the testdata stand-in for the tile partitioner;
+// Range results are tile-derived indexes.
+package shard
+
+func Range(n, k, t int) (lo, hi int) { return t * n / k, (t + 1) * n / k }

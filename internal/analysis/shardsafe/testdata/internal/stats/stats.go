@@ -1,0 +1,11 @@
+// Package stats is the testdata stand-in for the collector lifecycle
+// aggregates (policy: effects-only).
+package stats
+
+type Collector struct {
+	inj, eject int
+}
+
+func (c *Collector) Injected(now int64) { c.inj++ }
+
+func (c *Collector) Ejected(now int64) { c.eject++ }

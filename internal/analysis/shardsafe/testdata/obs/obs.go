@@ -1,0 +1,17 @@
+// Package obs exists to prove findings cross package boundaries: the
+// racy fabric hands it a pointer into shared state one call deep.
+package obs
+
+type Counter struct {
+	n int
+}
+
+func Record(c *Counter) {
+	c.n++ // want "unconfined write to c\\.n in tile-parallel phase resolve \\(via racy\\.\\(\\*Eng\\)\\.resolveTile → obs\\.Record\\)"
+}
+
+// Reset is identical in shape but only ever called with tile-local
+// state, so it must stay silent.
+func Reset(c *Counter) {
+	c.n = 0
+}

@@ -40,6 +40,8 @@ type dropRule struct {
 //
 // All methods are read-only after NewInjector and therefore safe for
 // the concurrent sweep workers, each of which runs its own fabric.
+//
+//hook:nil-disabled
 type Injector struct {
 	frozen     [][]window   // per node
 	down       [][]window   // per node*NumLinkDirs+dir

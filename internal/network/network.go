@@ -10,6 +10,8 @@ import "surfbless/internal/packet"
 // destination node.  The synthetic simulator's sink only feeds
 // statistics; the full-system simulator's sink hands the packet to the
 // cache-coherence engine.
+//
+//hook:nil-disabled
 type Sink func(node int, p *packet.Packet, now int64)
 
 // Fabric is one mesh network instance.  Implementations are

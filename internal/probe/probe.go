@@ -134,6 +134,8 @@ type segment struct {
 // Probe accumulates one run's time series and heatmaps.  The zero
 // value is disarmed and ignores every event; call Arm (sim.Run does it
 // when Options.Probe is set) before driving a fabric.
+//
+//hook:nil-disabled
 type Probe struct {
 	cfg   Config
 	armed bool

@@ -23,6 +23,8 @@ const flightCap = 1 << 15
 // fixed event capacity) so that a watchdog trip, a DegradedError, or a
 // WCTA conformance violation can be dumped and replayed after the
 // fact.  Like the probe it is a single-goroutine state machine.
+//
+//hook:nil-disabled
 type FlightRecorder struct {
 	window   int64
 	buf      []Event

@@ -338,6 +338,9 @@ func (f *Fabric) stepSharded(now int64) {
 	}
 }
 
+// collectTile drains one tile's inbound link lines and ejections.
+//
+//shard:phase(receive)
 func (f *Fabric) collectTile(t int) {
 	lo, hi := shard.Range(len(f.nodes), f.tiles, t)
 	for id := lo; id < hi; id++ {
@@ -345,6 +348,9 @@ func (f *Fabric) collectTile(t int) {
 	}
 }
 
+// resolveTile runs one tile's permutation/deflection resolution.
+//
+//shard:phase(resolve)
 func (f *Fabric) resolveTile(t int) {
 	lo, hi := shard.Range(len(f.nodes), f.tiles, t)
 	for id := lo; id < hi; id++ {
@@ -353,6 +359,8 @@ func (f *Fabric) resolveTile(t int) {
 }
 
 // applyFX replays one tile's deferred effects at the cycle barrier.
+//
+//shard:phase(effects)
 func (f *Fabric) applyFX(fx *tileFX, now int64) {
 	f.meter.BufferRead(int(fx.bufR))
 	f.meter.CrossbarTraversal(int(fx.xbar))

@@ -528,6 +528,9 @@ func (e *Engine) stepSharded(now int64) {
 	}
 }
 
+// recvTile drains one tile's inbound link lines into router FIFOs.
+//
+//shard:phase(receive)
 func (e *Engine) recvTile(t int) {
 	lo, hi := shard.Range(len(e.nodes), e.tiles, t)
 	fx := &e.fxs[t]
@@ -536,6 +539,9 @@ func (e *Engine) recvTile(t int) {
 	}
 }
 
+// moveTile allocates, switches, and forwards one tile's routers.
+//
+//shard:phase(resolve)
 func (e *Engine) moveTile(t int) {
 	lo, hi := shard.Range(len(e.nodes), e.tiles, t)
 	fx := &e.fxs[t]
@@ -549,6 +555,8 @@ func (e *Engine) moveTile(t int) {
 // flit/packet accounting, then the lifecycle replay (collector calls
 // and sink hand-offs in recorded order — tile order equals the serial
 // node order, so observers see the exact serial event sequence).
+//
+//shard:phase(effects)
 func (e *Engine) applyFX(fx *tileFX, now int64) {
 	e.meter.BufferWrite(int(fx.bufW))
 	e.meter.BufferRead(int(fx.bufR))

@@ -32,6 +32,8 @@ type FlowStats struct {
 // holds values, not pointers, so steady-state observation allocates
 // only on map growth — one rehash per flow-count doubling, amortized
 // zero for the bounded flow populations the conformance harness drives.
+//
+//hook:nil-disabled
 type FlowTracker struct {
 	flows map[FlowKey]FlowStats
 }

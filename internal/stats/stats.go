@@ -97,6 +97,8 @@ func (k EventKind) String() string {
 
 // Tracer observes every packet lifecycle event the collector sees
 // (windowed or not).  p is nil for EvRefused.
+//
+//hook:nil-disabled
 type Tracer func(kind EventKind, p *packet.Packet, domain int, now int64)
 
 // Collector gathers per-domain and aggregate statistics for one run.

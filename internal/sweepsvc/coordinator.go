@@ -19,6 +19,8 @@ const DefaultLeaseTTL = 10 * time.Second
 
 // Hooks are the coordinator's observation points for tests and the
 // chaos harness (nil = disabled, like every hook in this repository).
+//
+//hook:nil-disabled
 type Hooks struct {
 	// LeaseGranted fires after a lease is handed to a worker.
 	LeaseGranted func(job string, point int, worker string)

@@ -17,6 +17,8 @@ import (
 // binaries wire it to stderr logging and the retry counter on
 // /metrics.  It is called with the failing attempt's 1-based number
 // and error before the backoff sleep.
+//
+//hook:nil-disabled
 type RetryHook func(rate float64, attempt int, err error)
 
 // Runner executes sweep points against the shared result store with

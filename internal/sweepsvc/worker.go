@@ -11,6 +11,8 @@ import (
 
 // WorkerHooks are the worker's observation points for tests and the
 // chaos harness (nil = disabled).
+//
+//hook:nil-disabled
 type WorkerHooks struct {
 	// LeaseAcquired fires for every lease pulled from the coordinator.
 	LeaseAcquired func(l Lease)
