@@ -149,19 +149,27 @@ func calleeIdent(call *ast.CallExpr) *ast.Ident {
 }
 
 // StaticCallee resolves the function or method a call statically
-// invokes, or nil for dynamic calls (func values, interface methods
-// reached through a non-Func object) and non-call expressions (type
-// conversions, builtins).
+// invokes, or nil for dynamic calls (func values and interface
+// methods) and non-call expressions (type conversions, builtins).
+// Interface method calls DO resolve to a *types.Func in info.Uses —
+// the abstract method — but dispatch dynamically, so they count as
+// unresolved here.
 func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 	id := calleeIdent(call)
 	if id == nil {
 		return nil
 	}
 	fn, _ := info.Uses[id].(*types.Func)
-	if fn == nil {
+	if fn == nil || interfaceMethod(fn) {
 		return nil
 	}
 	return fn.Origin()
+}
+
+// interfaceMethod reports whether fn is an abstract interface method.
+func interfaceMethod(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
 }
 
 // Node returns the indexed declaration for key, nil when its syntax is

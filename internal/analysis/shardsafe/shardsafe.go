@@ -19,12 +19,14 @@
 //
 //	shared — fabric-global: the root's receiver, package-level
 //	         variables, and anything reached from them
-//	tile   — an integer derived from the root's tile index parameter
-//	         (directly, through shard.Range, or by arithmetic on such
-//	         values)
+//	tile   — an integer derived from the root's tile index parameter —
+//	         its sole integer parameter — directly, through
+//	         shard.Range, or by arithmetic on such values
 //	safe   — tile-local: locals, fresh allocations, parameters bound
 //	         to safe arguments, and — the crux — elements of shared
-//	         slices subscripted or sliced by tile-derived indexes
+//	         slices or arrays subscripted or sliced by tile-derived
+//	         indexes (maps never: distinct keys do not confine
+//	         concurrent map writes)
 //
 // A write whose destination classifies as shared is a finding, with
 // the call chain from the phase root to the write site.  So is a call
@@ -41,7 +43,8 @@
 //   - any condition with a conjunct `X != nil` where X is a
 //     *fault.Injector — the fabrics force the serial walk whenever an
 //     injector is armed, and && short-circuits the remaining conjuncts
-//     behind the nil check.
+//     behind the nil check.  Conjuncts BEFORE the nil check evaluate
+//     unconditionally, so those are still walked.
 //
 // Calls into sibling instrumentation packages resolve against a policy
 // table before any descent, so analyzing a package subset reports
@@ -136,7 +139,10 @@ type checker struct {
 }
 
 // walkRoot analyzes one tile-parallel entry point: the receiver is the
-// shared fabric, integer parameters are the tile index.
+// shared fabric, and the sole integer parameter is the tile index.  A
+// root with several integer parameters is reported and skipped —
+// treating every one as tile-derived would let a non-index integer
+// (a budget, a count) launder shared subscripts to safe.
 func (c *checker) walkRoot(n *callgraph.Node, phase string) {
 	env := make(map[*types.Var]class)
 	sig, _ := n.Obj.Type().(*types.Signature)
@@ -146,11 +152,21 @@ func (c *checker) walkRoot(n *callgraph.Node, phase string) {
 	if r := sig.Recv(); r != nil {
 		env[r] = classShared
 	}
+	var tileIdx []*types.Var
 	for i := 0; i < sig.Params().Len(); i++ {
 		p := sig.Params().At(i)
 		if b, ok := p.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
-			env[p] = classTile
+			tileIdx = append(tileIdx, p)
 		}
+	}
+	if len(tileIdx) > 1 {
+		c.pass.Reportf(n.Decl.Name.Pos(), "shard",
+			"tile-parallel phase root %s has %d integer parameters; the //shard:phase contract allows exactly one (the tile index)",
+			callgraph.DisplayName(n.Obj), len(tileIdx))
+		return
+	}
+	if len(tileIdx) == 1 {
+		env[tileIdx[0]] = classTile
 	}
 	w := &walker{c: c, node: n, phase: phase, env: env,
 		stack: []string{callgraph.DisplayName(n.Obj)}}
@@ -317,32 +333,45 @@ func (w *walker) typeSwitch(s *ast.TypeSwitchStmt) {
 // checked).
 func (w *walker) ifStmt(s *ast.IfStmt) {
 	w.stmt(s.Init)
-	switch {
-	case w.isFaultGuard(s.Cond):
-		// Skip the condition too: && short-circuits, so conjuncts after
-		// the nil check only evaluate with the injector armed (serial).
-	case w.isDirectGuard(s.Cond):
-	default:
+	if leading, ok := w.faultGuard(s.Cond); ok {
+		// && short-circuits only what FOLLOWS the nil check: trailing
+		// conjuncts and the body evaluate with the injector armed
+		// (serial) and are skipped, but conjuncts before the check run
+		// tile-parallel unconditionally and must still be walked.
+		for _, e := range leading {
+			w.expr(e)
+		}
+	} else if !w.isDirectGuard(s.Cond) {
 		w.expr(s.Cond)
 		w.block(s.Body)
 	}
 	w.stmt(s.Else)
 }
 
-// isFaultGuard reports whether cond has a conjunct `X != nil` with X a
-// pointer to a type of an internal/fault package.
-func (w *walker) isFaultGuard(e ast.Expr) bool {
-	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
-	if !ok {
-		return false
+// faultGuard reports whether cond has a conjunct `X != nil` with X a
+// pointer to a type of an internal/fault package, and returns the
+// conjuncts evaluated before the first such check — the ones not
+// protected by its short-circuit.
+func (w *walker) faultGuard(e ast.Expr) (leading []ast.Expr, ok bool) {
+	b, isBin := ast.Unparen(e).(*ast.BinaryExpr)
+	if !isBin {
+		return nil, false
 	}
 	switch b.Op {
 	case token.LAND:
-		return w.isFaultGuard(b.X) || w.isFaultGuard(b.Y)
+		if l, ok := w.faultGuard(b.X); ok {
+			return l, true
+		}
+		if l, ok := w.faultGuard(b.Y); ok {
+			return append([]ast.Expr{b.X}, l...), true
+		}
+		return nil, false
 	case token.NEQ:
-		return (w.isFaultPtr(b.X) && w.isNil(b.Y)) || (w.isFaultPtr(b.Y) && w.isNil(b.X))
+		if (w.isFaultPtr(b.X) && w.isNil(b.Y)) || (w.isFaultPtr(b.Y) && w.isNil(b.X)) {
+			return nil, true
+		}
 	}
-	return false
+	return nil, false
 }
 
 func (w *walker) isFaultPtr(e ast.Expr) bool {
@@ -646,13 +675,16 @@ func (w *walker) descend(node *callgraph.Node, call *ast.CallExpr) {
 	if w.c.memo[key] {
 		return
 	}
+	if len(w.stack)+1 > 40 {
+		// Depth cap: bail WITHOUT memoizing, or a chain that first
+		// reaches this context too deep would poison the memo and a
+		// later shallower path would be skipped unwalked.
+		return
+	}
 	w.c.memo[key] = true
 
 	child := &walker{c: w.c, node: node, phase: w.phase, env: env,
 		stack: append(append([]string{}, w.stack...), callgraph.DisplayName(node.Obj))}
-	if len(child.stack) > 40 {
-		return
-	}
 	child.block(node.Decl.Body)
 }
 
@@ -685,9 +717,11 @@ func (w *walker) classOf(e ast.Expr) class {
 		return w.classOf(e.X)
 	case *ast.IndexExpr:
 		base := w.classOf(e.X)
-		if base == classShared && w.classOf(e.Index) == classTile {
+		if base == classShared && w.classOf(e.Index) == classTile && w.isSliceOrArray(e.X) {
 			// The tile-confinement rule: a shared slice subscripted by a
-			// tile-derived index is this tile's own element.
+			// tile-derived index is this tile's own element.  Slices and
+			// arrays only — distinct map keys do not confine (concurrent
+			// map writes race regardless of key).
 			return classSafe
 		}
 		return base
@@ -731,6 +765,24 @@ func (w *walker) isPackageLevel(v *types.Var) bool {
 		return false
 	}
 	return v.Parent() == v.Pkg().Scope()
+}
+
+// isSliceOrArray reports whether e's underlying type is a slice,
+// array, or pointer-to-array — the only index bases where distinct
+// indexes name distinct memory.
+func (w *walker) isSliceOrArray(e ast.Expr) bool {
+	t := w.info().TypeOf(e)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	}
+	return false
 }
 
 // ---- call policy ----
